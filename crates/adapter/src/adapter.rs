@@ -1,0 +1,525 @@
+//! The Bitcoin adapter (§III-B of the paper).
+//!
+//! A per-replica process that (a) keeps ℓ connections into the Bitcoin
+//! network, (b) downloads and validates *all* block headers (forks
+//! included — the adapter performs no fork resolution by design, leaving
+//! that to the canister's stability logic), (c) fetches blocks on demand,
+//! (d) advertises outbound transactions, and (e) answers the canister's
+//! `GetSuccessors` requests with **Algorithm 1**.
+
+use std::collections::{HashMap, HashSet};
+
+use icbtc_bitcoin::encode::Encodable;
+use icbtc_bitcoin::{Block, BlockHash, BlockHeader};
+use icbtc_btcnet::{BtcNetwork, ChainStore, ConnId, Inventory, Message};
+use icbtc_core::{
+    GetSuccessorsRequest, GetSuccessorsResponse, IntegrationParams, MAX_NEXT_HEADERS,
+    MAX_RESPONSE_BLOCK_BYTES,
+};
+use icbtc_sim::{SimDuration, SimRng, SimTime};
+
+use crate::discovery::ConnectionManager;
+use crate::txcache::TransactionCache;
+
+/// The Bitcoin adapter of one IC replica.
+///
+/// Drive it by alternating [`BitcoinAdapter::step`] (network upkeep) with
+/// `net.run_until(..)`, and serve the canister with
+/// [`BitcoinAdapter::handle_request`].
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_adapter::BitcoinAdapter;
+/// use icbtc_btcnet::network::{BtcNetwork, NetworkConfig};
+/// use icbtc_core::IntegrationParams;
+/// use icbtc_bitcoin::Network;
+/// use icbtc_sim::{SimDuration, SimTime};
+///
+/// let mut net = BtcNetwork::new(NetworkConfig::regtest(4), 1);
+/// net.run_until(SimTime::from_secs(3600));
+/// let params = IntegrationParams::for_network(Network::Regtest);
+/// let mut adapter = BitcoinAdapter::new(params, 99);
+/// // A few step/run iterations pull in the headers.
+/// for _ in 0..30 {
+///     adapter.step(&mut net);
+///     net.run_until(net.now() + SimDuration::from_secs(2));
+/// }
+/// assert!(adapter.header_count() > 1);
+/// ```
+pub struct BitcoinAdapter {
+    params: IntegrationParams,
+    manager: ConnectionManager,
+    store: ChainStore,
+    txcache: TransactionCache,
+    rng: SimRng,
+    /// Blocks requested from peers and not yet received.
+    inflight_blocks: HashMap<BlockHash, SimTime>,
+    /// Per-connection: has a getheaders round-trip been issued recently?
+    last_getheaders: SimTime,
+    /// Peers' inventory announcements we have already chased.
+    seen_inv: HashSet<BlockHash>,
+}
+
+/// How long a block fetch may be outstanding before re-requesting.
+const INFLIGHT_TIMEOUT: SimDuration = SimDuration::from_secs(30);
+
+/// Minimum spacing between header-sync rounds.
+const GETHEADERS_INTERVAL: SimDuration = SimDuration::from_secs(5);
+
+impl BitcoinAdapter {
+    /// Creates an adapter for the configured network.
+    pub fn new(params: IntegrationParams, seed: u64) -> BitcoinAdapter {
+        BitcoinAdapter {
+            manager: ConnectionManager::new(params),
+            store: ChainStore::new(params.network),
+            txcache: TransactionCache::new(SimDuration::from_secs(params.tx_cache_expiry_secs)),
+            rng: SimRng::seed_from(seed),
+            params,
+            inflight_blocks: HashMap::new(),
+            last_getheaders: SimTime::ZERO,
+            seen_inv: HashSet::new(),
+        }
+    }
+
+    /// The integration parameters in force.
+    pub fn params(&self) -> &IntegrationParams {
+        &self.params
+    }
+
+    /// The connection manager (discovery state).
+    pub fn connection_manager(&self) -> &ConnectionManager {
+        &self.manager
+    }
+
+    /// Number of validated headers held (including genesis).
+    pub fn header_count(&self) -> usize {
+        self.store.header_count()
+    }
+
+    /// Greatest header height seen.
+    pub fn best_header_height(&self) -> u64 {
+        self.store.tip_height()
+    }
+
+    /// Whether the full block for `hash` is stored locally.
+    pub fn has_block(&self, hash: &BlockHash) -> bool {
+        self.store.has_block(hash)
+    }
+
+    /// Number of cached outbound transactions.
+    pub fn tx_cache_len(&self) -> usize {
+        self.txcache.len()
+    }
+
+    /// One upkeep pass: maintain connections, run header sync, chase
+    /// inventory, expire the transaction cache, drain and dispatch all
+    /// inbound messages.
+    pub fn step(&mut self, net: &mut BtcNetwork) {
+        let now = net.now();
+        self.manager.maintain(net, &mut self.rng);
+        self.txcache.expire(now);
+
+        // Periodic header sync against every connection.
+        if now.saturating_since(self.last_getheaders) >= GETHEADERS_INTERVAL
+            || self.last_getheaders == SimTime::ZERO
+        {
+            self.last_getheaders = now;
+            let locator = self.store.locator();
+            for conn in self.manager.connection_ids() {
+                net.send_external(
+                    conn,
+                    Message::GetHeaders { locator: locator.clone(), stop: BlockHash::ZERO },
+                );
+            }
+        }
+
+        // Re-request timed-out block fetches.
+        let stale: Vec<BlockHash> = self
+            .inflight_blocks
+            .iter()
+            .filter(|(_, at)| now.saturating_since(**at) >= INFLIGHT_TIMEOUT)
+            .map(|(h, _)| *h)
+            .collect();
+        for hash in stale {
+            self.inflight_blocks.remove(&hash);
+            self.request_block(net, hash);
+        }
+
+        // Proactive block download: the adapter's sync pipeline fetches
+        // best-chain bodies ahead of canister requests (bounded
+        // concurrency), so that Algorithm 1 can serve connected runs of
+        // blocks instead of one per request round-trip.
+        const MAX_INFLIGHT: usize = 24;
+        if self.inflight_blocks.len() < MAX_INFLIGHT {
+            let mut wanted = Vec::new();
+            for hash in self.store.best_chain_hashes().into_iter().rev() {
+                if self.inflight_blocks.len() + wanted.len() >= MAX_INFLIGHT {
+                    break;
+                }
+                if !self.store.has_block(&hash) && !self.inflight_blocks.contains_key(&hash) {
+                    wanted.push(hash);
+                }
+            }
+            for hash in wanted {
+                self.request_block(net, hash);
+            }
+        }
+
+        // Drain inboxes.
+        let conns = self.manager.connection_ids();
+        for conn in conns {
+            let inbox = net.drain_external(conn);
+            for msg in inbox {
+                self.handle_network_message(net, conn, msg);
+            }
+        }
+    }
+
+    fn handle_network_message(&mut self, net: &mut BtcNetwork, conn: ConnId, msg: Message) {
+        let now_unix = net.unix_time(net.now());
+        match msg {
+            Message::Addr(addrs) => self.manager.learn_addresses(&addrs),
+            Message::Headers(headers) => {
+                // Validate each header exactly as §III-B prescribes; store
+                // every valid one, forks included, no resolution.
+                for header in headers {
+                    let _ = self.store.accept_header(header, now_unix);
+                }
+            }
+            Message::Inv(items) => {
+                let mut wanted = Vec::new();
+                for item in items {
+                    match item {
+                        Inventory::Block(hash) => {
+                            if !self.seen_inv.contains(&hash) {
+                                self.seen_inv.insert(hash);
+                                wanted.push(Inventory::Block(hash));
+                            }
+                        }
+                        // The adapter is not interested in inbound
+                        // transactions; it is not a mempool node.
+                        Inventory::Transaction(_) => {}
+                    }
+                }
+                if !wanted.is_empty() {
+                    net.send_external(conn, Message::GetData(wanted));
+                }
+            }
+            Message::BlockMsg(block) => {
+                let hash = block.block_hash();
+                self.inflight_blocks.remove(&hash);
+                // Header-first: a block whose header does not validate is
+                // discarded together with its body.
+                let _ = self.store.accept_block(*block, now_unix);
+            }
+            Message::GetData(items) => {
+                // Peers fetch transactions we advertised.
+                let total = self.manager.connections().len();
+                for item in items {
+                    if let Inventory::Transaction(txid) = item {
+                        if let Some(tx) = self.txcache.get(&txid).cloned() {
+                            net.send_external(conn, Message::TxMsg(tx));
+                            self.txcache.mark_delivered(&txid, conn.0, total);
+                        }
+                    }
+                }
+            }
+            Message::Ping(nonce) => net.send_external(conn, Message::Pong(nonce)),
+            Message::GetAddr
+            | Message::GetHeaders { .. }
+            | Message::TxMsg(_)
+            | Message::NotFound(_)
+            | Message::Pong(_) => {}
+        }
+    }
+
+    fn request_block(&mut self, net: &mut BtcNetwork, hash: BlockHash) {
+        let conns = self.manager.connection_ids();
+        if conns.is_empty() {
+            return;
+        }
+        let conn = *self.rng.choose(&conns);
+        net.send_external(conn, Message::GetData(vec![Inventory::Block(hash)]));
+        self.inflight_blocks.insert(hash, net.now());
+    }
+
+    /// **Algorithm 1**: serves a canister request `(β*, A, T)` from the
+    /// local header tree `B_a`/`𝓑_a`, returning `[B, N]`.
+    ///
+    /// Outbound transactions are cached and advertised; the header tree is
+    /// walked breadth-first from the anchor; available blocks extending
+    /// the canister's set are returned subject to the 2 MiB soft cap and
+    /// the height-dependent block-count rule; headers of missing blocks
+    /// are returned in `N` (capped at 100) and their bodies requested
+    /// asynchronously from peers.
+    pub fn handle_request(
+        &mut self,
+        net: &mut BtcNetwork,
+        request: &GetSuccessorsRequest,
+    ) -> GetSuccessorsResponse {
+        let now = net.now();
+        // Lines 1–3: cache and advertise outbound transactions.
+        for tx in &request.transactions {
+            let txid = self.txcache.insert(tx.clone(), now);
+            for conn in self.manager.connection_ids() {
+                net.send_external(conn, Message::Inv(vec![Inventory::Transaction(txid)]));
+            }
+        }
+
+        let anchor_hash = request.anchor.block_hash();
+        let have: HashSet<BlockHash> = request
+            .processed
+            .iter()
+            .copied()
+            .chain(std::iter::once(anchor_hash))
+            .collect();
+        let max_blocks = self.max_blocks_at_height(request.anchor_height);
+
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut returned: HashSet<BlockHash> = HashSet::new(); // the set 𝓑
+        let mut next: Vec<BlockHeader> = Vec::new();
+        let mut response_bytes = 0usize;
+        let mut to_fetch: Vec<BlockHash> = Vec::new();
+
+        // Lines 4–16: BFS over the header tree starting at β*.
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(anchor_hash);
+        while let Some(current) = queue.pop_front() {
+            if next.len() >= MAX_NEXT_HEADERS {
+                break;
+            }
+            let Some(stored) = self.store.header(&current) else { continue };
+            let header = stored.header;
+            let is_anchor = current == anchor_hash;
+
+            if !is_anchor {
+                let prev_connected =
+                    have.contains(&header.prev_blockhash) || returned.contains(&header.prev_blockhash);
+                if !have.contains(&current) && prev_connected {
+                    match self.store.block(&current) {
+                        Some(block) => {
+                            let size = block.encoded_len();
+                            let within_soft_cap =
+                                response_bytes < MAX_RESPONSE_BLOCK_BYTES || blocks.is_empty();
+                            if within_soft_cap && blocks.len() < max_blocks {
+                                response_bytes += size;
+                                blocks.push(block.clone());
+                                returned.insert(current);
+                            }
+                        }
+                        None => {
+                            // Fetch asynchronously for a future request.
+                            if !self.inflight_blocks.contains_key(&current) {
+                                to_fetch.push(current);
+                            }
+                        }
+                    }
+                }
+                if !have.contains(&current) && !returned.contains(&current) {
+                    next.push(header);
+                }
+            }
+            for child in self.store.children(&current) {
+                queue.push_back(*child);
+            }
+        }
+
+        for hash in to_fetch {
+            self.request_block(net, hash);
+        }
+        GetSuccessorsResponse { blocks, next }
+    }
+
+    /// The height-dependent cap on blocks per response: unbounded during
+    /// bulk sync below the hard-coded height, a single block above it —
+    /// the safeguard Lemma IV.3's proof relies on.
+    fn max_blocks_at_height(&self, anchor_height: u64) -> usize {
+        if anchor_height < self.params.bulk_sync_height {
+            usize::MAX
+        } else {
+            1
+        }
+    }
+}
+
+impl std::fmt::Debug for BitcoinAdapter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BitcoinAdapter")
+            .field("network", &self.params.network)
+            .field("headers", &self.store.header_count())
+            .field("connections", &self.manager.connections().len())
+            .field("tx_cache", &self.txcache.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icbtc_bitcoin::{Amount, Network, OutPoint, Script, Transaction, TxIn, TxOut, Txid};
+    use icbtc_btcnet::network::NetworkConfig;
+    use icbtc_btcnet::NodeId;
+
+    fn sync_adapter(net: &mut BtcNetwork, adapter: &mut BitcoinAdapter, rounds: usize) {
+        for _ in 0..rounds {
+            adapter.step(net);
+            net.run_until(net.now() + SimDuration::from_secs(3));
+        }
+    }
+
+    fn setup(nodes: usize, hours: u64) -> (BtcNetwork, BitcoinAdapter) {
+        let mut net = BtcNetwork::new(NetworkConfig::regtest(nodes), 42);
+        net.run_until(SimTime::from_secs(hours * 3600));
+        let params = IntegrationParams::for_network(Network::Regtest).with_connections(2);
+        let adapter = BitcoinAdapter::new(params, 7);
+        (net, adapter)
+    }
+
+    #[test]
+    fn header_sync_reaches_network_tip() {
+        let (mut net, mut adapter) = setup(4, 6);
+        let tip = net.best_height();
+        assert!(tip > 10, "need a real chain, got {tip}");
+        sync_adapter(&mut net, &mut adapter, 40);
+        assert_eq!(adapter.best_header_height(), net.best_height());
+    }
+
+    fn request_for_anchor(adapter: &BitcoinAdapter, processed: Vec<BlockHash>) -> GetSuccessorsRequest {
+        GetSuccessorsRequest {
+            anchor: adapter.params.network.genesis_block().header,
+            anchor_height: 0,
+            processed,
+            transactions: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn algorithm1_serves_blocks_in_connected_order() {
+        let (mut net, mut adapter) = setup(4, 4);
+        sync_adapter(&mut net, &mut adapter, 40);
+
+        // First request: blocks may need fetching; iterate until served.
+        let mut response = GetSuccessorsResponse::default();
+        for _ in 0..40 {
+            response = adapter.handle_request(&mut net, &request_for_anchor(&adapter, vec![]));
+            if !response.blocks.is_empty() && response.next.is_empty() {
+                break;
+            }
+            sync_adapter(&mut net, &mut adapter, 2);
+        }
+        assert!(!response.blocks.is_empty());
+        // Every returned block connects to the anchor or an earlier block
+        // in the response.
+        let mut known: HashSet<BlockHash> =
+            std::iter::once(Network::Regtest.genesis_hash()).collect();
+        for block in &response.blocks {
+            assert!(known.contains(&block.header.prev_blockhash), "disconnected block");
+            known.insert(block.block_hash());
+        }
+    }
+
+    #[test]
+    fn algorithm1_respects_processed_set() {
+        let (mut net, mut adapter) = setup(3, 4);
+        sync_adapter(&mut net, &mut adapter, 40);
+        let mut response = GetSuccessorsResponse::default();
+        for _ in 0..40 {
+            response = adapter.handle_request(&mut net, &request_for_anchor(&adapter, vec![]));
+            if !response.blocks.is_empty() && response.next.is_empty() {
+                break;
+            }
+            sync_adapter(&mut net, &mut adapter, 2);
+        }
+        let served: Vec<BlockHash> = response.blocks.iter().map(|b| b.block_hash()).collect();
+        // Marking everything processed yields an empty response.
+        let full = adapter.handle_request(&mut net, &request_for_anchor(&adapter, served.clone()));
+        assert!(full.blocks.is_empty(), "all blocks already processed");
+        // Marking all but the last: only the last is served again.
+        let partial = adapter
+            .handle_request(&mut net, &request_for_anchor(&adapter, served[..served.len() - 1].to_vec()));
+        assert_eq!(partial.blocks.len(), 1);
+        assert_eq!(partial.blocks[0].block_hash(), *served.last().unwrap());
+    }
+
+    #[test]
+    fn algorithm1_single_block_above_bulk_sync_height() {
+        let (mut net, mut adapter) = setup(3, 4);
+        // Force single-block mode everywhere.
+        adapter.params = adapter.params.with_bulk_sync_height(0);
+        sync_adapter(&mut net, &mut adapter, 40);
+        let mut response = GetSuccessorsResponse::default();
+        for _ in 0..40 {
+            response = adapter.handle_request(&mut net, &request_for_anchor(&adapter, vec![]));
+            if !response.blocks.is_empty() {
+                break;
+            }
+            sync_adapter(&mut net, &mut adapter, 2);
+        }
+        assert_eq!(response.blocks.len(), 1, "one block at a time above the boundary");
+        // The remaining chain shows up as upcoming headers.
+        assert!(!response.next.is_empty());
+    }
+
+    #[test]
+    fn algorithm1_next_headers_capped() {
+        let (mut net, mut adapter) = setup(3, 30);
+        sync_adapter(&mut net, &mut adapter, 60);
+        assert!(adapter.best_header_height() > MAX_NEXT_HEADERS as u64);
+        // Before any blocks are fetched, everything lands in `next`.
+        let mut fresh = BitcoinAdapter::new(adapter.params, 8);
+        // Move the header tree over without blocks: sync headers only.
+        for _ in 0..60 {
+            fresh.step(&mut net);
+            net.run_until(net.now() + SimDuration::from_secs(3));
+            if fresh.best_header_height() == adapter.best_header_height() {
+                break;
+            }
+        }
+        let response = fresh.handle_request(&mut net, &request_for_anchor(&fresh, vec![]));
+        assert!(response.next.len() <= MAX_NEXT_HEADERS);
+    }
+
+    #[test]
+    fn outbound_transactions_reach_the_network() {
+        let (mut net, mut adapter) = setup(4, 2);
+        sync_adapter(&mut net, &mut adapter, 10);
+        let tx = Transaction {
+            version: 2,
+            inputs: vec![TxIn::new(OutPoint::new(Txid([3; 32]), 0))],
+            outputs: vec![TxOut::new(Amount::from_sat(250), Script::new_p2wpkh(&[9; 20]))],
+            lock_time: 0,
+        };
+        let txid = tx.txid();
+        let request = GetSuccessorsRequest {
+            anchor: Network::Regtest.genesis_block().header,
+            anchor_height: 0,
+            processed: vec![],
+            transactions: vec![tx],
+        };
+        adapter.handle_request(&mut net, &request);
+        assert_eq!(adapter.tx_cache_len(), 1);
+        // Let inv/getdata/tx propagate and gossip spread it.
+        sync_adapter(&mut net, &mut adapter, 20);
+        let in_mempools = (0..4)
+            .filter(|i| net.node(NodeId(*i)).has_mempool_tx(&txid))
+            .count();
+        assert!(in_mempools >= 1, "transaction reached no mempool");
+    }
+
+    #[test]
+    fn adapter_keeps_fork_headers() {
+        let (mut net, mut adapter) = setup(3, 4);
+        sync_adapter(&mut net, &mut adapter, 40);
+        // Build a competing fork and feed it via the network.
+        let honest_chain = net.node(NodeId(0)).chain().clone();
+        let branch = honest_chain.best_chain_hash_at(honest_chain.tip_height().saturating_sub(2)).unwrap();
+        let mut fork = icbtc_btcnet::adversary::SecretForkMiner::branch_at(&honest_chain, branch).unwrap();
+        let fork_blocks = fork.extend(1, 5);
+        net.submit_block(NodeId(0), fork_blocks[0].clone());
+        sync_adapter(&mut net, &mut adapter, 20);
+        // No fork resolution: the adapter stores both branches' headers.
+        let before = adapter.header_count();
+        assert!(before as u64 > adapter.best_header_height(), "fork header retained");
+    }
+}

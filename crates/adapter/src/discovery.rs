@@ -1,0 +1,208 @@
+//! Bitcoin-node discovery and connection management (§III-B).
+//!
+//! The adapter keeps ℓ connections to uniformly random Bitcoin nodes,
+//! discovered by recursively requesting addresses until the pool holds
+//! `t_u` entries; whenever the pool drops below `t_l`, discovery resumes.
+//! On mainnet `(t_l, t_u, ℓ) = (500, 2000, 5)`. Random selection over a
+//! large pool is what Lemma IV.1's eclipse-resistance argument rests on.
+
+use icbtc_btcnet::{BtcNetwork, ConnId, Message, NodeId};
+use icbtc_core::IntegrationParams;
+use icbtc_sim::SimRng;
+
+/// The discovery state machine and connection pool of one adapter.
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_adapter::discovery::ConnectionManager;
+/// use icbtc_btcnet::network::{BtcNetwork, NetworkConfig};
+/// use icbtc_core::IntegrationParams;
+/// use icbtc_bitcoin::Network;
+/// use icbtc_sim::SimRng;
+///
+/// let mut net = BtcNetwork::new(NetworkConfig::regtest(8), 1);
+/// let params = IntegrationParams::for_network(Network::Regtest).with_connections(3);
+/// let mut rng = SimRng::seed_from(2);
+/// let mut manager = ConnectionManager::new(params);
+/// manager.maintain(&mut net, &mut rng);
+/// assert_eq!(manager.connections().len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct ConnectionManager {
+    params: IntegrationParams,
+    addresses: Vec<NodeId>,
+    connections: Vec<(ConnId, NodeId)>,
+    discovering: bool,
+}
+
+impl ConnectionManager {
+    /// Creates a manager with an empty address pool (discovery pending).
+    pub fn new(params: IntegrationParams) -> ConnectionManager {
+        ConnectionManager { params, addresses: Vec::new(), connections: Vec::new(), discovering: true }
+    }
+
+    /// The current address pool.
+    pub fn addresses(&self) -> &[NodeId] {
+        &self.addresses
+    }
+
+    /// The live connections.
+    pub fn connections(&self) -> &[(ConnId, NodeId)] {
+        &self.connections
+    }
+
+    /// The connection ids only.
+    pub fn connection_ids(&self) -> Vec<ConnId> {
+        self.connections.iter().map(|(c, _)| *c).collect()
+    }
+
+    /// Whether the manager is still collecting addresses.
+    pub fn is_discovering(&self) -> bool {
+        self.discovering
+    }
+
+    /// Ingests addresses learned from `addr` gossip.
+    pub fn learn_addresses(&mut self, addrs: &[NodeId]) {
+        for addr in addrs {
+            if !self.addresses.contains(addr) {
+                self.addresses.push(*addr);
+            }
+        }
+        if self.addresses.len() >= self.params.addr_high_watermark {
+            self.discovering = false;
+        }
+    }
+
+    /// Runs one maintenance pass:
+    ///
+    /// 1. seeds the pool from DNS when empty;
+    /// 2. re-enters discovery if the pool fell below `t_l`, requesting
+    ///    more addresses from connected peers;
+    /// 3. tops connections up to ℓ, choosing targets uniformly at random
+    ///    from the pool (service continues with ≥ 1 connection even while
+    ///    discovery is incomplete, as in the paper).
+    pub fn maintain(&mut self, net: &mut BtcNetwork, rng: &mut SimRng) {
+        // Drop connections the network closed underneath us.
+        self.connections.retain(|(conn, _)| net.external_is_open(*conn));
+
+        if self.addresses.is_empty() {
+            let seeds = net.dns_seed_sample(self.params.addr_high_watermark.max(8));
+            self.learn_addresses(&seeds);
+        }
+        if self.addresses.len() < self.params.addr_low_watermark {
+            self.discovering = true;
+        }
+        if self.discovering {
+            for (conn, _) in &self.connections {
+                net.send_external(*conn, Message::GetAddr);
+            }
+            if self.addresses.len() >= self.params.addr_high_watermark {
+                self.discovering = false;
+            }
+        }
+
+        while self.connections.len() < self.params.connections && !self.addresses.is_empty() {
+            let target = *rng.choose(&self.addresses);
+            if self.connections.iter().any(|(_, n)| *n == target) && self.addresses.len() > self.connections.len() {
+                continue; // avoid duplicate targets while alternatives exist
+            }
+            let conn = net.connect_external(target);
+            self.connections.push((conn, target));
+        }
+    }
+
+    /// Severs one connection (peer failure injection); the next
+    /// [`ConnectionManager::maintain`] pass replaces it.
+    pub fn drop_connection(&mut self, net: &mut BtcNetwork, conn: ConnId) {
+        net.disconnect_external(conn);
+        self.connections.retain(|(c, _)| *c != conn);
+    }
+}
+
+/// Computes the probability that an adapter connecting to `l` uniformly
+/// random nodes sees only corrupted ones, given corruption fraction
+/// `phi` — the quantity behind Lemma IV.1 (`φ^ℓ` per adapter,
+/// `1 − (1 − φ^ℓ)^n` for any of `n` adapters).
+pub fn eclipse_probability(phi: f64, l: usize, n: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&phi), "phi must be a probability");
+    let per_adapter = phi.powi(l as i32);
+    1.0 - (1.0 - per_adapter).powi(n as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icbtc_bitcoin::Network;
+    use icbtc_btcnet::network::NetworkConfig;
+
+    fn setup(nodes: usize, connections: usize) -> (BtcNetwork, ConnectionManager, SimRng) {
+        let net = BtcNetwork::new(NetworkConfig::regtest(nodes), 1);
+        let params = IntegrationParams::for_network(Network::Regtest)
+            .with_connections(connections);
+        (net, ConnectionManager::new(params), SimRng::seed_from(7))
+    }
+
+    #[test]
+    fn reaches_target_connection_count() {
+        let (mut net, mut manager, mut rng) = setup(10, 5);
+        manager.maintain(&mut net, &mut rng);
+        assert_eq!(manager.connections().len(), 5);
+        // Distinct targets when enough addresses exist.
+        let mut targets: Vec<NodeId> = manager.connections().iter().map(|(_, n)| *n).collect();
+        targets.sort();
+        targets.dedup();
+        assert_eq!(targets.len(), 5);
+    }
+
+    #[test]
+    fn replaces_dropped_connections() {
+        let (mut net, mut manager, mut rng) = setup(10, 3);
+        manager.maintain(&mut net, &mut rng);
+        let victim = manager.connections()[0].0;
+        manager.drop_connection(&mut net, victim);
+        assert_eq!(manager.connections().len(), 2);
+        manager.maintain(&mut net, &mut rng);
+        assert_eq!(manager.connections().len(), 3);
+        assert!(!manager.connection_ids().contains(&victim));
+    }
+
+    #[test]
+    fn discovery_stops_at_high_watermark() {
+        let net = BtcNetwork::new(NetworkConfig::regtest(4), 1);
+        let mut params = IntegrationParams::for_network(Network::Regtest);
+        params.addr_low_watermark = 2;
+        params.addr_high_watermark = 3;
+        let mut manager = ConnectionManager::new(params);
+        assert!(manager.is_discovering());
+        manager.learn_addresses(&[NodeId(0), NodeId(1)]);
+        assert!(manager.is_discovering());
+        manager.learn_addresses(&[NodeId(1), NodeId(2)]);
+        assert!(!manager.is_discovering());
+        assert_eq!(manager.addresses().len(), 3, "duplicates ignored");
+        let _ = net;
+    }
+
+    #[test]
+    fn service_with_single_connection_possible() {
+        // Even when the pool cannot reach t_u, connections are made.
+        let (mut net, mut manager, mut rng) = setup(2, 1);
+        manager.maintain(&mut net, &mut rng);
+        assert_eq!(manager.connections().len(), 1);
+    }
+
+    #[test]
+    fn eclipse_probability_formula() {
+        // Lemma IV.1's example: n = 13, l = 5 ⇒ phi ≪ 0.6 keeps the
+        // probability tiny.
+        let p = eclipse_probability(0.1, 5, 13);
+        assert!(p < 1e-3, "{p}");
+        let p = eclipse_probability(0.5, 5, 13);
+        assert!(p < 0.4, "{p}");
+        // Extremes.
+        assert_eq!(eclipse_probability(0.0, 5, 13), 0.0);
+        assert!((eclipse_probability(1.0, 5, 13) - 1.0).abs() < 1e-12);
+        // More links reduce the probability.
+        assert!(eclipse_probability(0.5, 8, 13) < eclipse_probability(0.5, 5, 13));
+    }
+}

@@ -1,0 +1,178 @@
+//! The adapter's outbound-transaction cache (§III-B).
+//!
+//! Transactions the Bitcoin canister wants transmitted are parked here,
+//! advertised to every connected Bitcoin node, and served on `getdata`.
+//! An entry lives until it has been transmitted to all connected peers or
+//! until it expires (10 minutes in production) — the paper's best-effort
+//! strategy, acceptable because mempool admission is never guaranteed.
+
+use std::collections::HashMap;
+
+use icbtc_bitcoin::{Transaction, Txid};
+use icbtc_sim::{SimDuration, SimTime};
+
+/// One cached outbound transaction.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    tx: Transaction,
+    expires_at: SimTime,
+    delivered_to: Vec<u32>,
+}
+
+/// The outbound-transaction cache.
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_adapter::txcache::TransactionCache;
+/// use icbtc_bitcoin::Transaction;
+/// use icbtc_sim::{SimDuration, SimTime};
+///
+/// let mut cache = TransactionCache::new(SimDuration::from_mins(10));
+/// let tx = Transaction::default();
+/// let txid = tx.txid();
+/// cache.insert(tx, SimTime::ZERO);
+/// assert!(cache.get(&txid).is_some());
+/// cache.expire(SimTime::ZERO + SimDuration::from_mins(11));
+/// assert!(cache.get(&txid).is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct TransactionCache {
+    entries: HashMap<Txid, CacheEntry>,
+    expiry: SimDuration,
+}
+
+impl TransactionCache {
+    /// Creates a cache with the given entry lifetime.
+    pub fn new(expiry: SimDuration) -> TransactionCache {
+        TransactionCache { entries: HashMap::new(), expiry }
+    }
+
+    /// Inserts (or refreshes) a transaction at time `now`. Returns its
+    /// txid.
+    pub fn insert(&mut self, tx: Transaction, now: SimTime) -> Txid {
+        let txid = tx.txid();
+        self.entries.insert(
+            txid,
+            CacheEntry { tx, expires_at: now + self.expiry, delivered_to: Vec::new() },
+        );
+        txid
+    }
+
+    /// Looks up a cached transaction.
+    pub fn get(&self, txid: &Txid) -> Option<&Transaction> {
+        self.entries.get(txid).map(|e| &e.tx)
+    }
+
+    /// All cached txids.
+    pub fn txids(&self) -> Vec<Txid> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// Number of cached transactions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records that `txid` was transmitted to connection `conn`; once a
+    /// transaction has reached `total_connections` peers it is dropped.
+    pub fn mark_delivered(&mut self, txid: &Txid, conn: u32, total_connections: usize) {
+        let done = if let Some(entry) = self.entries.get_mut(txid) {
+            if !entry.delivered_to.contains(&conn) {
+                entry.delivered_to.push(conn);
+            }
+            entry.delivered_to.len() >= total_connections && total_connections > 0
+        } else {
+            false
+        };
+        if done {
+            self.entries.remove(txid);
+        }
+    }
+
+    /// Drops entries whose lifetime has passed. Returns how many were
+    /// removed.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.expires_at > now);
+        before - self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icbtc_bitcoin::{Amount, OutPoint, Script, TxIn, TxOut};
+
+    fn tx(n: u8) -> Transaction {
+        Transaction {
+            version: 2,
+            inputs: vec![TxIn::new(OutPoint::new(Txid([n; 32]), 0))],
+            outputs: vec![TxOut::new(Amount::from_sat(100), Script::new_p2wpkh(&[n; 20]))],
+            lock_time: 0,
+        }
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut cache = TransactionCache::new(SimDuration::from_mins(10));
+        let txid = cache.insert(tx(1), SimTime::ZERO);
+        assert_eq!(cache.get(&txid), Some(&tx(1)));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.txids(), vec![txid]);
+    }
+
+    #[test]
+    fn expiry_removes_old_entries() {
+        let mut cache = TransactionCache::new(SimDuration::from_mins(10));
+        let a = cache.insert(tx(1), SimTime::ZERO);
+        let b = cache.insert(tx(2), SimTime::from_secs(300));
+        assert_eq!(cache.expire(SimTime::from_secs(601)), 1);
+        assert!(cache.get(&a).is_none());
+        assert!(cache.get(&b).is_some());
+        // Exactly at the boundary the entry is gone (strict >).
+        assert_eq!(cache.expire(SimTime::from_secs(900)), 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn full_delivery_drops_entry() {
+        let mut cache = TransactionCache::new(SimDuration::from_mins(10));
+        let txid = cache.insert(tx(3), SimTime::ZERO);
+        cache.mark_delivered(&txid, 0, 3);
+        cache.mark_delivered(&txid, 1, 3);
+        assert!(cache.get(&txid).is_some(), "2 of 3 peers served");
+        // Duplicate delivery to the same peer does not count twice.
+        cache.mark_delivered(&txid, 1, 3);
+        assert!(cache.get(&txid).is_some());
+        cache.mark_delivered(&txid, 2, 3);
+        assert!(cache.get(&txid).is_none(), "all peers served");
+    }
+
+    #[test]
+    fn reinsert_refreshes_expiry_and_deliveries() {
+        let mut cache = TransactionCache::new(SimDuration::from_mins(10));
+        let txid = cache.insert(tx(4), SimTime::ZERO);
+        cache.mark_delivered(&txid, 0, 2);
+        cache.insert(tx(4), SimTime::from_secs(540));
+        // Old delivery record was reset; one more delivery is not enough.
+        cache.mark_delivered(&txid, 1, 2);
+        assert!(cache.get(&txid).is_some());
+        // Expiry extended past the original 600s.
+        assert_eq!(cache.expire(SimTime::from_secs(700)), 0);
+        assert!(cache.get(&txid).is_some());
+    }
+
+    #[test]
+    fn zero_connections_never_drops_via_delivery() {
+        let mut cache = TransactionCache::new(SimDuration::from_mins(10));
+        let txid = cache.insert(tx(5), SimTime::ZERO);
+        cache.mark_delivered(&txid, 0, 0);
+        assert!(cache.get(&txid).is_some());
+    }
+}

@@ -1,0 +1,200 @@
+//! Criterion micro-benchmarks for the hot paths behind the paper's
+//! measurements: hashing and PoW checks, secp256k1 and threshold
+//! signing, Merkle trees, UTXO-set ingestion, canister queries, stability
+//! computation, and Algorithm 1.
+//!
+//! ```text
+//! cargo bench -p icbtc-bench
+//! ```
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use icbtc::bitcoin::hash::{sha256, sha256d};
+use icbtc::bitcoin::{merkle_root, Network, Txid};
+use icbtc::canister::{CanisterCall, UtxoSet};
+use icbtc::core::stability::HeaderTree;
+use icbtc::ic::{Meter, MeterBreakdown};
+use icbtc::sim::SimRng;
+use icbtc::tecdsa::ecdsa::PrivateKey;
+use icbtc::tecdsa::protocol::{DerivationPath, ThresholdKey};
+use icbtc::tecdsa::{AffinePoint, Scalar};
+use icbtc_bench::chaingen::{ChainGen, ChainGenConfig};
+use icbtc_bench::workload::build_query_workload;
+
+fn bench_hashing(c: &mut Criterion) {
+    let header = [0x5au8; 80];
+    c.bench_function("sha256_80_bytes", |b| b.iter(|| sha256(std::hint::black_box(&header))));
+    c.bench_function("sha256d_80_bytes(block_hash)", |b| {
+        b.iter(|| sha256d(std::hint::black_box(&header)))
+    });
+    let txids: Vec<Txid> = (0..2500u32)
+        .map(|i| {
+            let mut bytes = [0u8; 32];
+            bytes[..4].copy_from_slice(&i.to_le_bytes());
+            Txid(bytes)
+        })
+        .collect();
+    c.bench_function("merkle_root_2500_txids", |b| {
+        b.iter(|| merkle_root(std::hint::black_box(&txids)))
+    });
+}
+
+fn bench_pow(c: &mut Criterion) {
+    let genesis = Network::Regtest.genesis_block().header;
+    c.bench_function("header_pow_check", |b| {
+        b.iter(|| std::hint::black_box(&genesis).meets_pow_target())
+    });
+}
+
+fn bench_secp256k1(c: &mut Criterion) {
+    let generator = AffinePoint::generator();
+    let scalar = Scalar::from_u64(0xdead_beef_cafe);
+    c.bench_function("secp256k1_scalar_mul", |b| {
+        b.iter(|| std::hint::black_box(&generator).mul(std::hint::black_box(scalar)))
+    });
+    let key = PrivateKey::from_scalar(Scalar::from_u64(31337));
+    let pubkey = key.public_key();
+    let digest = [7u8; 32];
+    c.bench_function("ecdsa_sign", |b| b.iter(|| key.sign(std::hint::black_box(&digest))));
+    let signature = key.sign(&digest);
+    c.bench_function("ecdsa_verify", |b| {
+        b.iter(|| pubkey.verify(std::hint::black_box(&digest), &signature))
+    });
+}
+
+fn bench_threshold(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from(1);
+    let key = ThresholdKey::generate(13, 9, &mut rng);
+    let path = DerivationPath::root();
+    c.bench_function("threshold_ecdsa_13_of_9_full_round", |b| {
+        b.iter_batched(
+            || SimRng::seed_from(2),
+            |mut session_rng| {
+                let session = key.open_ecdsa(&path, [9u8; 32], &mut session_rng);
+                let partials: Vec<_> =
+                    (1..=9).map(|i| session.partial_signature(i)).collect();
+                session.combine(&partials).expect("honest quorum")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_utxoset_ingestion(c: &mut Criterion) {
+    c.bench_function("utxoset_ingest_block_100tx", |b| {
+        b.iter_batched(
+            || {
+                let mut generator =
+                    ChainGen::new(ChainGenConfig::default().scaled_down(25), 3);
+                let mut set = UtxoSet::new(Network::Regtest);
+                let mut height = 0;
+                // Warm the set so removals hit real entries.
+                for _ in 0..5 {
+                    let (txs, _) = generator.next_block();
+                    set.ingest_block(&txs, height, &mut Meter::new(), &mut MeterBreakdown::new());
+                    height += 1;
+                }
+                let (txs, _) = generator.next_block();
+                (set, txs, height)
+            },
+            |(mut set, txs, height)| {
+                set.ingest_block(&txs, height, &mut Meter::new(), &mut MeterBreakdown::new());
+                set.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_canister_queries(c: &mut Criterion) {
+    let workload = build_query_workload(5, 20);
+    let canister = icbtc::canister::BitcoinCanister::from_state(workload.state);
+    let (small_addr, _) = workload.stable_addresses[0];
+    let (big_addr, _) = workload
+        .stable_addresses
+        .iter()
+        .max_by_key(|(_, n)| *n)
+        .cloned()
+        .unwrap();
+    c.bench_function("get_balance_small_address", |b| {
+        b.iter(|| {
+            canister.query(
+                &CanisterCall::GetBalance { address: small_addr, min_confirmations: 0 },
+                &mut Meter::new(),
+            )
+        })
+    });
+    c.bench_function("get_utxos_largest_address", |b| {
+        b.iter(|| {
+            canister.query(
+                &CanisterCall::GetUtxos { address: big_addr, filter: None },
+                &mut Meter::new(),
+            )
+        })
+    });
+}
+
+fn bench_stability(c: &mut Criterion) {
+    // A 60-deep tree with a persistent 20-deep fork: the worst realistic
+    // shape for stability queries near the anchor.
+    let genesis = Network::Regtest.genesis_block().header;
+    let mut tree = HeaderTree::new(genesis);
+    let mut main_parent = genesis;
+    for i in 0..60u32 {
+        let header = icbtc::bitcoin::BlockHeader {
+            version: 2,
+            prev_blockhash: main_parent.block_hash(),
+            merkle_root: icbtc::bitcoin::MerkleRoot([i as u8; 32]),
+            time: main_parent.time + 600,
+            bits: main_parent.bits,
+            nonce: i,
+        };
+        tree.insert(header).unwrap();
+        main_parent = header;
+        if i == 30 {
+            let mut fork_parent = header;
+            for j in 0..20u32 {
+                let fork = icbtc::bitcoin::BlockHeader {
+                    version: 2,
+                    prev_blockhash: fork_parent.block_hash(),
+                    merkle_root: icbtc::bitcoin::MerkleRoot([128 + j as u8; 32]),
+                    time: fork_parent.time + 600,
+                    bits: fork_parent.bits,
+                    nonce: 1000 + j,
+                };
+                tree.insert(fork).unwrap();
+                fork_parent = fork;
+            }
+        }
+    }
+    let root = tree.root();
+    let root_work = tree.header(&root).unwrap().work();
+    let child = tree.children(&root)[0];
+    c.bench_function("confirmation_stability_depth60_fork20", |b| {
+        b.iter(|| tree.confirmation_stability(std::hint::black_box(&child)))
+    });
+    c.bench_function("difficulty_stability_depth60_fork20", |b| {
+        b.iter(|| tree.difficulty_stability(std::hint::black_box(&child), root_work))
+    });
+    c.bench_function("best_chain_depth60_fork20", |b| b.iter(|| tree.best_chain()));
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: several benched operations take
+    // hundreds of µs to ms, and the default 5 s windows make the full
+    // suite needlessly slow for CI-style runs.
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets =
+        bench_hashing,
+        bench_pow,
+        bench_secp256k1,
+        bench_threshold,
+        bench_utxoset_ingestion,
+        bench_canister_queries,
+        bench_stability
+}
+criterion_main!(benches);

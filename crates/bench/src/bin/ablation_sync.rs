@@ -1,0 +1,109 @@
+//! Ablation: multi-block (bulk) vs single-block responses — the
+//! Algorithm 1 design choice behind Lemma IV.3.
+//!
+//! ```text
+//! cargo run --release -p icbtc-bench --bin ablation_sync
+//! ```
+//!
+//! "Returning multiple blocks speeds up the syncing process but returning
+//! only one block is preferable for security reasons" (§III-B). The
+//! harness measures both sides: IC rounds needed to sync a chain in each
+//! mode, and how many attacker fork blocks a *single* Byzantine
+//! block-maker round can inject in each mode.
+
+use icbtc::adapter::BitcoinAdapter;
+use icbtc::btcnet::adversary::SecretForkMiner;
+use icbtc::btcnet::network::{BtcNetwork, NetworkConfig};
+use icbtc::canister::BitcoinCanisterState;
+use icbtc::core::{GetSuccessorsResponse, IntegrationParams};
+use icbtc::ic::Meter;
+use icbtc::sim::metrics::Table;
+use icbtc_bench::report::banner;
+use icbtc::bitcoin::Network;
+use icbtc::sim::{SimDuration, SimTime};
+
+const NOW: u32 = 2_100_000_000;
+
+/// Rounds of request/response until the canister holds the whole chain.
+fn rounds_to_sync(bulk: bool, seed: u64) -> (usize, u64) {
+    let mut net = BtcNetwork::new(NetworkConfig::regtest(3), seed);
+    net.run_until(SimTime::from_secs(10 * 3600)); // ~60 blocks
+    let params = IntegrationParams::for_network(Network::Regtest)
+        .with_bulk_sync_height(if bulk { u64::MAX } else { 0 })
+        .with_connections(2);
+    let mut adapter = BitcoinAdapter::new(params, seed);
+    let mut state = BitcoinCanisterState::new(params);
+    let target = net.best_height();
+    for round in 1..=5000 {
+        adapter.step(&mut net);
+        net.run_until(net.now() + SimDuration::from_secs(1));
+        let request = state.make_request();
+        let response = adapter.handle_request(&mut net, &request);
+        state.process_response(response, NOW, &mut Meter::new());
+        if state.available_tip_height() >= target {
+            return (round, target);
+        }
+    }
+    (usize::MAX, target)
+}
+
+/// Fork blocks a single malicious payload can push into the canister.
+fn fork_blocks_per_malicious_round(bulk: bool) -> usize {
+    let params = IntegrationParams::for_network(Network::Regtest)
+        .with_bulk_sync_height(if bulk { u64::MAX } else { 0 })
+        .with_stability_delta(40);
+    let state = BitcoinCanisterState::new(params);
+    // The attacker pre-mined a 10-block fork from genesis.
+    let honest = icbtc::btcnet::ChainStore::new(Network::Regtest);
+    let mut fork = SecretForkMiner::branch_at(&honest, honest.tip_hash()).expect("genesis");
+    let fork_blocks = fork.extend(10, 1);
+
+    // A Byzantine block maker crafts the response itself — but the
+    // canister enforces the same cap the honest adapter does? No: the cap
+    // is an *adapter-side* rule; the canister accepts what consensus
+    // finalized. The single-block rule is enforced because honest
+    // replicas would not notarize an oversized Bitcoin payload; model
+    // that by the payload the maker can get finalized.
+    let per_round = if bulk { fork_blocks.len() } else { 1 };
+    let mut state = state;
+    let mut accepted = 0;
+    let response = GetSuccessorsResponse {
+        blocks: fork_blocks.into_iter().take(per_round).collect(),
+        next: Vec::new(),
+    };
+    let report = state.process_response(response, NOW, &mut Meter::new());
+    accepted += report.blocks_accepted;
+    accepted
+}
+
+fn main() {
+    banner(
+        "ablation_sync",
+        "§III-B design choice: bulk vs single-block responses (speed vs Lemma IV.3)",
+    );
+    let mut table = Table::new(vec![
+        "mode",
+        "rounds to sync ~60 blocks",
+        "fork blocks injectable per Byzantine round",
+    ]);
+    let (bulk_rounds, height) = rounds_to_sync(true, 21);
+    let (single_rounds, _) = rounds_to_sync(false, 21);
+    table.row(vec![
+        "bulk (below hard-coded height)".into(),
+        format!("{bulk_rounds} (chain height {height})"),
+        fork_blocks_per_malicious_round(true).to_string(),
+    ]);
+    table.row(vec![
+        "single-block (above it)".into(),
+        format!("{single_rounds}"),
+        fork_blocks_per_malicious_round(false).to_string(),
+    ]);
+    println!("\n{table}");
+    println!(
+        "bulk mode syncs in far fewer rounds, but lets one Byzantine block maker\n\
+         inject a whole fork at once; with one block per round the attack needs\n\
+         c* consecutive Byzantine makers (probability < 3^-c*, Lemma IV.3) —\n\
+         hence the production rule: bulk only below the hard-coded height, where\n\
+         the chain is immutable history anyway."
+    );
+}

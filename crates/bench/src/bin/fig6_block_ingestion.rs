@@ -1,0 +1,82 @@
+//! Figure 6: instructions per ingested block (left) and the
+//! output-insertion / input-removal split (right).
+//!
+//! ```text
+//! cargo run --release -p icbtc-bench --bin fig6_block_ingestion
+//! ```
+//!
+//! The paper measures ≈ 21.6 billion WebAssembly instructions per
+//! ingested mainnet block over six months, with roughly half spent on
+//! output insertions and half on input removals. The harness ingests a
+//! full-volume synthetic stream under the calibrated instruction model
+//! and prints both series.
+
+use icbtc::bitcoin::Network;
+use icbtc::canister::UtxoSet;
+use icbtc::ic::{Meter, MeterBreakdown};
+use icbtc::sim::metrics::{humanize, Histogram, Series};
+use icbtc_bench::chaingen::{ChainGen, ChainGenConfig};
+use icbtc_bench::report::{banner, Comparison};
+
+fn main() {
+    banner(
+        "fig6_block_ingestion",
+        "Figure 6 (instructions per ingested block; insertion/removal split)",
+    );
+
+    // Full mainnet per-block volume; six simulated months of Figure 6
+    // would be ~26k blocks — 200 suffice for stable statistics.
+    const BLOCKS: u64 = 200;
+    let mut generator = ChainGen::new(ChainGenConfig::default(), 6);
+    let mut set = UtxoSet::new(Network::Regtest);
+
+    let mut per_block = Series::new("instructions_vs_block");
+    let mut histogram = Histogram::new();
+    let mut split = MeterBreakdown::new();
+    let mut insert_series = Series::new("output_insertion_instructions_vs_block");
+    let mut remove_series = Series::new("input_removal_instructions_vs_block");
+
+    for height in 0..BLOCKS {
+        let (txs, _) = generator.next_block();
+        let mut meter = Meter::new();
+        let mut breakdown = MeterBreakdown::new();
+        set.ingest_block(&txs, height, &mut meter, &mut breakdown);
+        let total = meter.instructions();
+        histogram.record(total as f64);
+        per_block.push(height as f64, total as f64);
+        insert_series.push(height as f64, breakdown.get("output_insertion") as f64);
+        remove_series.push(height as f64, breakdown.get("input_removal") as f64);
+        for (label, value) in breakdown.entries() {
+            split.add(label, *value);
+        }
+    }
+
+    println!("\n{per_block}");
+    println!("{insert_series}");
+    println!("{remove_series}");
+
+    let insert = split.get("output_insertion") as f64;
+    let remove = split.get("input_removal") as f64;
+    let mut comparison = Comparison::new();
+    comparison.row(
+        "avg instructions per block",
+        "≈ 21.6B",
+        humanize(histogram.mean()),
+    );
+    comparison.row(
+        "min / max per block",
+        "varies with block size",
+        format!("{} / {}", humanize(histogram.min()), humanize(histogram.max())),
+    );
+    comparison.row(
+        "output-insertion share",
+        "≈ 50%",
+        format!("{:.0}%", 100.0 * insert / (insert + remove)),
+    );
+    comparison.row(
+        "input-removal share",
+        "≈ 50%",
+        format!("{:.0}%", 100.0 * remove / (insert + remove)),
+    );
+    comparison.print("paper vs measured (Figure 6)");
+}

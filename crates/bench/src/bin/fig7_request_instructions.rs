@@ -1,0 +1,81 @@
+//! Figure 7 (right): instructions executed for replicated UTXO requests
+//! versus response size, with the stable/unstable bifurcation.
+//!
+//! ```text
+//! cargo run --release -p icbtc-bench --bin fig7_request_instructions [scale]
+//! ```
+//!
+//! The paper measures 5.84·10⁶ – 4.76·10⁸ instructions per `get_utxos`
+//! call, clearly correlated with response size and bifurcated between
+//! UTXOs served from the large stable set and UTXOs found in unstable
+//! blocks (the latter are cheaper to fetch). The harness meters the same
+//! call over the skewed workload and prints one series per region.
+
+use icbtc::canister::{BitcoinCanister, CanisterCall, CanisterReply};
+use icbtc::ic::Meter;
+use icbtc::sim::metrics::{humanize, Histogram, Series};
+use icbtc_bench::report::{banner, Comparison};
+use icbtc_bench::workload::build_query_workload;
+
+fn main() {
+    banner(
+        "fig7_request_instructions",
+        "Figure 7 right (instructions per get_utxos vs response size, stable/unstable split)",
+    );
+    let scale: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    println!("workload scale: 1/{scale} of the paper's UTXO counts\n");
+
+    let workload = build_query_workload(11, scale);
+    let canister = BitcoinCanister::from_state(workload.state);
+
+    let mut stable_series = Series::new("instructions_vs_utxos(stable_set)");
+    let mut unstable_series = Series::new("instructions_vs_utxos(unstable_blocks)");
+    let mut all = Histogram::new();
+    let mut per_utxo_stable = Histogram::new();
+    let mut per_utxo_unstable = Histogram::new();
+
+    for (addresses, series, per_utxo) in [
+        (&workload.stable_addresses, &mut stable_series, &mut per_utxo_stable),
+        (&workload.unstable_addresses, &mut unstable_series, &mut per_utxo_unstable),
+    ] {
+        for (address, _) in addresses {
+            let mut meter = Meter::new();
+            let outcome = canister.query(
+                &CanisterCall::GetUtxos { address: *address, filter: None },
+                &mut meter,
+            );
+            let Ok(CanisterReply::Utxos(response)) = outcome.reply else {
+                panic!("query failed");
+            };
+            let instructions = meter.instructions() as f64;
+            all.record(instructions);
+            series.push(response.utxos.len() as f64, instructions);
+            if !response.utxos.is_empty() {
+                per_utxo.record(instructions / response.utxos.len() as f64);
+            }
+        }
+    }
+
+    println!("{stable_series}");
+    println!("{unstable_series}");
+
+    let mut comparison = Comparison::new();
+    comparison.row("min instructions", "5.84e6", humanize(all.min()));
+    comparison.row("max instructions", "4.76e8", humanize(all.max()));
+    comparison.row(
+        "bifurcation (per-UTXO cost, stable vs unstable)",
+        "stable several× costlier",
+        format!(
+            "{} vs {} instr/UTXO ({:.1}×)",
+            humanize(per_utxo_stable.median()),
+            humanize(per_utxo_unstable.median()),
+            per_utxo_stable.median() / per_utxo_unstable.median().max(1.0)
+        ),
+    );
+    comparison.row(
+        "correlation with response size",
+        "clear",
+        "linear by construction of the cost model",
+    );
+    comparison.print("paper vs measured (Figure 7 right)");
+}

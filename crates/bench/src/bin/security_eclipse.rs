@@ -1,0 +1,63 @@
+//! Lemma IV.1: eclipse resistance of random adapter connections.
+//!
+//! ```text
+//! cargo run --release -p icbtc-bench --bin security_eclipse
+//! ```
+//!
+//! The lemma: with every adapter connecting to ℓ uniformly random Bitcoin
+//! nodes and the corrupted fraction φ ≪ n^{-1/ℓ}, every adapter reaches a
+//! correct node with overwhelming probability. The harness sweeps φ, ℓ
+//! and n, comparing the closed form `1 − (1 − φ^ℓ)^n` against Monte-Carlo
+//! sampling of the actual discovery selection.
+
+use icbtc::adapter::eclipse_probability;
+use icbtc::sim::metrics::Table;
+use icbtc::sim::SimRng;
+use icbtc_bench::report::banner;
+
+fn monte_carlo(phi: f64, l: usize, n: usize, trials: usize, rng: &mut SimRng) -> f64 {
+    let pool = 10_000usize;
+    let corrupted = (pool as f64 * phi) as usize;
+    let mut eclipsed = 0usize;
+    for _ in 0..trials {
+        let mut any_adapter_eclipsed = false;
+        for _ in 0..n {
+            let picks = rng.sample_indices(pool, l);
+            if picks.iter().all(|&p| p < corrupted) {
+                any_adapter_eclipsed = true;
+                break;
+            }
+        }
+        if any_adapter_eclipsed {
+            eclipsed += 1;
+        }
+    }
+    eclipsed as f64 / trials as f64
+}
+
+fn main() {
+    banner("security_eclipse", "Lemma IV.1 (eclipse probability vs φ, ℓ, n)");
+    let mut rng = SimRng::seed_from(42);
+    let mut table = Table::new(vec!["n", "l", "phi", "closed form", "monte carlo (20k trials)"]);
+    for &n in &[13usize, 40] {
+        for &l in &[3usize, 5, 8] {
+            for &phi in &[0.1f64, 0.3, 0.5, 0.6, 0.8] {
+                let closed = eclipse_probability(phi, l, n);
+                let measured = monte_carlo(phi, l, n, 20_000, &mut rng);
+                table.row(vec![
+                    n.to_string(),
+                    l.to_string(),
+                    format!("{phi:.1}"),
+                    format!("{closed:.5}"),
+                    format!("{measured:.5}"),
+                ]);
+            }
+        }
+    }
+    println!("\n{table}");
+    println!(
+        "paper: for n = 13, ℓ = 5 the requirement is φ ≪ 0.6 — the closed form\n\
+         confirms the eclipse probability is negligible well below that bound,\n\
+         and ℓ ∈ Θ(log n) (e.g. ℓ = 8 at n = 40) restores any constant margin."
+    );
+}

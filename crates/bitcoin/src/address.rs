@@ -1,0 +1,525 @@
+//! Bitcoin addresses: Base58Check and Bech32/Bech32m encoding.
+//!
+//! The Bitcoin canister's `get_utxos`/`get_balance` API is keyed by
+//! address (§III-C), so the reproduction implements the full standard
+//! address forms: legacy Base58Check (P2PKH, P2SH) and segwit Bech32
+//! (P2WPKH, P2WSH) / Bech32m (P2TR).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::hash::sha256d;
+use crate::network::Network;
+use crate::script::{Script, ScriptKind};
+
+// ---------------------------------------------------------------------------
+// Base58Check
+// ---------------------------------------------------------------------------
+
+const BASE58_ALPHABET: &[u8; 58] = b"123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+
+/// Encodes `payload` (version byte already included) in Base58Check.
+pub fn base58check_encode(payload: &[u8]) -> String {
+    let checksum = sha256d(payload);
+    let mut data = payload.to_vec();
+    data.extend_from_slice(&checksum[..4]);
+
+    // Count leading zero bytes: each maps to a literal '1'.
+    let leading_zeros = data.iter().take_while(|&&b| b == 0).count();
+
+    // Repeated division by 58 over the big-endian byte string.
+    let mut digits: Vec<u8> = Vec::new();
+    let mut number = data[leading_zeros..].to_vec();
+    while !number.is_empty() {
+        let mut remainder = 0u32;
+        let mut next = Vec::with_capacity(number.len());
+        for &byte in &number {
+            let acc = remainder * 256 + byte as u32;
+            let q = acc / 58;
+            remainder = acc % 58;
+            if !next.is_empty() || q != 0 {
+                next.push(q as u8);
+            }
+        }
+        digits.push(remainder as u8);
+        number = next;
+    }
+    let mut out = String::with_capacity(leading_zeros + digits.len());
+    for _ in 0..leading_zeros {
+        out.push('1');
+    }
+    for &d in digits.iter().rev() {
+        out.push(BASE58_ALPHABET[d as usize] as char);
+    }
+    out
+}
+
+/// Decodes a Base58Check string, verifying the checksum. Returns the
+/// payload with version byte, or `None` on any malformation.
+pub fn base58check_decode(s: &str) -> Option<Vec<u8>> {
+    let mut digits = Vec::with_capacity(s.len());
+    for c in s.bytes() {
+        let value = BASE58_ALPHABET.iter().position(|&a| a == c)?;
+        digits.push(value as u8);
+    }
+    let leading_ones = digits.iter().take_while(|&&d| d == 0).count();
+
+    // Repeated multiplication by 58.
+    let mut bytes: Vec<u8> = Vec::new();
+    for &digit in &digits[leading_ones..] {
+        let mut carry = digit as u32;
+        for b in bytes.iter_mut().rev() {
+            let acc = *b as u32 * 58 + carry;
+            *b = acc as u8;
+            carry = acc >> 8;
+        }
+        while carry > 0 {
+            bytes.insert(0, carry as u8);
+            carry >>= 8;
+        }
+    }
+    let mut data = vec![0u8; leading_ones];
+    data.extend_from_slice(&bytes);
+    if data.len() < 4 {
+        return None;
+    }
+    let (payload, checksum) = data.split_at(data.len() - 4);
+    if &sha256d(payload)[..4] != checksum {
+        return None;
+    }
+    Some(payload.to_vec())
+}
+
+// ---------------------------------------------------------------------------
+// Bech32 / Bech32m (BIP-173 / BIP-350)
+// ---------------------------------------------------------------------------
+
+const BECH32_CHARSET: &[u8; 32] = b"qpzry9x8gf2tvdw0s3jn54khce6mua7l";
+const BECH32_CONST: u32 = 1;
+const BECH32M_CONST: u32 = 0x2bc830a3;
+
+fn bech32_polymod(values: &[u8]) -> u32 {
+    const GEN: [u32; 5] = [0x3b6a57b2, 0x26508e6d, 0x1ea119fa, 0x3d4233dd, 0x2a1462b3];
+    let mut chk: u32 = 1;
+    for &v in values {
+        let top = chk >> 25;
+        chk = (chk & 0x1ff_ffff) << 5 ^ v as u32;
+        for (i, g) in GEN.iter().enumerate() {
+            if (top >> i) & 1 == 1 {
+                chk ^= g;
+            }
+        }
+    }
+    chk
+}
+
+fn bech32_hrp_expand(hrp: &str) -> Vec<u8> {
+    let mut out: Vec<u8> = hrp.bytes().map(|b| b >> 5).collect();
+    out.push(0);
+    out.extend(hrp.bytes().map(|b| b & 0x1f));
+    out
+}
+
+/// Regroups bits: converts `data` from `from`-bit groups to `to`-bit
+/// groups. With `pad`, a final partial group is zero-padded; without, a
+/// non-zero partial group is an error.
+fn convert_bits(data: &[u8], from: u32, to: u32, pad: bool) -> Option<Vec<u8>> {
+    let mut acc: u32 = 0;
+    let mut bits: u32 = 0;
+    let mut out = Vec::new();
+    let maxv = (1u32 << to) - 1;
+    for &value in data {
+        if (value as u32) >> from != 0 {
+            return None;
+        }
+        acc = (acc << from) | value as u32;
+        bits += from;
+        while bits >= to {
+            bits -= to;
+            out.push(((acc >> bits) & maxv) as u8);
+        }
+    }
+    if pad {
+        if bits > 0 {
+            out.push(((acc << (to - bits)) & maxv) as u8);
+        }
+    } else if bits >= from || ((acc << (to - bits)) & maxv) != 0 {
+        return None;
+    }
+    Some(out)
+}
+
+/// Encodes a segwit address: HRP, witness version, program.
+pub fn segwit_encode(hrp: &str, witness_version: u8, program: &[u8]) -> String {
+    let mut data = vec![witness_version];
+    data.extend(convert_bits(program, 8, 5, true).expect("8-bit input always converts"));
+    let spec = if witness_version == 0 { BECH32_CONST } else { BECH32M_CONST };
+    let mut values = bech32_hrp_expand(hrp);
+    values.extend_from_slice(&data);
+    values.extend_from_slice(&[0; 6]);
+    let polymod = bech32_polymod(&values) ^ spec;
+    let mut out = String::from(hrp);
+    out.push('1');
+    for &d in &data {
+        out.push(BECH32_CHARSET[d as usize] as char);
+    }
+    for i in 0..6 {
+        out.push(BECH32_CHARSET[((polymod >> (5 * (5 - i))) & 0x1f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a segwit address, returning `(hrp, witness_version, program)`.
+/// Enforces the BIP-173/350 rules: checksum spec by version, program
+/// lengths, case consistency.
+pub fn segwit_decode(address: &str) -> Option<(String, u8, Vec<u8>)> {
+    // Mixed case is invalid.
+    if address.bytes().any(|b| b.is_ascii_uppercase())
+        && address.bytes().any(|b| b.is_ascii_lowercase())
+    {
+        return None;
+    }
+    let address = address.to_ascii_lowercase();
+    let sep = address.rfind('1')?;
+    if sep == 0 || sep + 7 > address.len() || address.len() > 90 {
+        return None;
+    }
+    let (hrp, rest) = address.split_at(sep);
+    let rest = &rest[1..];
+    let mut data = Vec::with_capacity(rest.len());
+    for c in rest.bytes() {
+        data.push(BECH32_CHARSET.iter().position(|&a| a == c)? as u8);
+    }
+    let mut values = bech32_hrp_expand(hrp);
+    values.extend_from_slice(&data);
+    let polymod = bech32_polymod(&values);
+    let witness_version = data[0];
+    let spec = if witness_version == 0 { BECH32_CONST } else { BECH32M_CONST };
+    if polymod != spec || witness_version > 16 {
+        return None;
+    }
+    let program = convert_bits(&data[1..data.len() - 6], 5, 8, false)?;
+    if program.len() < 2 || program.len() > 40 {
+        return None;
+    }
+    if witness_version == 0 && program.len() != 20 && program.len() != 32 {
+        return None;
+    }
+    Some((hrp.to_string(), witness_version, program))
+}
+
+// ---------------------------------------------------------------------------
+// Address
+// ---------------------------------------------------------------------------
+
+/// The payload of a standard address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AddressKind {
+    /// Legacy pay-to-pubkey-hash.
+    P2pkh([u8; 20]),
+    /// Legacy pay-to-script-hash.
+    P2sh([u8; 20]),
+    /// Segwit v0 key hash.
+    P2wpkh([u8; 20]),
+    /// Segwit v0 script hash.
+    P2wsh([u8; 32]),
+    /// Segwit v1 (taproot) output key.
+    P2tr([u8; 32]),
+}
+
+/// A Bitcoin address: a standard output template bound to a network.
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_bitcoin::{Address, AddressKind, Network};
+/// let addr = Address::new(Network::Mainnet, AddressKind::P2wpkh([7; 20]));
+/// let shown = addr.to_string();
+/// assert!(shown.starts_with("bc1q"));
+/// assert_eq!(shown.parse::<Address>().unwrap(), addr);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Address {
+    /// The network the address belongs to.
+    pub network: Network,
+    /// The address payload.
+    pub kind: AddressKind,
+}
+
+impl Address {
+    /// Creates an address.
+    pub const fn new(network: Network, kind: AddressKind) -> Address {
+        Address { network, kind }
+    }
+
+    /// Returns the locking script this address stands for.
+    pub fn script_pubkey(&self) -> Script {
+        match &self.kind {
+            AddressKind::P2pkh(h) => Script::new_p2pkh(h),
+            AddressKind::P2sh(h) => Script::new_p2sh(h),
+            AddressKind::P2wpkh(h) => Script::new_p2wpkh(h),
+            AddressKind::P2wsh(h) => Script::new_p2wsh(h),
+            AddressKind::P2tr(k) => Script::new_p2tr(k),
+        }
+    }
+
+    /// Derives the address represented by a locking script, if it matches a
+    /// standard template.
+    pub fn from_script(script: &Script, network: Network) -> Option<Address> {
+        let kind = match script.classify() {
+            ScriptKind::P2pkh(h) => AddressKind::P2pkh(h),
+            ScriptKind::P2sh(h) => AddressKind::P2sh(h),
+            ScriptKind::P2wpkh(h) => AddressKind::P2wpkh(h),
+            ScriptKind::P2wsh(h) => AddressKind::P2wsh(h),
+            ScriptKind::P2tr(k) => AddressKind::P2tr(k),
+            ScriptKind::OpReturn | ScriptKind::NonStandard => return None,
+        };
+        Some(Address { network, kind })
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let params = self.network.params();
+        match &self.kind {
+            AddressKind::P2pkh(h) => {
+                let mut payload = vec![params.p2pkh_version];
+                payload.extend_from_slice(h);
+                write!(f, "{}", base58check_encode(&payload))
+            }
+            AddressKind::P2sh(h) => {
+                let mut payload = vec![params.p2sh_version];
+                payload.extend_from_slice(h);
+                write!(f, "{}", base58check_encode(&payload))
+            }
+            AddressKind::P2wpkh(h) => write!(f, "{}", segwit_encode(params.bech32_hrp, 0, h)),
+            AddressKind::P2wsh(h) => write!(f, "{}", segwit_encode(params.bech32_hrp, 0, h)),
+            AddressKind::P2tr(k) => write!(f, "{}", segwit_encode(params.bech32_hrp, 1, k)),
+        }
+    }
+}
+
+/// Error parsing an address string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAddressError;
+
+impl fmt::Display for ParseAddressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unrecognized or malformed bitcoin address")
+    }
+}
+
+impl std::error::Error for ParseAddressError {}
+
+impl FromStr for Address {
+    type Err = ParseAddressError;
+
+    fn from_str(s: &str) -> Result<Address, ParseAddressError> {
+        // Try bech32 first.
+        if let Some((hrp, version, program)) = segwit_decode(s) {
+            let network = match hrp.as_str() {
+                "bc" => Network::Mainnet,
+                "tb" => Network::Testnet,
+                "bcrt" => Network::Regtest,
+                _ => return Err(ParseAddressError),
+            };
+            let kind = match (version, program.len()) {
+                (0, 20) => {
+                    let mut h = [0u8; 20];
+                    h.copy_from_slice(&program);
+                    AddressKind::P2wpkh(h)
+                }
+                (0, 32) => {
+                    let mut h = [0u8; 32];
+                    h.copy_from_slice(&program);
+                    AddressKind::P2wsh(h)
+                }
+                (1, 32) => {
+                    let mut k = [0u8; 32];
+                    k.copy_from_slice(&program);
+                    AddressKind::P2tr(k)
+                }
+                _ => return Err(ParseAddressError),
+            };
+            return Ok(Address { network, kind });
+        }
+        // Fall back to base58check.
+        let payload = base58check_decode(s).ok_or(ParseAddressError)?;
+        if payload.len() != 21 {
+            return Err(ParseAddressError);
+        }
+        let mut hash = [0u8; 20];
+        hash.copy_from_slice(&payload[1..]);
+        // Testnet and regtest share version bytes; testnet is the
+        // canonical interpretation, as in Bitcoin tooling.
+        let (network, kind) = match payload[0] {
+            0x00 => (Network::Mainnet, AddressKind::P2pkh(hash)),
+            0x05 => (Network::Mainnet, AddressKind::P2sh(hash)),
+            0x6f => (Network::Testnet, AddressKind::P2pkh(hash)),
+            0xc4 => (Network::Testnet, AddressKind::P2sh(hash)),
+            _ => return Err(ParseAddressError),
+        };
+        Ok(Address { network, kind })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY1_HASH: [u8; 20] = [
+        0x75, 0x1e, 0x76, 0xe8, 0x19, 0x91, 0x96, 0xd4, 0x54, 0x94, 0x1c, 0x45, 0xd1, 0xb3, 0xa3,
+        0x23, 0xf1, 0x43, 0x3b, 0xd6,
+    ];
+
+    #[test]
+    fn base58_known_vector() {
+        // P2PKH address of private key 1 (widely published).
+        let mut payload = vec![0x00];
+        payload.extend_from_slice(&KEY1_HASH);
+        assert_eq!(base58check_encode(&payload), "1BgGZ9tcN4rm9KBzDn7KprQz87SZ26SAMH");
+        assert_eq!(
+            base58check_decode("1BgGZ9tcN4rm9KBzDn7KprQz87SZ26SAMH").unwrap(),
+            payload
+        );
+    }
+
+    #[test]
+    fn base58_rejects_bad_checksum_and_chars() {
+        assert_eq!(base58check_decode("1BgGZ9tcN4rm9KBzDn7KprQz87SZ26SAMh"), None);
+        assert_eq!(base58check_decode("0OIl"), None);
+        assert_eq!(base58check_decode(""), None);
+        assert_eq!(base58check_decode("11"), None); // too short for checksum
+    }
+
+    #[test]
+    fn base58_leading_zeros_roundtrip() {
+        let payload = vec![0x00, 0x00, 0x00, 0x07, 0x09];
+        let encoded = base58check_encode(&payload);
+        assert!(encoded.starts_with("111"));
+        assert_eq!(base58check_decode(&encoded).unwrap(), payload);
+    }
+
+    #[test]
+    fn bech32_bip173_vector() {
+        // BIP-173 P2WPKH example.
+        assert_eq!(
+            segwit_encode("bc", 0, &KEY1_HASH),
+            "bc1qw508d6qejxtdg4y5r3zarvary0c5xw7kv8f3t4"
+        );
+        let (hrp, v, prog) = segwit_decode("bc1qw508d6qejxtdg4y5r3zarvary0c5xw7kv8f3t4").unwrap();
+        assert_eq!((hrp.as_str(), v), ("bc", 0));
+        assert_eq!(prog, KEY1_HASH);
+        // Uppercase form is also valid.
+        assert!(segwit_decode("BC1QW508D6QEJXTDG4Y5R3ZARVARY0C5XW7KV8F3T4").is_some());
+    }
+
+    #[test]
+    fn bech32m_v1_roundtrip_and_spec_separation() {
+        let program = [0xabu8; 32];
+        let encoded = segwit_encode("bc", 1, &program);
+        assert!(encoded.starts_with("bc1p"));
+        let (_, v, prog) = segwit_decode(&encoded).unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(prog, program);
+        // A v1 address with a bech32 (not bech32m) checksum must fail: take
+        // the v0 encoding and flip the version character.
+        let v0 = segwit_encode("bc", 0, &program);
+        let forged: String = v0.replacen("bc1q", "bc1p", 1);
+        assert_eq!(segwit_decode(&forged), None);
+    }
+
+    #[test]
+    fn bech32_rejects_mixed_case_and_garbage() {
+        assert_eq!(segwit_decode("bc1Qw508d6qejxtdg4y5r3zarvary0c5xw7kv8f3t4"), None);
+        assert_eq!(segwit_decode("bc1qw508d6qejxtdg4y5r3zarvary0c5xw7kv8f3t5"), None);
+        assert_eq!(segwit_decode("1qqqqq"), None);
+        assert_eq!(segwit_decode(""), None);
+    }
+
+    #[test]
+    fn address_display_parse_roundtrip_all_kinds() {
+        let kinds = [
+            AddressKind::P2pkh([1; 20]),
+            AddressKind::P2sh([2; 20]),
+            AddressKind::P2wpkh([3; 20]),
+            AddressKind::P2wsh([4; 32]),
+            AddressKind::P2tr([5; 32]),
+        ];
+        for network in [Network::Mainnet, Network::Testnet, Network::Regtest] {
+            for kind in kinds {
+                let addr = Address::new(network, kind);
+                let shown = addr.to_string();
+                let parsed: Address = shown.parse().unwrap();
+                // Base58 testnet/regtest share version bytes; compare via
+                // script equivalence in that case.
+                if network == Network::Regtest
+                    && matches!(kind, AddressKind::P2pkh(_) | AddressKind::P2sh(_))
+                {
+                    assert_eq!(parsed.kind, addr.kind);
+                } else {
+                    assert_eq!(parsed, addr);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn address_script_roundtrip() {
+        let addr = Address::new(Network::Mainnet, AddressKind::P2wpkh(KEY1_HASH));
+        let script = addr.script_pubkey();
+        assert_eq!(Address::from_script(&script, Network::Mainnet), Some(addr));
+        assert_eq!(
+            Address::from_script(&Script::new_op_return(b"no"), Network::Mainnet),
+            None
+        );
+    }
+
+    #[test]
+    fn parse_error_display() {
+        let err = "garbage".parse::<Address>().unwrap_err();
+        assert!(!err.to_string().is_empty());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn base58_roundtrip(payload in proptest::collection::vec(any::<u8>(), 1..64)) {
+                let encoded = base58check_encode(&payload);
+                prop_assert_eq!(base58check_decode(&encoded), Some(payload));
+            }
+
+            #[test]
+            fn bech32_roundtrip_v0_20(prog in proptest::array::uniform20(any::<u8>())) {
+                let encoded = segwit_encode("tb", 0, &prog);
+                let (hrp, v, back) = segwit_decode(&encoded).unwrap();
+                prop_assert_eq!((hrp.as_str(), v), ("tb", 0));
+                prop_assert_eq!(back, prog.to_vec());
+            }
+
+            #[test]
+            fn bech32m_roundtrip_v1_32(prog in proptest::array::uniform32(any::<u8>())) {
+                let encoded = segwit_encode("bcrt", 1, &prog);
+                let (hrp, v, back) = segwit_decode(&encoded).unwrap();
+                prop_assert_eq!((hrp.as_str(), v), ("bcrt", 1));
+                prop_assert_eq!(back, prog.to_vec());
+            }
+
+            /// Single-character corruption never passes checksum validation.
+            #[test]
+            fn bech32_detects_corruption(prog in proptest::array::uniform20(any::<u8>()), pos in 4usize..30, c in 0usize..32) {
+                let encoded = segwit_encode("bc", 0, &prog);
+                let mut chars: Vec<u8> = encoded.into_bytes();
+                let replacement = BECH32_CHARSET[c];
+                if chars[pos] != replacement {
+                    chars[pos] = replacement;
+                    let corrupted = String::from_utf8(chars).unwrap();
+                    prop_assert_eq!(segwit_decode(&corrupted), None);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Network parameters and deterministic genesis blocks.
+//!
+//! The three networks mirror the paper's deployment targets (§III-C: the
+//! Bitcoin canister serves mainnet, testnet and regtest). Because this
+//! workspace *simulates* the Bitcoin network, the proof-of-work limits are
+//! scaled down so that block production costs a handful of hashes; all
+//! stability arithmetic is relative to per-block work, which this scaling
+//! preserves (see DESIGN.md §1).
+
+use std::fmt;
+use std::sync::OnceLock;
+
+use crate::block::{merkle_root, Block, BlockHeader};
+use crate::hash::BlockHash;
+use crate::pow::CompactTarget;
+use crate::script::Script;
+use crate::tx::{Amount, OutPoint, Transaction, TxIn, TxOut};
+
+/// The Bitcoin network a component operates on.
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_bitcoin::Network;
+/// let genesis = Network::Mainnet.genesis_block();
+/// assert!(genesis.header.meets_pow_target());
+/// assert_eq!(genesis.header.prev_blockhash, icbtc_bitcoin::BlockHash::ZERO);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Network {
+    /// The simulated main network.
+    Mainnet,
+    /// The simulated test network.
+    Testnet,
+    /// Local-testing network with near-trivial difficulty.
+    Regtest,
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Network::Mainnet => write!(f, "mainnet"),
+            Network::Testnet => write!(f, "testnet"),
+            Network::Regtest => write!(f, "regtest"),
+        }
+    }
+}
+
+/// Consensus parameters for a network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Params {
+    /// The network these parameters describe.
+    pub network: Network,
+    /// Easiest allowed target in compact form.
+    pub pow_limit: CompactTarget,
+    /// Blocks per difficulty retarget interval.
+    pub retarget_interval: u32,
+    /// Intended seconds between blocks.
+    pub target_spacing_secs: u64,
+    /// Base58 version byte for P2PKH addresses.
+    pub p2pkh_version: u8,
+    /// Base58 version byte for P2SH addresses.
+    pub p2sh_version: u8,
+    /// Bech32 human-readable part for segwit addresses.
+    pub bech32_hrp: &'static str,
+    /// Coinbase subsidy paid per block in the simulation.
+    pub block_subsidy: Amount,
+}
+
+impl Params {
+    /// Returns the parameters for `network`.
+    pub const fn for_network(network: Network) -> Params {
+        match network {
+            Network::Mainnet => Params {
+                network,
+                // Scaled-down difficulty: ~2^16 hashes expected per block.
+                pow_limit: CompactTarget::from_consensus(0x1f00ffff),
+                retarget_interval: 2016,
+                target_spacing_secs: 600,
+                p2pkh_version: 0x00,
+                p2sh_version: 0x05,
+                bech32_hrp: "bc",
+                block_subsidy: Amount::from_btc_int(3),
+            },
+            Network::Testnet => Params {
+                network,
+                pow_limit: CompactTarget::from_consensus(0x2000ffff),
+                retarget_interval: 2016,
+                target_spacing_secs: 600,
+                p2pkh_version: 0x6f,
+                p2sh_version: 0xc4,
+                bech32_hrp: "tb",
+                block_subsidy: Amount::from_btc_int(3),
+            },
+            Network::Regtest => Params {
+                network,
+                pow_limit: CompactTarget::from_consensus(0x207fffff),
+                retarget_interval: 2016,
+                target_spacing_secs: 600,
+                p2pkh_version: 0x6f,
+                p2sh_version: 0xc4,
+                bech32_hrp: "bcrt",
+                block_subsidy: Amount::from_btc_int(50),
+            },
+        }
+    }
+
+    /// Expected seconds per retarget interval.
+    pub const fn expected_timespan_secs(&self) -> u64 {
+        self.retarget_interval as u64 * self.target_spacing_secs
+    }
+}
+
+impl Network {
+    /// Returns the consensus parameters for this network.
+    pub const fn params(self) -> Params {
+        Params::for_network(self)
+    }
+
+    /// Returns the canonical genesis block, mined deterministically on
+    /// first use and cached.
+    pub fn genesis_block(self) -> &'static Block {
+        static MAINNET: OnceLock<Block> = OnceLock::new();
+        static TESTNET: OnceLock<Block> = OnceLock::new();
+        static REGTEST: OnceLock<Block> = OnceLock::new();
+        let cell = match self {
+            Network::Mainnet => &MAINNET,
+            Network::Testnet => &TESTNET,
+            Network::Regtest => &REGTEST,
+        };
+        cell.get_or_init(|| mine_genesis(self))
+    }
+
+    /// Returns the genesis block hash.
+    pub fn genesis_hash(self) -> BlockHash {
+        self.genesis_block().block_hash()
+    }
+}
+
+/// Deterministically mines the genesis block for `network` by scanning
+/// nonces from zero. With the scaled-down pow limits this takes well under
+/// a millisecond.
+fn mine_genesis(network: Network) -> Block {
+    let params = network.params();
+    let message = format!("icbtc {network} genesis: chancellor on brink of second bailout");
+    let coinbase = Transaction {
+        version: 1,
+        inputs: vec![TxIn {
+            previous_output: OutPoint::NULL,
+            script_sig: message.into_bytes(),
+            sequence: TxIn::SEQUENCE_FINAL,
+            witness: Vec::new(),
+        }],
+        outputs: vec![TxOut::new(params.block_subsidy, Script::new_op_return(b"genesis"))],
+        lock_time: 0,
+    };
+    let merkle = merkle_root(&[coinbase.txid()]);
+    let mut header = BlockHeader {
+        version: 1,
+        prev_blockhash: BlockHash::ZERO,
+        merkle_root: merkle,
+        time: 1_700_000_000,
+        bits: params.pow_limit,
+        nonce: 0,
+    };
+    loop {
+        if header.meets_pow_target() {
+            return Block { header, txdata: vec![coinbase] };
+        }
+        header.nonce = header
+            .nonce
+            .checked_add(1)
+            .expect("genesis nonce space exhausted");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genesis_blocks_are_valid_and_distinct() {
+        let mainnet = Network::Mainnet.genesis_block();
+        let testnet = Network::Testnet.genesis_block();
+        let regtest = Network::Regtest.genesis_block();
+        for block in [mainnet, testnet, regtest] {
+            assert!(block.header.meets_pow_target());
+            assert!(block.is_well_formed());
+            assert_eq!(block.header.prev_blockhash, BlockHash::ZERO);
+        }
+        assert_ne!(mainnet.block_hash(), testnet.block_hash());
+        assert_ne!(testnet.block_hash(), regtest.block_hash());
+    }
+
+    #[test]
+    fn genesis_is_cached_and_deterministic() {
+        let a = Network::Regtest.genesis_hash();
+        let b = Network::Regtest.genesis_hash();
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(Network::Regtest.genesis_block(), Network::Regtest.genesis_block()));
+    }
+
+    #[test]
+    fn params_sanity() {
+        for network in [Network::Mainnet, Network::Testnet, Network::Regtest] {
+            let p = network.params();
+            assert_eq!(p.network, network);
+            assert_eq!(p.expected_timespan_secs(), 2016 * 600);
+            assert!(!p.pow_limit.to_target().is_zero());
+            assert!(p.block_subsidy > Amount::ZERO);
+        }
+        // Regtest is easier than mainnet-sim.
+        assert!(
+            Network::Regtest.params().pow_limit.to_target()
+                > Network::Mainnet.params().pow_limit.to_target()
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Network::Mainnet.to_string(), "mainnet");
+        assert_eq!(Network::Testnet.to_string(), "testnet");
+        assert_eq!(Network::Regtest.to_string(), "regtest");
+    }
+}

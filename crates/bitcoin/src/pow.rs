@@ -1,0 +1,377 @@
+//! Proof-of-work: compact targets, chain work, difficulty retargeting.
+//!
+//! The paper's difficulty-based δ-stability (§II-C) is defined over the
+//! *hash work* `w(b)` of each block, so the reproduction needs the real
+//! arithmetic: compact-bits encoding, target comparison, per-block work
+//! `⌊2²⁵⁶ / (target + 1)⌋`, and the 2016-block retargeting rule.
+
+use std::fmt;
+
+use crate::u256::U256;
+
+/// The difficulty target in Bitcoin's compact "bits" encoding.
+///
+/// The encoding is a base-256 floating point: the low 3 bytes are the
+/// mantissa and the high byte is the exponent (number of bytes of the
+/// target).
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_bitcoin::pow::CompactTarget;
+/// let bits = CompactTarget::from_consensus(0x1d00ffff); // Bitcoin genesis
+/// let target = bits.to_target();
+/// assert_eq!(CompactTarget::from_target(target), bits);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CompactTarget(u32);
+
+impl CompactTarget {
+    /// Wraps a raw consensus `bits` value.
+    pub const fn from_consensus(bits: u32) -> CompactTarget {
+        CompactTarget(bits)
+    }
+
+    /// Returns the raw consensus `bits` value.
+    pub const fn to_consensus(self) -> u32 {
+        self.0
+    }
+
+    /// Expands the compact encoding into the full 256-bit target.
+    ///
+    /// Invalid encodings (overflow or negative-flag mantissas) expand to
+    /// zero, which no hash can satisfy — matching Bitcoin Core's rejection.
+    pub fn to_target(self) -> U256 {
+        let exponent = (self.0 >> 24) as usize;
+        let mantissa = self.0 & 0x007f_ffff;
+        if self.0 & 0x0080_0000 != 0 {
+            // Negative targets are invalid.
+            return U256::ZERO;
+        }
+        if exponent <= 3 {
+            U256::from_u64((mantissa >> (8 * (3 - exponent))) as u64)
+        } else {
+            let shift = 8 * (exponent - 3);
+            let mantissa_bits = 32 - mantissa.leading_zeros() as usize;
+            if shift + mantissa_bits > 256 {
+                // Overflow past 256 bits.
+                return U256::ZERO;
+            }
+            U256::from_u64(mantissa as u64) << shift
+        }
+    }
+
+    /// Compresses a full target into compact form (lossy: only the top
+    /// three bytes of precision are kept, exactly as in Bitcoin).
+    pub fn from_target(target: U256) -> CompactTarget {
+        if target.is_zero() {
+            return CompactTarget(0);
+        }
+        let mut exponent = (target.bits() as usize + 7) / 8;
+        let mut mantissa = if exponent <= 3 {
+            (target.limbs()[0] << (8 * (3 - exponent))) as u32
+        } else {
+            (target >> (8 * (exponent - 3))).limbs()[0] as u32
+        };
+        // Avoid setting the sign bit.
+        if mantissa & 0x0080_0000 != 0 {
+            mantissa >>= 8;
+            exponent += 1;
+        }
+        CompactTarget(((exponent as u32) << 24) | (mantissa & 0x007f_ffff))
+    }
+
+    /// Computes the expected hash work for this target:
+    /// `⌊2²⁵⁶ / (target + 1)⌋`, via Bitcoin Core's overflow-free identity
+    /// `(~target / (target + 1)) + 1`.
+    pub fn work(self) -> Work {
+        let target = self.to_target();
+        if target.is_zero() {
+            return Work(U256::ZERO);
+        }
+        let quotient = (!target).div_rem(target + U256::ONE).0;
+        Work(quotient + U256::ONE)
+    }
+}
+
+impl fmt::Display for CompactTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bits(0x{:08x})", self.0)
+    }
+}
+
+/// Accumulated (or per-block) hash work.
+///
+/// A 256-bit quantity: chain work sums per-block work over potentially
+/// hundreds of thousands of blocks.
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_bitcoin::pow::{CompactTarget, Work};
+/// let w = CompactTarget::from_consensus(0x207fffff).work();
+/// assert_eq!(w + Work::ZERO, w);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Work(U256);
+
+impl Work {
+    /// Zero work.
+    pub const ZERO: Work = Work(U256::ZERO);
+
+    /// Wraps a raw work value.
+    pub const fn from_u256(v: U256) -> Work {
+        Work(v)
+    }
+
+    /// Returns the raw 256-bit value.
+    pub const fn to_u256(self) -> U256 {
+        self.0
+    }
+
+    /// Returns the work as an `f64` (lossy; for ratios and reporting).
+    pub fn as_f64(self) -> f64 {
+        let limbs = self.0.limbs();
+        limbs
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| l as f64 * 2f64.powi(64 * i as i32))
+            .sum()
+    }
+
+    /// Returns `self / other` as an `f64`, the "relative stability" measure
+    /// `d_w(b) / w(b*)` from §II-C.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn ratio(self, other: Work) -> f64 {
+        assert!(!other.0.is_zero(), "work ratio divided by zero");
+        self.as_f64() / other.as_f64()
+    }
+}
+
+impl std::ops::Add for Work {
+    type Output = Work;
+    fn add(self, rhs: Work) -> Work {
+        Work(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl std::ops::AddAssign for Work {
+    fn add_assign(&mut self, rhs: Work) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for Work {
+    fn sum<I: Iterator<Item = Work>>(iter: I) -> Work {
+        iter.fold(Work::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Work {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "work({:e})", self.as_f64())
+    }
+}
+
+/// Computes the next retarget given the old target and the actual timespan
+/// of the last interval, clamped to a factor of 4 in each direction as in
+/// Bitcoin.
+///
+/// `pow_limit` caps the result (difficulty cannot drop below the network
+/// minimum).
+pub fn retarget(
+    old: CompactTarget,
+    actual_timespan_secs: u64,
+    expected_timespan_secs: u64,
+    pow_limit: CompactTarget,
+) -> CompactTarget {
+    let clamped = actual_timespan_secs
+        .max(expected_timespan_secs / 4)
+        .min(expected_timespan_secs * 4);
+    let old_target = old.to_target();
+    // new = old * clamped / expected, computed without overflow by
+    // dividing first when the multiply would overflow.
+    let (lo, hi) = old_target.widening_mul(U256::from_u64(clamped));
+    let new_target = if hi.is_zero() {
+        lo / U256::from_u64(expected_timespan_secs)
+    } else {
+        // Extremely easy targets: divide first (loses negligible precision).
+        (old_target / U256::from_u64(expected_timespan_secs))
+            .checked_mul(U256::from_u64(clamped))
+            .unwrap_or(pow_limit.to_target())
+    };
+    let limit = pow_limit.to_target();
+    CompactTarget::from_target(if new_target > limit { limit } else { new_target })
+}
+
+/// Computes the median of the last (up to) 11 block timestamps — the
+/// "median time past" used to validate header timestamps.
+///
+/// # Panics
+///
+/// Panics if `timestamps` is empty.
+pub fn median_time_past(timestamps: &[u32]) -> u32 {
+    assert!(!timestamps.is_empty(), "median of empty timestamp slice");
+    let start = timestamps.len().saturating_sub(11);
+    let mut window: Vec<u32> = timestamps[start..].to_vec();
+    window.sort_unstable();
+    window[window.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genesis_bits_expand_to_known_target() {
+        // Bitcoin mainnet genesis target:
+        // 0x00000000ffff0000...0000
+        let target = CompactTarget::from_consensus(0x1d00ffff).to_target();
+        let expected = U256::from_u64(0xffff) << (8 * (0x1d - 3));
+        assert_eq!(target, expected);
+        assert_eq!(target.bits(), 224);
+    }
+
+    #[test]
+    fn compact_roundtrip_canonical_values() {
+        for bits in [0x1d00ffffu32, 0x207fffff, 0x1b0404cb, 0x17034a7d] {
+            let ct = CompactTarget::from_consensus(bits);
+            assert_eq!(CompactTarget::from_target(ct.to_target()), ct, "bits 0x{bits:08x}");
+        }
+    }
+
+    #[test]
+    fn sign_bit_mantissa_is_invalid() {
+        // Mantissa with bit 23 set is a "negative" target.
+        assert_eq!(CompactTarget::from_consensus(0x01fedcba).to_target(), U256::ZERO);
+    }
+
+    #[test]
+    fn from_target_avoids_sign_bit() {
+        // A target whose top mantissa byte would be >= 0x80 must bump the
+        // exponent.
+        let target = U256::from_u64(0x80) << 16; // 0x800000
+        let compact = CompactTarget::from_target(target);
+        assert_eq!(compact.to_target(), target);
+        assert_eq!(compact.to_consensus() & 0x0080_0000, 0);
+    }
+
+    #[test]
+    fn work_of_genesis_difficulty() {
+        // Work for target 0x1d00ffff is ~2^32 (difficulty 1).
+        let w = CompactTarget::from_consensus(0x1d00ffff).work();
+        let expected = 2f64.powi(32);
+        assert!((w.as_f64() / expected - 1.0).abs() < 1e-4, "{}", w.as_f64());
+    }
+
+    #[test]
+    fn harder_target_means_more_work() {
+        let easy = CompactTarget::from_consensus(0x207fffff).work();
+        let hard = CompactTarget::from_consensus(0x1d00ffff).work();
+        assert!(hard > easy);
+        let sum = easy + hard;
+        assert!(sum > hard);
+        assert!((easy.ratio(easy) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn work_sums() {
+        let w = CompactTarget::from_consensus(0x207fffff).work();
+        let total: Work = std::iter::repeat(w).take(3).sum();
+        assert!((total.as_f64() / (3.0 * w.as_f64()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retarget_clamps_at_4x() {
+        let pow_limit = CompactTarget::from_consensus(0x207fffff);
+        let old = CompactTarget::from_consensus(0x1d00ffff);
+        let expected = 2016 * 600;
+        // Blocks found 10x too fast: clamp to 4x harder.
+        let faster = retarget(old, expected / 10, expected, pow_limit);
+        let quadrupled = retarget(old, expected / 4, expected, pow_limit);
+        assert_eq!(faster, quadrupled);
+        assert!(faster.to_target() < old.to_target());
+        // Blocks found 10x too slow: clamp to 4x easier.
+        let slower = retarget(old, expected * 10, expected, pow_limit);
+        assert!(slower.to_target() > old.to_target());
+        let ratio = slower.to_target().div_rem(old.to_target()).0;
+        assert_eq!(ratio, U256::from_u64(4));
+    }
+
+    #[test]
+    fn retarget_exact_interval_is_stable() {
+        let pow_limit = CompactTarget::from_consensus(0x207fffff);
+        let old = CompactTarget::from_consensus(0x1c0ae493);
+        let new = retarget(old, 2016 * 600, 2016 * 600, pow_limit);
+        // Compact rounding may perturb the last bits, but the target stays
+        // within mantissa precision.
+        let diff = if new.to_target() > old.to_target() {
+            new.to_target() - old.to_target()
+        } else {
+            old.to_target() - new.to_target()
+        };
+        assert!(diff < old.to_target() >> 15);
+    }
+
+    #[test]
+    fn retarget_respects_pow_limit() {
+        let pow_limit = CompactTarget::from_consensus(0x207fffff);
+        let new = retarget(pow_limit, 2016 * 600 * 10, 2016 * 600, pow_limit);
+        assert_eq!(new.to_target(), pow_limit.to_target());
+    }
+
+    #[test]
+    fn median_time_past_windows() {
+        assert_eq!(median_time_past(&[5]), 5);
+        assert_eq!(median_time_past(&[1, 2, 3]), 2);
+        // Only the last 11 entries count.
+        let mut ts: Vec<u32> = vec![1000; 20];
+        ts.extend([1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        assert_eq!(median_time_past(&ts), 6);
+        // Unordered input is handled.
+        assert_eq!(median_time_past(&[9, 1, 5]), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn median_of_empty_panics() {
+        let _ = median_time_past(&[]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// from_target(to_target(x)) is idempotent (compact form is a
+            /// fixed point).
+            #[test]
+            fn compact_idempotent(bits in any::<u32>()) {
+                let t = CompactTarget::from_consensus(bits).to_target();
+                let c = CompactTarget::from_target(t);
+                prop_assert_eq!(c.to_target(), CompactTarget::from_target(c.to_target()).to_target());
+            }
+
+            /// Work is antitone in the target: smaller target, more work.
+            #[test]
+            fn work_antitone(a in 1u64..u64::MAX, b in 1u64..u64::MAX) {
+                let (lo, hi) = (a.min(b), a.max(b));
+                let w_lo = CompactTarget::from_target(U256::from_u64(lo)).work();
+                let w_hi = CompactTarget::from_target(U256::from_u64(hi)).work();
+                prop_assert!(w_lo >= w_hi);
+            }
+
+            /// Retarget output never exceeds the pow limit.
+            #[test]
+            fn retarget_bounded(timespan in 1u64..10_000_000) {
+                let pow_limit = CompactTarget::from_consensus(0x207fffff);
+                let old = CompactTarget::from_consensus(0x1d00ffff);
+                let new = retarget(old, timespan, 2016 * 600, pow_limit);
+                prop_assert!(new.to_target() <= pow_limit.to_target());
+            }
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! A fixed-width 256-bit unsigned integer.
+//!
+//! Used for proof-of-work targets and accumulated chain work
+//! ([`crate::pow`]), and reused by the `icbtc-tecdsa` crate as the raw
+//! representation underlying secp256k1 field and scalar elements.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, BitAnd, BitOr, Div, Not, Rem, Shl, Shr, Sub};
+
+/// A 256-bit unsigned integer, stored as four little-endian `u64` limbs.
+///
+/// Arithmetic is checked where overflow is meaningful ([`U256::checked_add`],
+/// [`U256::checked_sub`]) with wrapping and saturating variants where the
+/// callers need them. Division is exact long division.
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_bitcoin::U256;
+/// let a = U256::from_u64(1) << 255;
+/// assert_eq!(a >> 255, U256::ONE);
+/// assert_eq!(U256::MAX / U256::from_u64(1), U256::MAX);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U256(pub(crate) [u64; 4]);
+
+impl U256 {
+    /// The value 0.
+    pub const ZERO: U256 = U256([0; 4]);
+    /// The value 1.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+    /// The maximum representable value, 2²⁵⁶ − 1.
+    pub const MAX: U256 = U256([u64::MAX; 4]);
+
+    /// Creates a value from a `u64`.
+    pub const fn from_u64(v: u64) -> Self {
+        U256([v, 0, 0, 0])
+    }
+
+    /// Creates a value from little-endian limbs (`limbs[0]` is least
+    /// significant).
+    pub const fn from_limbs(limbs: [u64; 4]) -> Self {
+        U256(limbs)
+    }
+
+    /// Returns the little-endian limbs.
+    pub const fn limbs(&self) -> [u64; 4] {
+        self.0
+    }
+
+    /// Parses a big-endian 32-byte array.
+    pub fn from_be_bytes(bytes: [u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&bytes[32 - 8 * (i + 1)..32 - 8 * i]);
+            *limb = u64::from_be_bytes(word);
+        }
+        U256(limbs)
+    }
+
+    /// Serializes to a big-endian 32-byte array.
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in self.0.iter().enumerate() {
+            out[32 - 8 * (i + 1)..32 - 8 * i].copy_from_slice(&limb.to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses a little-endian 32-byte array.
+    pub fn from_le_bytes(bytes: [u8; 32]) -> Self {
+        let mut be = bytes;
+        be.reverse();
+        Self::from_be_bytes(be)
+    }
+
+    /// Serializes to a little-endian 32-byte array.
+    pub fn to_le_bytes(self) -> [u8; 32] {
+        let mut out = self.to_be_bytes();
+        out.reverse();
+        out
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 4]
+    }
+
+    /// Returns the value of bit `i` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 256`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < 256, "bit index out of range");
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Returns the position of the highest set bit plus one (0 for zero) —
+    /// i.e. the minimum number of bits needed to represent the value.
+    pub fn bits(&self) -> u32 {
+        for i in (0..4).rev() {
+            if self.0[i] != 0 {
+                return 64 * i as u32 + (64 - self.0[i].leading_zeros());
+            }
+        }
+        0
+    }
+
+    /// Addition returning `None` on overflow.
+    pub fn checked_add(self, rhs: U256) -> Option<U256> {
+        let (v, carry) = self.overflowing_add(rhs);
+        if carry {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// Wrapping addition with a carry-out flag.
+    pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
+        let mut limbs = [0u64; 4];
+        let mut carry = false;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            limbs[i] = s2;
+            carry = c1 || c2;
+        }
+        (U256(limbs), carry)
+    }
+
+    /// Addition saturating at [`U256::MAX`].
+    pub fn saturating_add(self, rhs: U256) -> U256 {
+        self.checked_add(rhs).unwrap_or(U256::MAX)
+    }
+
+    /// Subtraction returning `None` on underflow.
+    pub fn checked_sub(self, rhs: U256) -> Option<U256> {
+        if self < rhs {
+            return None;
+        }
+        Some(self.wrapping_sub(rhs))
+    }
+
+    /// Wrapping (mod 2²⁵⁶) subtraction.
+    pub fn wrapping_sub(self, rhs: U256) -> U256 {
+        let mut limbs = [0u64; 4];
+        let mut borrow = false;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            limbs[i] = d2;
+            borrow = b1 || b2;
+        }
+        U256(limbs)
+    }
+
+    /// Full 256×256→512-bit multiplication, returned as (low, high) halves.
+    pub fn widening_mul(self, rhs: U256) -> (U256, U256) {
+        let mut out = [0u64; 8];
+        for i in 0..4 {
+            let mut carry: u128 = 0;
+            for j in 0..4 {
+                let cur = out[i + j] as u128 + self.0[i] as u128 * rhs.0[j] as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            out[i + 4] = carry as u64;
+        }
+        (
+            U256([out[0], out[1], out[2], out[3]]),
+            U256([out[4], out[5], out[6], out[7]]),
+        )
+    }
+
+    /// Multiplication returning `None` on overflow.
+    pub fn checked_mul(self, rhs: U256) -> Option<U256> {
+        let (lo, hi) = self.widening_mul(rhs);
+        if hi.is_zero() {
+            Some(lo)
+        } else {
+            None
+        }
+    }
+
+    /// Long division returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(self, divisor: U256) -> (U256, U256) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (U256::ZERO, self);
+        }
+        let shift = self.bits() - divisor.bits();
+        let mut quotient = U256::ZERO;
+        let mut remainder = self;
+        let mut shifted = divisor << shift as usize;
+        for i in (0..=shift).rev() {
+            if remainder >= shifted {
+                remainder = remainder.wrapping_sub(shifted);
+                quotient.0[(i / 64) as usize] |= 1u64 << (i % 64);
+            }
+            shifted = shifted >> 1;
+        }
+        (quotient, remainder)
+    }
+}
+
+impl Add for U256 {
+    type Output = U256;
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    fn add(self, rhs: U256) -> U256 {
+        self.checked_add(rhs).expect("U256 addition overflow")
+    }
+}
+
+impl Sub for U256 {
+    type Output = U256;
+    /// # Panics
+    ///
+    /// Panics on underflow.
+    fn sub(self, rhs: U256) -> U256 {
+        self.checked_sub(rhs).expect("U256 subtraction underflow")
+    }
+}
+
+impl Div for U256 {
+    type Output = U256;
+    fn div(self, rhs: U256) -> U256 {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem for U256 {
+    type Output = U256;
+    fn rem(self, rhs: U256) -> U256 {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Shl<usize> for U256 {
+    type Output = U256;
+    fn shl(self, shift: usize) -> U256 {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let (words, bits) = (shift / 64, shift % 64);
+        let mut limbs = [0u64; 4];
+        for i in (words..4).rev() {
+            limbs[i] = self.0[i - words] << bits;
+            if bits > 0 && i > words {
+                limbs[i] |= self.0[i - words - 1] >> (64 - bits);
+            }
+        }
+        U256(limbs)
+    }
+}
+
+impl Shr<usize> for U256 {
+    type Output = U256;
+    fn shr(self, shift: usize) -> U256 {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let (words, bits) = (shift / 64, shift % 64);
+        let mut limbs = [0u64; 4];
+        for i in 0..(4 - words) {
+            limbs[i] = self.0[i + words] >> bits;
+            if bits > 0 && i + words + 1 < 4 {
+                limbs[i] |= self.0[i + words + 1] << (64 - bits);
+            }
+        }
+        U256(limbs)
+    }
+}
+
+impl BitAnd for U256 {
+    type Output = U256;
+    fn bitand(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] & rhs.0[0],
+            self.0[1] & rhs.0[1],
+            self.0[2] & rhs.0[2],
+            self.0[3] & rhs.0[3],
+        ])
+    }
+}
+
+impl BitOr for U256 {
+    type Output = U256;
+    fn bitor(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] | rhs.0[0],
+            self.0[1] | rhs.0[1],
+            self.0[2] | rhs.0[2],
+            self.0[3] | rhs.0[3],
+        ])
+    }
+}
+
+impl Not for U256 {
+    type Output = U256;
+    fn not(self) -> U256 {
+        U256([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl From<u64> for U256 {
+    fn from(v: u64) -> Self {
+        U256::from_u64(v)
+    }
+}
+
+impl fmt::Debug for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U256(0x{self:x})")
+    }
+}
+
+impl fmt::Display for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{self:x}")
+    }
+}
+
+impl fmt::LowerHex for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut started = false;
+        for limb in self.0.iter().rev() {
+            if started {
+                write!(f, "{limb:016x}")?;
+            } else if *limb != 0 {
+                write!(f, "{limb:x}")?;
+                started = true;
+            }
+        }
+        if !started {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_roundtrips() {
+        let mut bytes = [0u8; 32];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let v = U256::from_be_bytes(bytes);
+        assert_eq!(v.to_be_bytes(), bytes);
+        let le = U256::from_le_bytes(bytes);
+        assert_eq!(le.to_le_bytes(), bytes);
+        // BE and LE interpretations of the same bytes are byte-reverses.
+        let mut rev = bytes;
+        rev.reverse();
+        assert_eq!(le.to_be_bytes(), rev);
+    }
+
+    #[test]
+    fn addition_and_carry() {
+        let max = U256::MAX;
+        assert_eq!(max.checked_add(U256::ONE), None);
+        assert_eq!(max.saturating_add(U256::ONE), U256::MAX);
+        let (wrapped, carry) = max.overflowing_add(U256::ONE);
+        assert!(carry);
+        assert_eq!(wrapped, U256::ZERO);
+        // Carry propagation across limbs.
+        let v = U256([u64::MAX, u64::MAX, 0, 0]);
+        assert_eq!(v + U256::ONE, U256([0, 0, 1, 0]));
+    }
+
+    #[test]
+    fn subtraction_and_borrow() {
+        let v = U256([0, 0, 1, 0]);
+        assert_eq!(v - U256::ONE, U256([u64::MAX, u64::MAX, 0, 0]));
+        assert_eq!(U256::ZERO.checked_sub(U256::ONE), None);
+        assert_eq!(U256::ZERO.wrapping_sub(U256::ONE), U256::MAX);
+    }
+
+    #[test]
+    fn shifts() {
+        let one = U256::ONE;
+        assert_eq!((one << 64).limbs(), [0, 1, 0, 0]);
+        assert_eq!((one << 200) >> 200, one);
+        assert_eq!(one << 256, U256::ZERO);
+        assert_eq!(U256::MAX >> 255, U256::ONE);
+        assert_eq!(one << 0, one);
+    }
+
+    #[test]
+    fn multiplication() {
+        let a = U256::from_u64(u64::MAX);
+        let (lo, hi) = a.widening_mul(a);
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        assert!(hi.is_zero());
+        assert_eq!(lo, U256([1, u64::MAX - 1, 0, 0]));
+        // Overflow detection.
+        assert_eq!(U256::MAX.checked_mul(U256::from_u64(2)), None);
+        assert_eq!(
+            U256::from_u64(7).checked_mul(U256::from_u64(6)),
+            Some(U256::from_u64(42))
+        );
+    }
+
+    #[test]
+    fn division() {
+        let (q, r) = U256::from_u64(100).div_rem(U256::from_u64(7));
+        assert_eq!(q, U256::from_u64(14));
+        assert_eq!(r, U256::from_u64(2));
+        // 2^255 / 3
+        let big = U256::ONE << 255;
+        let (q, r) = big.div_rem(U256::from_u64(3));
+        let reconstructed = q.checked_mul(U256::from_u64(3)).unwrap() + r;
+        assert_eq!(reconstructed, big);
+        assert!(r < U256::from_u64(3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn division_by_zero_panics() {
+        let _ = U256::ONE.div_rem(U256::ZERO);
+    }
+
+    #[test]
+    fn ordering_and_bits() {
+        assert!(U256::ONE << 128 > U256::MAX >> 129);
+        assert_eq!(U256::ZERO.bits(), 0);
+        assert_eq!(U256::ONE.bits(), 1);
+        assert_eq!((U256::ONE << 200).bits(), 201);
+        assert!(U256::ONE.bit(0));
+        assert!(!U256::ONE.bit(1));
+        assert!((U256::ONE << 77).bit(77));
+    }
+
+    #[test]
+    fn hex_formatting() {
+        assert_eq!(format!("{:x}", U256::ZERO), "0");
+        assert_eq!(format!("{:x}", U256::from_u64(255)), "ff");
+        assert_eq!(format!("{:x}", U256::ONE << 64), "10000000000000000");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_u256() -> impl Strategy<Value = U256> {
+            proptest::array::uniform4(any::<u64>()).prop_map(U256::from_limbs)
+        }
+
+        proptest! {
+            #[test]
+            fn add_sub_roundtrip(a in arb_u256(), b in arb_u256()) {
+                if let Some(sum) = a.checked_add(b) {
+                    prop_assert_eq!(sum - b, a);
+                    prop_assert_eq!(sum - a, b);
+                }
+            }
+
+            #[test]
+            fn div_rem_reconstructs(a in arb_u256(), b in arb_u256()) {
+                prop_assume!(!b.is_zero());
+                let (q, r) = a.div_rem(b);
+                prop_assert!(r < b);
+                let back = q.checked_mul(b).unwrap().checked_add(r).unwrap();
+                prop_assert_eq!(back, a);
+            }
+
+            #[test]
+            fn shift_roundtrip(a in arb_u256(), s in 0usize..256) {
+                let masked = (a >> s) << s;
+                // Shifting right then left clears the low s bits only.
+                prop_assert_eq!(masked >> s, a >> s);
+            }
+
+            #[test]
+            fn byte_roundtrip(a in arb_u256()) {
+                prop_assert_eq!(U256::from_be_bytes(a.to_be_bytes()), a);
+                prop_assert_eq!(U256::from_le_bytes(a.to_le_bytes()), a);
+            }
+
+            #[test]
+            fn widening_mul_commutes(a in arb_u256(), b in arb_u256()) {
+                prop_assert_eq!(a.widening_mul(b), b.widening_mul(a));
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Adversarial machinery for the security experiments (§IV-A).
+//!
+//! The paper's threat model gives the attacker (a) a fraction φ of all
+//! Bitcoin nodes, (b) hash power bounded per Definition IV.2, and (c)
+//! fewer than n/3 IC replicas. This module provides the Bitcoin-side
+//! tools: mining *valid* private forks at a bounded rate and racing them
+//! against the honest chain.
+
+use icbtc_bitcoin::{Block, BlockHash, Script};
+use icbtc_sim::SimRng;
+
+use crate::chain::ChainStore;
+use crate::miner::mine_block_on;
+
+/// A private fork under construction: a clone of the honest chain state
+/// extended in secret from a chosen branch point.
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_btcnet::adversary::SecretForkMiner;
+/// use icbtc_btcnet::chain::ChainStore;
+/// use icbtc_bitcoin::Network;
+///
+/// let honest = ChainStore::new(Network::Regtest);
+/// let mut fork = SecretForkMiner::branch_at(&honest, honest.tip_hash()).unwrap();
+/// let blocks = fork.extend(3, 99);
+/// assert_eq!(blocks.len(), 3);
+/// assert_eq!(fork.fork_height(), 3);
+/// ```
+#[derive(Debug)]
+pub struct SecretForkMiner {
+    chain: ChainStore,
+    fork_tip: BlockHash,
+    branch_height: u64,
+    mined: Vec<Block>,
+}
+
+impl SecretForkMiner {
+    /// Starts a fork branching at `branch_point`, which must be a header
+    /// known to `honest_view`. Returns `None` if the branch point is
+    /// unknown.
+    pub fn branch_at(honest_view: &ChainStore, branch_point: BlockHash) -> Option<SecretForkMiner> {
+        let stored = honest_view.header(&branch_point)?;
+        Some(SecretForkMiner {
+            chain: honest_view.clone(),
+            fork_tip: branch_point,
+            branch_height: stored.height,
+            mined: Vec::new(),
+        })
+    }
+
+    /// Height of the branch point on the honest chain.
+    pub fn branch_height(&self) -> u64 {
+        self.branch_height
+    }
+
+    /// Number of fork blocks mined so far.
+    pub fn fork_height(&self) -> u64 {
+        self.mined.len() as u64
+    }
+
+    /// The fork's current tip hash.
+    pub fn tip(&self) -> BlockHash {
+        self.fork_tip
+    }
+
+    /// All fork blocks mined so far, oldest first.
+    pub fn blocks(&self) -> &[Block] {
+        &self.mined
+    }
+
+    /// Mines `count` further valid blocks on the fork. The blocks carry
+    /// real proof of work at the honest difficulty (Definition IV.2's
+    /// attacker mines at the same difficulty, just more slowly).
+    pub fn extend(&mut self, count: usize, salt: u64) -> Vec<Block> {
+        let mut out = Vec::with_capacity(count);
+        for i in 0..count {
+            let block = mine_block_on(
+                &self.chain,
+                self.fork_tip,
+                Vec::new(),
+                Script::new_op_return(b"attacker"),
+                salt.wrapping_add(i as u64) | (1 << 63),
+            );
+            let now = block.header.time;
+            self.chain
+                .accept_block(block.clone(), now)
+                .expect("attacker mines valid blocks");
+            self.fork_tip = block.block_hash();
+            self.mined.push(block.clone());
+            out.push(block);
+        }
+        out
+    }
+}
+
+/// Outcome of a mining race between the attacker and the honest network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceOutcome {
+    /// Blocks the honest network found.
+    pub honest_blocks: u64,
+    /// Blocks the attacker found.
+    pub attacker_blocks: u64,
+}
+
+impl RaceOutcome {
+    /// Whether the attacker's chain ever led by at least `margin` blocks
+    /// is not captured here; this is the end-state comparison only.
+    pub fn attacker_leads_by(&self, margin: u64) -> bool {
+        self.attacker_blocks >= self.honest_blocks + margin
+    }
+}
+
+/// Simulates a block-finding race over `total_blocks` successive block
+/// events, where each event is the attacker's with probability `alpha`
+/// (its hash-power share). Returns the end state and, via
+/// `max_attacker_lead`, the largest lead the attacker ever held.
+///
+/// This is the Monte-Carlo primitive behind the Lemma IV.2 experiment:
+/// Definition IV.2 bounds the attacker so that a lead of `c*` has
+/// negligible probability; the harness measures exactly that frequency.
+pub fn mining_race(alpha: f64, total_blocks: u64, rng: &mut SimRng) -> (RaceOutcome, i64) {
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be a probability");
+    let mut honest = 0u64;
+    let mut attacker = 0u64;
+    let mut max_lead: i64 = 0;
+    for _ in 0..total_blocks {
+        if rng.chance(alpha) {
+            attacker += 1;
+        } else {
+            honest += 1;
+        }
+        max_lead = max_lead.max(attacker as i64 - honest as i64);
+    }
+    (RaceOutcome { honest_blocks: honest, attacker_blocks: attacker }, max_lead)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icbtc_bitcoin::Network;
+
+    #[test]
+    fn fork_blocks_are_valid_extensions() {
+        let mut honest = ChainStore::new(Network::Regtest);
+        // Grow the honest chain a little first.
+        for i in 0..3 {
+            let b = mine_block_on(&honest, honest.tip_hash(), Vec::new(), Script::new_op_return(b"h"), i);
+            let now = b.header.time;
+            honest.accept_block(b, now).unwrap();
+        }
+        let branch = honest.best_chain_hash_at(1).unwrap();
+        let mut fork = SecretForkMiner::branch_at(&honest, branch).unwrap();
+        assert_eq!(fork.branch_height(), 1);
+        let blocks = fork.extend(4, 0);
+        // The fork's blocks are valid when fed to the honest chain.
+        for block in blocks {
+            let now = block.header.time;
+            honest.accept_block(block, now).unwrap();
+        }
+        // Fork is longer (1 + 4 = 5 > 3): honest view reorganizes.
+        assert_eq!(honest.tip_height(), 5);
+        assert_eq!(honest.tip_hash(), fork.tip());
+    }
+
+    #[test]
+    fn branching_at_unknown_point_fails() {
+        let honest = ChainStore::new(Network::Regtest);
+        assert!(SecretForkMiner::branch_at(&honest, BlockHash([5; 32])).is_none());
+    }
+
+    #[test]
+    fn race_statistics_match_alpha() {
+        let mut rng = SimRng::seed_from(1);
+        let (outcome, _) = mining_race(0.3, 10_000, &mut rng);
+        let share = outcome.attacker_blocks as f64 / 10_000.0;
+        assert!((share - 0.3).abs() < 0.02, "attacker share {share}");
+        assert!(!outcome.attacker_leads_by(1));
+    }
+
+    #[test]
+    fn majority_attacker_wins_races() {
+        let mut rng = SimRng::seed_from(2);
+        let (outcome, lead) = mining_race(0.9, 1_000, &mut rng);
+        assert!(outcome.attacker_leads_by(100));
+        assert!(lead > 100);
+    }
+
+    #[test]
+    fn race_extremes() {
+        let mut rng = SimRng::seed_from(3);
+        let (all_honest, lead) = mining_race(0.0, 100, &mut rng);
+        assert_eq!(all_honest.attacker_blocks, 0);
+        assert_eq!(lead, 0);
+        let (all_attacker, _) = mining_race(1.0, 100, &mut rng);
+        assert_eq!(all_attacker.honest_blocks, 0);
+    }
+}

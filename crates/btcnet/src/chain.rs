@@ -1,0 +1,539 @@
+//! Per-node chain state: header tree, block store, and validation.
+//!
+//! Every simulated full node keeps the complete directed tree of valid
+//! headers it has seen (forks included — exactly the structure the paper's
+//! §II-B defines), a store of full blocks, and tracks the tip with the
+//! greatest accumulated work.
+
+use std::collections::HashMap;
+
+use icbtc_bitcoin::pow::{median_time_past, retarget, CompactTarget, Work};
+use icbtc_bitcoin::{Block, BlockHash, BlockHeader, Network};
+
+/// A header accepted into the tree, with its derived chain position.
+#[derive(Clone, Copy, Debug)]
+pub struct StoredHeader {
+    /// The header itself.
+    pub header: BlockHeader,
+    /// Height above the genesis block.
+    pub height: u64,
+    /// Total work from genesis to this header inclusive.
+    pub chain_work: Work,
+}
+
+/// Why a header or block was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The predecessor is not in the tree.
+    OrphanHeader(BlockHash),
+    /// The header hash does not meet its stated target.
+    BadProofOfWork,
+    /// The `bits` field disagrees with the retarget schedule.
+    BadDifficultyBits {
+        /// What the schedule requires.
+        expected: CompactTarget,
+        /// What the header carried.
+        actual: CompactTarget,
+    },
+    /// Timestamp at or below the median of the previous 11 blocks.
+    TimestampTooOld,
+    /// Timestamp too far in the future relative to simulated now.
+    TimestampTooNew,
+    /// The block body is malformed (coinbase/Merkle rules).
+    MalformedBlock,
+    /// The block's header was never accepted.
+    UnknownHeader(BlockHash),
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::OrphanHeader(h) => write!(f, "orphan header: unknown parent {h}"),
+            ValidationError::BadProofOfWork => write!(f, "header hash exceeds target"),
+            ValidationError::BadDifficultyBits { expected, actual } => {
+                write!(f, "wrong difficulty bits: expected {expected}, got {actual}")
+            }
+            ValidationError::TimestampTooOld => write!(f, "timestamp not above median time past"),
+            ValidationError::TimestampTooNew => write!(f, "timestamp too far in the future"),
+            ValidationError::MalformedBlock => write!(f, "malformed block body"),
+            ValidationError::UnknownHeader(h) => write!(f, "block for unknown header {h}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Maximum allowed clock skew for header timestamps (Bitcoin's rule).
+pub const MAX_FUTURE_SKEW_SECS: u32 = 2 * 60 * 60;
+
+/// The header tree plus block store of one node.
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_btcnet::chain::ChainStore;
+/// use icbtc_bitcoin::Network;
+///
+/// let chain = ChainStore::new(Network::Regtest);
+/// assert_eq!(chain.tip_height(), 0);
+/// assert_eq!(chain.tip_hash(), Network::Regtest.genesis_hash());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ChainStore {
+    network: Network,
+    headers: HashMap<BlockHash, StoredHeader>,
+    children: HashMap<BlockHash, Vec<BlockHash>>,
+    blocks: HashMap<BlockHash, Block>,
+    tip: BlockHash,
+}
+
+impl ChainStore {
+    /// Creates a store seeded with the network's genesis block.
+    pub fn new(network: Network) -> ChainStore {
+        let genesis = network.genesis_block().clone();
+        let hash = genesis.block_hash();
+        let stored = StoredHeader {
+            header: genesis.header,
+            height: 0,
+            chain_work: genesis.header.work(),
+        };
+        let mut headers = HashMap::new();
+        headers.insert(hash, stored);
+        let mut blocks = HashMap::new();
+        blocks.insert(hash, genesis);
+        ChainStore { network, headers, children: HashMap::new(), blocks, tip: hash }
+    }
+
+    /// The network this chain belongs to.
+    pub fn network(&self) -> Network {
+        self.network
+    }
+
+    /// Hash of the best (most-work) tip.
+    pub fn tip_hash(&self) -> BlockHash {
+        self.tip
+    }
+
+    /// Height of the best tip.
+    pub fn tip_height(&self) -> u64 {
+        self.headers[&self.tip].height
+    }
+
+    /// The stored entry for the best tip.
+    pub fn tip(&self) -> &StoredHeader {
+        &self.headers[&self.tip]
+    }
+
+    /// Looks up a stored header.
+    pub fn header(&self, hash: &BlockHash) -> Option<&StoredHeader> {
+        self.headers.get(hash)
+    }
+
+    /// Looks up a stored block.
+    pub fn block(&self, hash: &BlockHash) -> Option<&Block> {
+        self.blocks.get(hash)
+    }
+
+    /// Returns `true` if the full block is stored.
+    pub fn has_block(&self, hash: &BlockHash) -> bool {
+        self.blocks.contains_key(hash)
+    }
+
+    /// Number of headers in the tree (including genesis).
+    pub fn header_count(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// Direct children of a header in the tree.
+    pub fn children(&self, hash: &BlockHash) -> &[BlockHash] {
+        self.children.get(hash).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The difficulty bits required for a block extending `prev`.
+    pub fn expected_bits(&self, prev: &BlockHash) -> Option<CompactTarget> {
+        let params = self.network.params();
+        let prev_stored = self.headers.get(prev)?;
+        let next_height = prev_stored.height + 1;
+        if next_height % params.retarget_interval as u64 != 0 {
+            return Some(prev_stored.header.bits);
+        }
+        // Retarget boundary: span the previous interval.
+        let mut cursor = *prev_stored;
+        for _ in 0..params.retarget_interval - 1 {
+            let parent = self.headers.get(&cursor.header.prev_blockhash)?;
+            cursor = *parent;
+        }
+        let actual = prev_stored.header.time.saturating_sub(cursor.header.time) as u64;
+        Some(retarget(
+            prev_stored.header.bits,
+            actual.max(1),
+            params.expected_timespan_secs(),
+            params.pow_limit,
+        ))
+    }
+
+    /// Median time past of the 11 headers ending at `hash`.
+    pub fn median_time_past(&self, hash: &BlockHash) -> Option<u32> {
+        let mut timestamps = Vec::with_capacity(11);
+        let mut cursor = *self.headers.get(hash)?;
+        loop {
+            timestamps.push(cursor.header.time);
+            if timestamps.len() == 11 || cursor.height == 0 {
+                break;
+            }
+            cursor = *self.headers.get(&cursor.header.prev_blockhash)?;
+        }
+        timestamps.reverse();
+        Some(median_time_past(&timestamps))
+    }
+
+    /// Validates a header against the tree: known parent, correct
+    /// difficulty bits, proof of work, and timestamp window. This is the
+    /// check the paper's adapter performs on every downloaded header
+    /// (§III-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`ValidationError`].
+    pub fn validate_header(
+        &self,
+        header: &BlockHeader,
+        now_unix: u32,
+    ) -> Result<(), ValidationError> {
+        let prev = header.prev_blockhash;
+        if !self.headers.contains_key(&prev) {
+            return Err(ValidationError::OrphanHeader(prev));
+        }
+        let expected = self.expected_bits(&prev).expect("parent exists");
+        if header.bits != expected {
+            return Err(ValidationError::BadDifficultyBits { expected, actual: header.bits });
+        }
+        if !header.meets_pow_target() {
+            return Err(ValidationError::BadProofOfWork);
+        }
+        let mtp = self.median_time_past(&prev).expect("parent exists");
+        if header.time <= mtp {
+            return Err(ValidationError::TimestampTooOld);
+        }
+        if header.time > now_unix.saturating_add(MAX_FUTURE_SKEW_SECS) {
+            return Err(ValidationError::TimestampTooNew);
+        }
+        Ok(())
+    }
+
+    /// Accepts a validated header into the tree, updating the best tip by
+    /// accumulated work. Returns `true` if the header was new.
+    ///
+    /// # Errors
+    ///
+    /// Re-runs validation; see [`ChainStore::validate_header`].
+    pub fn accept_header(
+        &mut self,
+        header: BlockHeader,
+        now_unix: u32,
+    ) -> Result<bool, ValidationError> {
+        let hash = header.block_hash();
+        if self.headers.contains_key(&hash) {
+            return Ok(false);
+        }
+        self.validate_header(&header, now_unix)?;
+        let parent = self.headers[&header.prev_blockhash];
+        let stored = StoredHeader {
+            header,
+            height: parent.height + 1,
+            chain_work: parent.chain_work + header.work(),
+        };
+        self.headers.insert(hash, stored);
+        self.children.entry(header.prev_blockhash).or_default().push(hash);
+        if stored.chain_work > self.headers[&self.tip].chain_work {
+            self.tip = hash;
+        }
+        Ok(true)
+    }
+
+    /// Accepts a full block: its header must validate (or already be
+    /// known) and the body must be well-formed. Returns `true` if the
+    /// block body was new.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidationError::MalformedBlock`] for bad bodies and
+    /// header errors otherwise.
+    pub fn accept_block(&mut self, block: Block, now_unix: u32) -> Result<bool, ValidationError> {
+        if !block.is_well_formed() {
+            return Err(ValidationError::MalformedBlock);
+        }
+        let hash = block.block_hash();
+        self.accept_header(block.header, now_unix)?;
+        Ok(self.blocks.insert(hash, block).is_none())
+    }
+
+    /// Walks the best chain from the tip back to genesis, newest first.
+    pub fn best_chain_hashes(&self) -> Vec<BlockHash> {
+        let mut out = Vec::with_capacity(self.tip_height() as usize + 1);
+        let mut cursor = self.tip;
+        loop {
+            out.push(cursor);
+            let stored = &self.headers[&cursor];
+            if stored.height == 0 {
+                break;
+            }
+            cursor = stored.header.prev_blockhash;
+        }
+        out
+    }
+
+    /// Returns the hash at `height` on the best chain, if within range.
+    pub fn best_chain_hash_at(&self, height: u64) -> Option<BlockHash> {
+        let tip_height = self.tip_height();
+        if height > tip_height {
+            return None;
+        }
+        let mut cursor = self.tip;
+        for _ in 0..(tip_height - height) {
+            cursor = self.headers[&cursor].header.prev_blockhash;
+        }
+        Some(cursor)
+    }
+
+    /// Builds a block-locator (exponentially spaced hashes from the tip),
+    /// as used in `getheaders`.
+    pub fn locator(&self) -> Vec<BlockHash> {
+        let mut out = Vec::new();
+        let mut step = 1u64;
+        let mut height = self.tip_height() as i64;
+        while height > 0 {
+            out.push(self.best_chain_hash_at(height as u64).expect("height in range"));
+            if out.len() >= 10 {
+                step *= 2;
+            }
+            height -= step as i64;
+        }
+        out.push(self.network.genesis_hash());
+        out
+    }
+
+    /// Answers a `getheaders` request: up to `max` headers on the best
+    /// chain after the first locator hash found on it.
+    pub fn headers_after(&self, locator: &[BlockHash], max: usize) -> Vec<BlockHeader> {
+        let best: Vec<BlockHash> = {
+            let mut chain = self.best_chain_hashes();
+            chain.reverse(); // genesis first
+            chain
+        };
+        let position = |hash: &BlockHash| -> Option<usize> {
+            let stored = self.headers.get(hash)?;
+            let idx = stored.height as usize;
+            (best.get(idx) == Some(hash)).then_some(idx)
+        };
+        let start = locator
+            .iter()
+            .find_map(position)
+            .map(|idx| idx + 1)
+            .unwrap_or(1); // fork locators fall back to after-genesis
+        best[start.min(best.len())..]
+            .iter()
+            .take(max)
+            .map(|h| self.headers[h].header)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::mine_block_on;
+    use icbtc_bitcoin::Script;
+
+    fn extend(chain: &mut ChainStore, tip: BlockHash, n: usize, salt: u64) -> Vec<BlockHash> {
+        let mut prev = tip;
+        let mut out = Vec::new();
+        for i in 0..n {
+            let block = mine_block_on(chain, prev, Vec::new(), Script::new_op_return(b"t"), salt + i as u64);
+            let hash = block.block_hash();
+            let now = block.header.time;
+            chain.accept_block(block, now).unwrap();
+            out.push(hash);
+            prev = hash;
+        }
+        out
+    }
+
+    #[test]
+    fn genesis_initialization() {
+        let chain = ChainStore::new(Network::Regtest);
+        assert_eq!(chain.tip_height(), 0);
+        assert_eq!(chain.header_count(), 1);
+        assert!(chain.has_block(&Network::Regtest.genesis_hash()));
+    }
+
+    #[test]
+    fn linear_extension_moves_tip() {
+        let mut chain = ChainStore::new(Network::Regtest);
+        let genesis = chain.tip_hash();
+        let hashes = extend(&mut chain, genesis, 5, 0);
+        assert_eq!(chain.tip_height(), 5);
+        assert_eq!(chain.tip_hash(), hashes[4]);
+        assert_eq!(chain.best_chain_hash_at(0), Some(genesis));
+        assert_eq!(chain.best_chain_hash_at(3), Some(hashes[2]));
+        assert_eq!(chain.best_chain_hash_at(6), None);
+    }
+
+    #[test]
+    fn fork_resolution_by_work() {
+        let mut chain = ChainStore::new(Network::Regtest);
+        let genesis = chain.tip_hash();
+        let main = extend(&mut chain, genesis, 3, 0);
+        // A shorter fork does not win.
+        let fork = extend(&mut chain, genesis, 2, 1000);
+        assert_eq!(chain.tip_hash(), main[2]);
+        // Extending the fork past the main chain reorganizes.
+        let fork2 = extend(&mut chain, fork[1], 2, 2000);
+        assert_eq!(chain.tip_hash(), fork2[1]);
+        assert_eq!(chain.tip_height(), 4);
+        // Both forks' headers remain in the tree.
+        assert!(chain.header(&main[2]).is_some());
+        assert_eq!(chain.children(&genesis).len(), 2);
+    }
+
+    #[test]
+    fn rejects_orphans_and_bad_pow() {
+        let mut chain = ChainStore::new(Network::Regtest);
+        let genesis = chain.tip_hash();
+        let good = mine_block_on(&chain, genesis, Vec::new(), Script::new_op_return(b"x"), 0);
+
+        let mut orphan = good.header;
+        orphan.prev_blockhash = BlockHash([9; 32]);
+        assert!(matches!(
+            chain.accept_header(orphan, orphan.time),
+            Err(ValidationError::OrphanHeader(_))
+        ));
+
+        // Find a nonce that breaks pow (regtest accepts ~half of hashes).
+        let mut bad = good.header;
+        for delta in 1..1000 {
+            bad.nonce = good.header.nonce.wrapping_add(delta);
+            if !bad.meets_pow_target() {
+                break;
+            }
+        }
+        assert!(!bad.meets_pow_target());
+        assert_eq!(chain.accept_header(bad, bad.time), Err(ValidationError::BadProofOfWork));
+    }
+
+    #[test]
+    fn rejects_wrong_bits() {
+        let chain = ChainStore::new(Network::Regtest);
+        let genesis = chain.tip_hash();
+        let good = mine_block_on(&chain, genesis, Vec::new(), Script::new_op_return(b"x"), 0);
+        let mut wrong = good.header;
+        wrong.bits = CompactTarget::from_consensus(0x1d00ffff);
+        assert!(matches!(
+            chain.validate_header(&wrong, wrong.time),
+            Err(ValidationError::BadDifficultyBits { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_timestamps() {
+        let chain = ChainStore::new(Network::Regtest);
+        let genesis_time = Network::Regtest.genesis_block().header.time;
+        let genesis = chain.tip_hash();
+        let good = mine_block_on(&chain, genesis, Vec::new(), Script::new_op_return(b"x"), 0);
+
+        let mut stale = good.header;
+        stale.time = genesis_time; // equal to MTP of single-block history
+        // Re-mine: timestamp is covered by pow, so adjust nonce.
+        let stale = remine(stale);
+        assert_eq!(
+            chain.validate_header(&stale, good.header.time),
+            Err(ValidationError::TimestampTooOld)
+        );
+
+        let mut future = good.header;
+        future.time = genesis_time + MAX_FUTURE_SKEW_SECS + 100;
+        let future = remine(future);
+        assert_eq!(
+            chain.validate_header(&future, genesis_time),
+            Err(ValidationError::TimestampTooNew)
+        );
+    }
+
+    fn remine(mut header: BlockHeader) -> BlockHeader {
+        header.nonce = 0;
+        while !header.meets_pow_target() {
+            header.nonce += 1;
+        }
+        header
+    }
+
+    #[test]
+    fn rejects_malformed_blocks() {
+        let mut chain = ChainStore::new(Network::Regtest);
+        let genesis = chain.tip_hash();
+        let mut block = mine_block_on(&chain, genesis, Vec::new(), Script::new_op_return(b"x"), 0);
+        block.txdata.clear();
+        assert_eq!(
+            chain.accept_block(block, 2_000_000_000),
+            Err(ValidationError::MalformedBlock)
+        );
+    }
+
+    #[test]
+    fn duplicate_acceptance_is_idempotent() {
+        let mut chain = ChainStore::new(Network::Regtest);
+        let genesis = chain.tip_hash();
+        let block = mine_block_on(&chain, genesis, Vec::new(), Script::new_op_return(b"x"), 0);
+        let now = block.header.time;
+        assert!(chain.accept_block(block.clone(), now).unwrap());
+        assert!(!chain.accept_block(block, now).unwrap());
+        assert_eq!(chain.header_count(), 2);
+    }
+
+    #[test]
+    fn locator_and_headers_after() {
+        let mut chain = ChainStore::new(Network::Regtest);
+        let genesis = chain.tip_hash();
+        extend(&mut chain, genesis, 30, 0);
+        let locator = chain.locator();
+        assert_eq!(locator[0], chain.tip_hash());
+        assert_eq!(*locator.last().unwrap(), genesis);
+        assert!(locator.len() < 30);
+
+        // A peer at height 10 asks with its locator.
+        let mut behind = ChainStore::new(Network::Regtest);
+        // Replay first 10 blocks from the main chain.
+        let mut hashes = chain.best_chain_hashes();
+        hashes.reverse();
+        for hash in &hashes[1..11] {
+            let block = chain.block(hash).unwrap().clone();
+            let now = block.header.time;
+            behind.accept_block(block, now).unwrap();
+        }
+        let served = chain.headers_after(&behind.locator(), 2000);
+        assert_eq!(served.len(), 20);
+        assert_eq!(served[0].prev_blockhash, behind.tip_hash());
+        // Max cap respected.
+        assert_eq!(chain.headers_after(&behind.locator(), 5).len(), 5);
+        // Unknown locator serves from genesis.
+        assert_eq!(chain.headers_after(&[BlockHash([7; 32])], 2000).len(), 30);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            ValidationError::OrphanHeader(BlockHash::ZERO),
+            ValidationError::BadProofOfWork,
+            ValidationError::TimestampTooOld,
+            ValidationError::TimestampTooNew,
+            ValidationError::MalformedBlock,
+            ValidationError::UnknownHeader(BlockHash::ZERO),
+            ValidationError::BadDifficultyBits {
+                expected: CompactTarget::from_consensus(1),
+                actual: CompactTarget::from_consensus(2),
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

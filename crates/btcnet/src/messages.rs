@@ -1,0 +1,144 @@
+//! The simulated Bitcoin P2P message vocabulary.
+//!
+//! A faithful subset of the Bitcoin wire protocol — the messages the
+//! paper's Bitcoin adapter actually exchanges with Bitcoin nodes
+//! (§III-B): address gossip for discovery, header synchronization,
+//! block download, and transaction relay.
+
+use icbtc_bitcoin::{Block, BlockHash, BlockHeader, Transaction, Txid};
+
+/// Identifier of a simulated Bitcoin full node (its "IP address").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "btc-node-{}", self.0)
+    }
+}
+
+/// Identifier of an external connection into the network (a Bitcoin
+/// adapter's link).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u32);
+
+impl std::fmt::Display for ConnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "conn-{}", self.0)
+    }
+}
+
+/// A message endpoint: an in-network node or an external adapter link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PeerRef {
+    /// A simulated full node.
+    Node(NodeId),
+    /// An external (adapter) connection.
+    External(ConnId),
+}
+
+impl std::fmt::Display for PeerRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PeerRef::Node(id) => write!(f, "{id}"),
+            PeerRef::External(id) => write!(f, "{id}"),
+        }
+    }
+}
+
+/// An `inv`/`getdata` inventory entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Inventory {
+    /// A block by hash.
+    Block(BlockHash),
+    /// A transaction by txid.
+    Transaction(Txid),
+}
+
+/// A P2P protocol message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// Request known peer addresses.
+    GetAddr,
+    /// Share known peer addresses.
+    Addr(Vec<NodeId>),
+    /// Request headers after the locator, up to a stop hash (zero = none).
+    GetHeaders {
+        /// Exponentially spaced hashes of the requester's best chain.
+        locator: Vec<BlockHash>,
+        /// Hash to stop at, or [`BlockHash::ZERO`] for "as many as allowed".
+        stop: BlockHash,
+    },
+    /// Headers in response to `GetHeaders` (max 2000, as in Bitcoin).
+    Headers(Vec<BlockHeader>),
+    /// Announce inventory.
+    Inv(Vec<Inventory>),
+    /// Request announced inventory.
+    GetData(Vec<Inventory>),
+    /// A full block.
+    BlockMsg(Box<Block>),
+    /// A transaction.
+    TxMsg(Transaction),
+    /// Requested inventory is unavailable.
+    NotFound(Vec<Inventory>),
+    /// Liveness probe.
+    Ping(u64),
+    /// Liveness reply.
+    Pong(u64),
+}
+
+impl Message {
+    /// Short tag for tracing and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::GetAddr => "getaddr",
+            Message::Addr(_) => "addr",
+            Message::GetHeaders { .. } => "getheaders",
+            Message::Headers(_) => "headers",
+            Message::Inv(_) => "inv",
+            Message::GetData(_) => "getdata",
+            Message::BlockMsg(_) => "block",
+            Message::TxMsg(_) => "tx",
+            Message::NotFound(_) => "notfound",
+            Message::Ping(_) => "ping",
+            Message::Pong(_) => "pong",
+        }
+    }
+}
+
+/// Maximum headers per `headers` message, as in the Bitcoin protocol.
+pub const MAX_HEADERS_PER_MSG: usize = 2000;
+
+/// Maximum addresses per `addr` message.
+pub const MAX_ADDR_PER_MSG: usize = 1000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_and_nonempty() {
+        let msgs = [
+            Message::GetAddr,
+            Message::Addr(vec![]),
+            Message::GetHeaders { locator: vec![], stop: BlockHash::ZERO },
+            Message::Headers(vec![]),
+            Message::Inv(vec![]),
+            Message::GetData(vec![]),
+            Message::TxMsg(Transaction::default()),
+            Message::NotFound(vec![]),
+            Message::Ping(0),
+            Message::Pong(0),
+        ];
+        let kinds: std::collections::HashSet<&str> = msgs.iter().map(|m| m.kind()).collect();
+        assert_eq!(kinds.len(), msgs.len());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "btc-node-3");
+        assert_eq!(ConnId(9).to_string(), "conn-9");
+        assert_eq!(PeerRef::Node(NodeId(3)).to_string(), "btc-node-3");
+        assert_eq!(PeerRef::External(ConnId(1)).to_string(), "conn-1");
+    }
+}

@@ -1,0 +1,547 @@
+//! The event-driven Bitcoin network fabric.
+//!
+//! Owns the simulated full nodes, the gossip topology, message latencies,
+//! Poisson block production, and the external connections through which
+//! Bitcoin adapters participate.
+
+use std::collections::HashMap;
+
+use icbtc_bitcoin::{Network, Script, Transaction};
+use icbtc_sim::{EventQueue, SimDuration, SimRng, SimTime};
+
+use crate::messages::{ConnId, Message, NodeId, PeerRef};
+use crate::node::{FullNode, NodeBehavior};
+
+/// Configuration for a simulated Bitcoin network.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Which Bitcoin network's consensus parameters to use.
+    pub network: Network,
+    /// Number of honest full nodes.
+    pub honest_nodes: usize,
+    /// Number of adversarial full nodes (appended after the honest ones).
+    pub adversarial_nodes: usize,
+    /// Gossip links per node.
+    pub links_per_node: usize,
+    /// Mean block interval of the Poisson production process.
+    pub mean_block_interval: SimDuration,
+    /// Mean one-way message latency.
+    pub latency_mean: SimDuration,
+    /// Latency standard deviation.
+    pub latency_std: SimDuration,
+    /// Max mempool transactions included per block template.
+    pub template_tx_limit: usize,
+}
+
+impl NetworkConfig {
+    /// A small regtest network suitable for unit and integration tests.
+    pub fn regtest(honest_nodes: usize) -> NetworkConfig {
+        NetworkConfig {
+            network: Network::Regtest,
+            honest_nodes,
+            adversarial_nodes: 0,
+            links_per_node: 3,
+            mean_block_interval: SimDuration::from_secs(600),
+            latency_mean: SimDuration::from_millis(80),
+            latency_std: SimDuration::from_millis(30),
+            template_tx_limit: 500,
+        }
+    }
+
+    /// A mainnet-like network (scaled difficulty, 10-minute blocks).
+    pub fn mainnet(honest_nodes: usize) -> NetworkConfig {
+        NetworkConfig { network: Network::Mainnet, ..NetworkConfig::regtest(honest_nodes) }
+    }
+}
+
+enum NetEvent {
+    Deliver { to: PeerRef, from: PeerRef, msg: Message },
+    MineBlock,
+}
+
+struct ExternalConn {
+    target: NodeId,
+    inbox: Vec<Message>,
+    open: bool,
+}
+
+/// The simulated Bitcoin P2P network.
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_btcnet::network::{BtcNetwork, NetworkConfig};
+/// use icbtc_sim::SimTime;
+///
+/// let mut net = BtcNetwork::new(NetworkConfig::regtest(4), 42);
+/// // Run two simulated hours: ~12 blocks at the 10-minute cadence.
+/// net.run_until(SimTime::from_secs(2 * 3600));
+/// assert!(net.best_height() > 0);
+/// ```
+pub struct BtcNetwork {
+    config: NetworkConfig,
+    nodes: Vec<FullNode>,
+    events: EventQueue<NetEvent>,
+    external: HashMap<ConnId, ExternalConn>,
+    next_conn: u32,
+    rng: SimRng,
+    now: SimTime,
+    genesis_unix: u32,
+    blocks_mined: u64,
+    messages_delivered: u64,
+}
+
+impl BtcNetwork {
+    /// Builds the network: spawns nodes, wires a random gossip topology,
+    /// seeds address books, and schedules the first block.
+    pub fn new(config: NetworkConfig, seed: u64) -> BtcNetwork {
+        let mut rng = SimRng::seed_from(seed);
+        let total = config.honest_nodes + config.adversarial_nodes;
+        assert!(total > 0, "network needs at least one node");
+        let mut nodes: Vec<FullNode> = (0..total)
+            .map(|i| {
+                let behavior = if i < config.honest_nodes {
+                    NodeBehavior::Honest
+                } else {
+                    NodeBehavior::Adversarial
+                };
+                FullNode::new(NodeId(i as u32), config.network, behavior)
+            })
+            .collect();
+
+        // Random topology: each node links to `links_per_node` others.
+        let all_ids: Vec<NodeId> = (0..total as u32).map(NodeId).collect();
+        for i in 0..total {
+            let mut peers = Vec::new();
+            if total > 1 {
+                let picks = rng.sample_indices(total - 1, config.links_per_node);
+                for p in picks {
+                    // Skip self by shifting.
+                    let target = if p >= i { p + 1 } else { p };
+                    peers.push(PeerRef::Node(NodeId(target as u32)));
+                }
+            }
+            nodes[i].set_peers(peers.clone());
+            // Make links symmetric.
+            for peer in peers {
+                if let PeerRef::Node(id) = peer {
+                    let me = PeerRef::Node(NodeId(i as u32));
+                    nodes[id.0 as usize].add_peer(me);
+                }
+            }
+            nodes[i].set_known_addrs(all_ids.iter().copied().filter(|a| a.0 as usize != i).collect());
+        }
+
+        let genesis_unix = config.network.genesis_block().header.time;
+        let mut net = BtcNetwork {
+            config,
+            nodes,
+            events: EventQueue::new(),
+            external: HashMap::new(),
+            next_conn: 0,
+            rng,
+            now: SimTime::ZERO,
+            genesis_unix,
+            blocks_mined: 0,
+            messages_delivered: 0,
+        };
+        net.schedule_next_block();
+        net
+    }
+
+    fn schedule_next_block(&mut self) {
+        let wait = self.rng.exponential(self.config.mean_block_interval);
+        self.events.push(self.now + wait, NetEvent::MineBlock);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Simulated Unix time corresponding to `at`.
+    pub fn unix_time(&self, at: SimTime) -> u32 {
+        self.genesis_unix + at.as_nanos().div_euclid(1_000_000_000) as u32 + 1
+    }
+
+    /// The network parameters in use.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// All node ids, honest first.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.iter().map(|n| n.id()).collect()
+    }
+
+    /// Read access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &FullNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Mutable access to a node (adversary orchestration, tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut FullNode {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// Best height across honest nodes.
+    pub fn best_height(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.behavior() == NodeBehavior::Honest)
+            .map(|n| n.chain().tip_height())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total blocks produced by the Poisson process so far.
+    pub fn blocks_mined(&self) -> u64 {
+        self.blocks_mined
+    }
+
+    /// Total messages delivered so far.
+    pub fn messages_delivered(&self) -> u64 {
+        self.messages_delivered
+    }
+
+    /// Samples node addresses as a DNS seed would return them.
+    pub fn dns_seed_sample(&mut self, count: usize) -> Vec<NodeId> {
+        let total = self.nodes.len();
+        self.rng
+            .sample_indices(total, count)
+            .into_iter()
+            .map(|i| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Opens an external connection (an adapter link) to `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range.
+    pub fn connect_external(&mut self, target: NodeId) -> ConnId {
+        assert!((target.0 as usize) < self.nodes.len(), "unknown node");
+        let conn = ConnId(self.next_conn);
+        self.next_conn += 1;
+        self.external.insert(conn, ExternalConn { target, inbox: Vec::new(), open: true });
+        // The node treats the external link as a peer: it relays inv
+        // announcements to it, exactly as Bitcoin nodes serve SPV peers.
+        self.nodes[target.0 as usize].add_peer(PeerRef::External(conn));
+        conn
+    }
+
+    /// Closes an external connection; any in-flight messages are dropped
+    /// on arrival.
+    pub fn disconnect_external(&mut self, conn: ConnId) {
+        if let Some(c) = self.external.get_mut(&conn) {
+            c.open = false;
+            self.nodes[c.target.0 as usize].remove_peer(PeerRef::External(conn));
+        }
+    }
+
+    /// Returns `true` if the connection is open.
+    pub fn external_is_open(&self, conn: ConnId) -> bool {
+        self.external.get(&conn).map(|c| c.open).unwrap_or(false)
+    }
+
+    /// The node an external connection is attached to.
+    pub fn external_target(&self, conn: ConnId) -> Option<NodeId> {
+        self.external.get(&conn).filter(|c| c.open).map(|c| c.target)
+    }
+
+    /// Sends a message from an external connection to its node.
+    pub fn send_external(&mut self, conn: ConnId, msg: Message) {
+        let Some(c) = self.external.get(&conn) else { return };
+        if !c.open {
+            return;
+        }
+        let to = PeerRef::Node(c.target);
+        let latency = self.sample_latency();
+        self.events
+            .push(self.now + latency, NetEvent::Deliver { to, from: PeerRef::External(conn), msg });
+    }
+
+    /// Drains messages delivered to an external connection.
+    pub fn drain_external(&mut self, conn: ConnId) -> Vec<Message> {
+        self.external.get_mut(&conn).map(|c| std::mem::take(&mut c.inbox)).unwrap_or_default()
+    }
+
+    /// Injects a transaction directly into a node's mempool (a local
+    /// wallet submitting), relaying per protocol.
+    pub fn submit_transaction(&mut self, node: NodeId, tx: Transaction) {
+        let outgoing = self.nodes[node.0 as usize].accept_transaction(tx, None);
+        self.route_all(PeerRef::Node(node), outgoing);
+    }
+
+    /// Injects a block as if `node` had mined it out of band (adversary
+    /// fork delivery), relaying per protocol.
+    pub fn submit_block(&mut self, node: NodeId, block: icbtc_bitcoin::Block) {
+        let now_unix = self.unix_time(self.now);
+        let outgoing = self.nodes[node.0 as usize].accept_local_block(block, now_unix);
+        self.route_all(PeerRef::Node(node), outgoing);
+    }
+
+    fn sample_latency(&mut self) -> SimDuration {
+        self.rng
+            .normal(self.config.latency_mean, self.config.latency_std)
+            .max(SimDuration::from_micros(100))
+    }
+
+    fn route_all(&mut self, from: PeerRef, outgoing: Vec<(PeerRef, Message)>) {
+        for (to, msg) in outgoing {
+            let latency = self.sample_latency();
+            self.events.push(self.now + latency, NetEvent::Deliver { to, from, msg });
+        }
+    }
+
+    /// Advances the simulation, processing all events up to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some((at, event)) = self.events.pop_before(deadline) {
+            self.now = at;
+            match event {
+                NetEvent::MineBlock => {
+                    self.mine_one_block();
+                    self.schedule_next_block();
+                }
+                NetEvent::Deliver { to, from, msg } => {
+                    self.messages_delivered += 1;
+                    match to {
+                        PeerRef::Node(id) => {
+                            let now_unix = self.unix_time(self.now);
+                            let outgoing =
+                                self.nodes[id.0 as usize].handle_message(from, msg, now_unix);
+                            self.route_all(to, outgoing);
+                        }
+                        PeerRef::External(conn) => {
+                            if let Some(c) = self.external.get_mut(&conn) {
+                                if c.open {
+                                    c.inbox.push(msg);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Forces `node` to mine one block immediately, paying the coinbase
+    /// to `payout_script` and including its mempool — deterministic block
+    /// production for wallets and tests (the Poisson process continues
+    /// independently).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn mine_block_paying(
+        &mut self,
+        node: NodeId,
+        payout_script: Script,
+    ) -> icbtc_bitcoin::BlockHash {
+        let unix = self.unix_time(self.now);
+        let limit = self.config.template_tx_limit;
+        let extra_nonce = self.rng.next_u64();
+        let (hash, outgoing) = {
+            let node_ref = &mut self.nodes[node.0 as usize];
+            let txs = node_ref.take_template_transactions(limit);
+            let block = crate::miner::mine_block_at(
+                node_ref.chain(),
+                node_ref.chain().tip_hash(),
+                txs,
+                payout_script,
+                extra_nonce,
+                unix,
+            );
+            let hash = block.block_hash();
+            let outgoing = node_ref.accept_local_block(block, unix);
+            (hash, outgoing)
+        };
+        self.blocks_mined += 1;
+        self.route_all(PeerRef::Node(node), outgoing);
+        hash
+    }
+
+    fn mine_one_block(&mut self) {
+        // Winner selection: uniform over honest nodes (adversarial hash
+        // power is modelled separately by the adversary module).
+        let honest = self.config.honest_nodes;
+        if honest == 0 {
+            return;
+        }
+        let winner = NodeId(self.rng.index(honest) as u32);
+        let unix = self.unix_time(self.now);
+        let limit = self.config.template_tx_limit;
+        let (block, outgoing) = {
+            let node = &mut self.nodes[winner.0 as usize];
+            let txs = node.take_template_transactions(limit);
+            let block = crate::miner::mine_block_at(
+                node.chain(),
+                node.chain().tip_hash(),
+                txs,
+                Script::new_op_return(format!("miner-{}", winner.0).as_bytes()),
+                self.rng.next_u64(),
+                unix,
+            );
+            let outgoing = node.accept_local_block(block.clone(), unix);
+            (block, outgoing)
+        };
+        let _ = block;
+        self.blocks_mined += 1;
+        self.route_all(PeerRef::Node(winner), outgoing);
+    }
+}
+
+impl std::fmt::Debug for BtcNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BtcNetwork")
+            .field("nodes", &self.nodes.len())
+            .field("now", &self.now)
+            .field("blocks_mined", &self.blocks_mined)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::Inventory;
+
+    #[test]
+    fn blocks_propagate_to_all_honest_nodes() {
+        let mut net = BtcNetwork::new(NetworkConfig::regtest(6), 1);
+        net.run_until(SimTime::from_secs(4 * 3600));
+        assert!(net.blocks_mined() > 5, "expected several blocks in 4h");
+        let best = net.best_height();
+        // Give gossip time to settle.
+        net.run_until(net.now() + SimDuration::from_secs(60));
+        for id in net.node_ids() {
+            assert!(
+                net.node(id).chain().tip_height() + 1 >= best,
+                "node {id} lags: {} vs {best}",
+                net.node(id).chain().tip_height()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = |seed| {
+            let mut net = BtcNetwork::new(NetworkConfig::regtest(4), seed);
+            net.run_until(SimTime::from_secs(2 * 3600));
+            (net.blocks_mined(), net.node(NodeId(0)).chain().tip_hash())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).1, run(8).1);
+    }
+
+    #[test]
+    fn poisson_rate_is_roughly_calibrated() {
+        let mut config = NetworkConfig::regtest(3);
+        config.mean_block_interval = SimDuration::from_secs(60);
+        let mut net = BtcNetwork::new(config, 3);
+        net.run_until(SimTime::from_secs(50 * 60 * 60));
+        let blocks = net.blocks_mined() as f64;
+        let expected = 50.0 * 60.0;
+        assert!(
+            (blocks / expected - 1.0).abs() < 0.15,
+            "got {blocks} blocks, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn transactions_get_mined() {
+        let mut net = BtcNetwork::new(NetworkConfig::regtest(4), 5);
+        let tx = Transaction {
+            version: 2,
+            inputs: vec![icbtc_bitcoin::TxIn::new(icbtc_bitcoin::OutPoint::new(
+                icbtc_bitcoin::Txid([9; 32]),
+                0,
+            ))],
+            outputs: vec![icbtc_bitcoin::TxOut::new(
+                icbtc_bitcoin::Amount::from_sat(700),
+                Script::new_p2wpkh(&[1; 20]),
+            )],
+            lock_time: 0,
+        };
+        let txid = tx.txid();
+        net.submit_transaction(NodeId(0), tx);
+        net.run_until(SimTime::from_secs(12 * 3600));
+        // The tx must appear in some block on the best chain of node 0.
+        let chain = net.node(NodeId(0)).chain();
+        let mined = chain
+            .best_chain_hashes()
+            .iter()
+            .filter_map(|h| chain.block(h))
+            .any(|b| b.txdata.iter().any(|t| t.txid() == txid));
+        assert!(mined, "transaction was not mined within 12 simulated hours");
+    }
+
+    #[test]
+    fn external_connection_flow() {
+        let mut net = BtcNetwork::new(NetworkConfig::regtest(3), 11);
+        net.run_until(SimTime::from_secs(2 * 3600));
+        let conn = net.connect_external(NodeId(0));
+        assert!(net.external_is_open(conn));
+        assert_eq!(net.external_target(conn), Some(NodeId(0)));
+
+        net.send_external(conn, Message::GetHeaders {
+            locator: vec![Network::Regtest.genesis_hash()],
+            stop: icbtc_bitcoin::BlockHash::ZERO,
+        });
+        net.run_until(net.now() + SimDuration::from_secs(5));
+        let inbox = net.drain_external(conn);
+        assert_eq!(inbox.len(), 1);
+        match &inbox[0] {
+            Message::Headers(h) => assert_eq!(h.len() as u64, net.node(NodeId(0)).chain().tip_height()),
+            other => panic!("expected headers, got {}", other.kind()),
+        }
+
+        // Fetch a block over the same link.
+        let tip = net.node(NodeId(0)).chain().tip_hash();
+        net.send_external(conn, Message::GetData(vec![Inventory::Block(tip)]));
+        net.run_until(net.now() + SimDuration::from_secs(5));
+        let inbox = net.drain_external(conn);
+        assert!(matches!(inbox[0], Message::BlockMsg(_)));
+
+        // After disconnect, nothing is delivered.
+        net.disconnect_external(conn);
+        net.send_external(conn, Message::Ping(1));
+        net.run_until(net.now() + SimDuration::from_secs(5));
+        assert!(net.drain_external(conn).is_empty());
+    }
+
+    #[test]
+    fn dns_seed_sampling() {
+        let mut net = BtcNetwork::new(NetworkConfig::regtest(10), 2);
+        let sample = net.dns_seed_sample(4);
+        assert_eq!(sample.len(), 4);
+        let mut unique = sample.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 4);
+        // Asking for more than exist returns all.
+        assert_eq!(net.dns_seed_sample(50).len(), 10);
+    }
+
+    #[test]
+    fn unix_time_mapping() {
+        let net = BtcNetwork::new(NetworkConfig::regtest(1), 1);
+        let genesis_time = Network::Regtest.genesis_block().header.time;
+        assert!(net.unix_time(SimTime::ZERO) > genesis_time);
+        assert_eq!(
+            net.unix_time(SimTime::from_secs(100)) - net.unix_time(SimTime::ZERO),
+            100
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! The Bitcoin canister as a replicated state machine on the simulated IC.
+//!
+//! Wraps [`BitcoinCanisterState`] in the `icbtc-ic` execution model: a
+//! typed method interface, instruction metering per call, and cycles
+//! charges per the fee schedule (§IV-B).
+
+use icbtc_bitcoin::Address;
+use icbtc_ic::cycles::{Cycles, FeeSchedule};
+use icbtc_ic::subnet::{ExecutionContext, StateMachine};
+use icbtc_ic::Meter;
+
+use crate::api::{ApiError, GetBalanceResponse, GetUtxosResponse, UtxosFilter};
+use crate::state::BitcoinCanisterState;
+
+/// A call into the Bitcoin canister's API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CanisterCall {
+    /// `get_utxos(address, filter)`.
+    GetUtxos {
+        /// The address queried.
+        address: Address,
+        /// Optional confirmations/pagination filter.
+        filter: Option<UtxosFilter>,
+    },
+    /// `get_balance(address, min_confirmations)`.
+    GetBalance {
+        /// The address queried.
+        address: Address,
+        /// Minimum confirmations (0 = current best view).
+        min_confirmations: u32,
+    },
+    /// `send_transaction(bytes)`.
+    SendTransaction {
+        /// The serialized transaction.
+        transaction: Vec<u8>,
+    },
+    /// `get_current_fee_percentiles()`.
+    GetFeePercentiles,
+    /// `get_block_headers(start_height, end_height)`.
+    GetBlockHeaders {
+        /// First height requested (inclusive).
+        start_height: u64,
+        /// Last height requested (inclusive; clamped to the tip).
+        end_height: u64,
+    },
+}
+
+/// A successful reply from the canister.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CanisterReply {
+    /// Reply to [`CanisterCall::GetUtxos`].
+    Utxos(GetUtxosResponse),
+    /// Reply to [`CanisterCall::GetBalance`].
+    Balance(GetBalanceResponse),
+    /// Reply to [`CanisterCall::SendTransaction`]: the accepted txid.
+    TransactionSent(icbtc_bitcoin::Txid),
+    /// Reply to [`CanisterCall::GetFeePercentiles`].
+    FeePercentiles(Vec<u64>),
+    /// Reply to [`CanisterCall::GetBlockHeaders`].
+    BlockHeaders(crate::api::GetBlockHeadersResponse),
+}
+
+/// The outcome of one canister call: the reply (or API error) plus the
+/// cycles charged for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallOutcome {
+    /// The API-level result.
+    pub reply: Result<CanisterReply, ApiError>,
+    /// Cycles charged per the fee schedule.
+    pub cycles_charged: Cycles,
+}
+
+/// The Bitcoin canister, pluggable into [`icbtc_ic::Subnet`].
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_canister::{BitcoinCanister, CanisterCall};
+/// use icbtc_core::IntegrationParams;
+/// use icbtc_bitcoin::{Address, AddressKind, Network};
+/// use icbtc_ic::Meter;
+///
+/// let canister = BitcoinCanister::new(IntegrationParams::for_network(Network::Regtest));
+/// let address = Address::new(Network::Regtest, AddressKind::P2wpkh([1; 20]));
+/// let outcome = canister.query(
+///     &CanisterCall::GetBalance { address, min_confirmations: 0 },
+///     &mut Meter::new(),
+/// );
+/// assert!(outcome.reply.is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitcoinCanister {
+    state: BitcoinCanisterState,
+    fees: FeeSchedule,
+}
+
+impl BitcoinCanister {
+    /// Creates a canister for the given integration parameters.
+    pub fn new(params: icbtc_core::IntegrationParams) -> BitcoinCanister {
+        BitcoinCanister { state: BitcoinCanisterState::new(params), fees: FeeSchedule::default() }
+    }
+
+    /// Wraps an existing (e.g. snapshot-installed) state as a canister.
+    pub fn from_state(state: BitcoinCanisterState) -> BitcoinCanister {
+        BitcoinCanister { state, fees: FeeSchedule::default() }
+    }
+
+    /// Read access to the replicated state.
+    pub fn state(&self) -> &BitcoinCanisterState {
+        &self.state
+    }
+
+    /// Mutable access (Algorithm 2 payload processing, upgrades).
+    pub fn state_mut(&mut self) -> &mut BitcoinCanisterState {
+        &mut self.state
+    }
+
+    /// The fee schedule in force.
+    pub fn fee_schedule(&self) -> &FeeSchedule {
+        &self.fees
+    }
+
+    fn dispatch(&mut self, call: CanisterCall, meter: &mut Meter) -> CallOutcome {
+        match call {
+            CanisterCall::GetUtxos { address, filter } => {
+                let reply = self.state.get_utxos(&address, filter, meter).map(CanisterReply::Utxos);
+                CallOutcome { reply, cycles_charged: self.fees.get_utxos_fee(meter.instructions()) }
+            }
+            CanisterCall::GetBalance { address, min_confirmations } => {
+                let reply = self
+                    .state
+                    .get_balance(&address, min_confirmations, meter)
+                    .map(CanisterReply::Balance);
+                CallOutcome {
+                    reply,
+                    cycles_charged: self.fees.get_balance_fee(meter.instructions()),
+                }
+            }
+            CanisterCall::SendTransaction { transaction } => {
+                let size = transaction.len();
+                let reply = self
+                    .state
+                    .send_transaction(&transaction, meter)
+                    .map(CanisterReply::TransactionSent);
+                CallOutcome { reply, cycles_charged: self.fees.send_transaction_fee(size) }
+            }
+            CanisterCall::GetFeePercentiles => {
+                let reply =
+                    Ok(CanisterReply::FeePercentiles(self.state.get_current_fee_percentiles(meter)));
+                CallOutcome { reply, cycles_charged: self.fees.get_balance_fee(meter.instructions()) }
+            }
+            CanisterCall::GetBlockHeaders { start_height, end_height } => {
+                let reply = self
+                    .state
+                    .get_block_headers(start_height, end_height, meter)
+                    .map(CanisterReply::BlockHeaders);
+                CallOutcome { reply, cycles_charged: self.fees.get_balance_fee(meter.instructions()) }
+            }
+        }
+    }
+
+    /// Executes a call in *query* mode (single replica, read-only).
+    /// `SendTransaction` is rejected in query mode — writes must be
+    /// replicated.
+    pub fn query(&self, call: &CanisterCall, meter: &mut Meter) -> CallOutcome {
+        match call {
+            CanisterCall::SendTransaction { .. } => CallOutcome {
+                reply: Err(ApiError::MalformedTransaction),
+                cycles_charged: 0,
+            },
+            CanisterCall::GetUtxos { address, filter } => {
+                let reply = self
+                    .state
+                    .get_utxos(address, filter.clone(), meter)
+                    .map(CanisterReply::Utxos);
+                CallOutcome { reply, cycles_charged: self.fees.get_utxos_fee(meter.instructions()) }
+            }
+            CanisterCall::GetBalance { address, min_confirmations } => {
+                let reply = self
+                    .state
+                    .get_balance(address, *min_confirmations, meter)
+                    .map(CanisterReply::Balance);
+                CallOutcome {
+                    reply,
+                    cycles_charged: self.fees.get_balance_fee(meter.instructions()),
+                }
+            }
+            CanisterCall::GetFeePercentiles => {
+                let reply =
+                    Ok(CanisterReply::FeePercentiles(self.state.get_current_fee_percentiles(meter)));
+                CallOutcome { reply, cycles_charged: self.fees.get_balance_fee(meter.instructions()) }
+            }
+            CanisterCall::GetBlockHeaders { start_height, end_height } => {
+                let reply = self
+                    .state
+                    .get_block_headers(*start_height, *end_height, meter)
+                    .map(CanisterReply::BlockHeaders);
+                CallOutcome { reply, cycles_charged: self.fees.get_balance_fee(meter.instructions()) }
+            }
+        }
+    }
+}
+
+impl StateMachine for BitcoinCanister {
+    type Input = CanisterCall;
+    type Output = CallOutcome;
+
+    fn execute(&mut self, input: CanisterCall, ctx: &mut ExecutionContext<'_>) -> CallOutcome {
+        self.dispatch(input, ctx.meter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icbtc_bitcoin::{AddressKind, Network};
+    use icbtc_core::IntegrationParams;
+    use icbtc_ic::consensus::ConsensusConfig;
+    use icbtc_ic::Subnet;
+
+    fn addr(n: u8) -> Address {
+        Address::new(Network::Regtest, AddressKind::P2wpkh([n; 20]))
+    }
+
+    fn canister() -> BitcoinCanister {
+        BitcoinCanister::new(IntegrationParams::for_network(Network::Regtest))
+    }
+
+    #[test]
+    fn runs_inside_a_subnet() {
+        let mut subnet = Subnet::new(canister(), ConsensusConfig::thirteen_replicas(), 3);
+        subnet.submit(CanisterCall::GetBalance { address: addr(1), min_confirmations: 0 });
+        let outcome = loop {
+            let report = subnet.execute_round(|_, _| {});
+            if let Some(result) = report.results.into_iter().next() {
+                break result;
+            }
+        };
+        assert!(outcome.output.reply.is_ok());
+        assert!(outcome.instructions > 0);
+        assert!(outcome.output.cycles_charged > 0);
+    }
+
+    #[test]
+    fn query_mode_rejects_writes() {
+        let c = canister();
+        let outcome = c.query(
+            &CanisterCall::SendTransaction { transaction: vec![1, 2, 3] },
+            &mut Meter::new(),
+        );
+        assert!(outcome.reply.is_err());
+        assert_eq!(outcome.cycles_charged, 0);
+    }
+
+    #[test]
+    fn cycles_follow_the_fee_schedule() {
+        let c = canister();
+        let mut meter = Meter::new();
+        let outcome = c.query(
+            &CanisterCall::GetBalance { address: addr(1), min_confirmations: 0 },
+            &mut meter,
+        );
+        let expected = c.fee_schedule().get_balance_fee(meter.instructions());
+        assert_eq!(outcome.cycles_charged, expected);
+        // UTXO calls cost more than balance calls (flat fee difference).
+        let utxo_outcome = c.query(
+            &CanisterCall::GetUtxos { address: addr(1), filter: None },
+            &mut Meter::new(),
+        );
+        assert!(utxo_outcome.cycles_charged > outcome.cycles_charged);
+    }
+
+    #[test]
+    fn fee_percentiles_callable() {
+        let c = canister();
+        let outcome = c.query(&CanisterCall::GetFeePercentiles, &mut Meter::new());
+        assert_eq!(outcome.reply, Ok(CanisterReply::FeePercentiles(Vec::new())));
+    }
+}

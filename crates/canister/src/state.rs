@@ -1,0 +1,717 @@
+//! The Bitcoin canister's replicated state and **Algorithm 2** (§III-C).
+//!
+//! The canister keeps (a) the stable UTXO set up to and including the
+//! *anchor* — the newest difficulty-based δ-stable block —, (b) the tree
+//! of all headers above the anchor, (c) the full blocks for those
+//! headers, and (d) the queue of outbound transactions. Responses from
+//! the Bitcoin adapter are folded in by Algorithm 2: validate, append,
+//! advance the anchor whenever a child becomes δ-stable, and track
+//! syncedness against the τ lag bound.
+
+use std::collections::HashMap;
+
+use icbtc_bitcoin::pow::{median_time_past, retarget};
+use icbtc_bitcoin::{Block, BlockHash, BlockHeader, Transaction, Txid};
+use icbtc_core::stability::HeaderTree;
+use icbtc_core::{GetSuccessorsRequest, GetSuccessorsResponse, IntegrationParams};
+use icbtc_ic::{Meter, MeterBreakdown};
+
+use crate::metering;
+use crate::utxoset::UtxoSet;
+
+/// Why a header or block from the adapter was rejected. Rejections are
+/// not errors of the canister — malicious replicas may relay garbage —
+/// so Algorithm 2 records and skips them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Parent header unknown.
+    Orphan(BlockHash),
+    /// Hash exceeds the stated target.
+    BadProofOfWork,
+    /// `bits` disagrees with the retarget schedule.
+    BadDifficultyBits,
+    /// Timestamp at or below median time past, or too far in the future.
+    BadTimestamp,
+    /// Block body malformed (coinbase/Merkle rules).
+    MalformedBlock,
+    /// Predecessor block body unavailable.
+    MissingPredecessorBlock(BlockHash),
+    /// Header is at or below the anchor height (already finalized).
+    BelowAnchor,
+}
+
+/// Statistics from one [`BitcoinCanisterState::process_response`] call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Blocks accepted and stored.
+    pub blocks_accepted: usize,
+    /// Headers (from `next`) accepted into the tree.
+    pub headers_accepted: usize,
+    /// Items rejected, with reasons.
+    pub rejected: Vec<RejectReason>,
+    /// Blocks that became stable and were folded into the UTXO set.
+    pub stabilized: Vec<BlockHash>,
+}
+
+/// The replicated state of the Bitcoin canister.
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_canister::state::BitcoinCanisterState;
+/// use icbtc_core::IntegrationParams;
+/// use icbtc_bitcoin::Network;
+///
+/// let state = BitcoinCanisterState::new(IntegrationParams::for_network(Network::Regtest));
+/// assert_eq!(state.anchor_height(), 0);
+/// assert!(state.is_synced());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitcoinCanisterState {
+    params: IntegrationParams,
+    utxos: UtxoSet,
+    /// The single stable header per height, genesis first (kept forever,
+    /// as the paper specifies).
+    stable_headers: Vec<BlockHeader>,
+    /// Header tree rooted at the anchor (the anchor plus all unstable
+    /// headers).
+    tree: HeaderTree,
+    /// Bodies of unstable blocks, keyed by header hash.
+    blocks: HashMap<BlockHash, Block>,
+    /// Outbound transactions awaiting the next adapter request.
+    outbound: Vec<Transaction>,
+    synced: bool,
+    /// Cumulative ingestion breakdown (Figure 6's split).
+    ingestion_breakdown: MeterBreakdown,
+    /// Total blocks folded into the stable set.
+    blocks_stabilized: u64,
+}
+
+impl BitcoinCanisterState {
+    /// Creates the state anchored at the network's genesis block, whose
+    /// outputs seed the stable UTXO set.
+    pub fn new(params: IntegrationParams) -> BitcoinCanisterState {
+        let genesis = params.network.genesis_block().clone();
+        let mut utxos = UtxoSet::new(params.network);
+        let mut meter = Meter::new();
+        let mut breakdown = MeterBreakdown::new();
+        utxos.ingest_block(&genesis.txdata, 0, &mut meter, &mut breakdown);
+        BitcoinCanisterState {
+            params,
+            utxos,
+            stable_headers: vec![genesis.header],
+            tree: HeaderTree::new(genesis.header),
+            blocks: HashMap::new(),
+            outbound: Vec::new(),
+            synced: true,
+            ingestion_breakdown: breakdown,
+            blocks_stabilized: 1,
+        }
+    }
+
+    /// The integration parameters in force.
+    pub fn params(&self) -> &IntegrationParams {
+        &self.params
+    }
+
+    /// The anchor header `β*` — the newest stable header.
+    pub fn anchor(&self) -> BlockHeader {
+        *self.stable_headers.last().expect("genesis always present")
+    }
+
+    /// Height of the anchor.
+    pub fn anchor_height(&self) -> u64 {
+        self.stable_headers.len() as u64 - 1
+    }
+
+    /// Read access to the stable UTXO set.
+    pub fn utxos(&self) -> &UtxoSet {
+        &self.utxos
+    }
+
+    /// The unstable header tree (rooted at the anchor).
+    pub fn tree(&self) -> &HeaderTree {
+        &self.tree
+    }
+
+    /// The unstable block body for `hash`, if held.
+    pub fn block(&self, hash: &BlockHash) -> Option<&Block> {
+        self.blocks.get(hash)
+    }
+
+    /// Number of unstable block bodies held.
+    pub fn unstable_block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total blocks ever folded into the stable set (including genesis).
+    pub fn blocks_stabilized(&self) -> u64 {
+        self.blocks_stabilized
+    }
+
+    /// Whether the canister considers itself synced (§III-C: the maximum
+    /// known header height exceeds the maximum height with an available
+    /// block by at most τ). When `false`, all API requests are answered
+    /// with errors.
+    pub fn is_synced(&self) -> bool {
+        self.synced
+    }
+
+    /// The cumulative output-insertion / input-removal instruction split
+    /// (Figure 6, right).
+    pub fn ingestion_breakdown(&self) -> &MeterBreakdown {
+        &self.ingestion_breakdown
+    }
+
+    /// Queues a transaction for transmission via the next adapter request.
+    pub fn queue_transaction(&mut self, tx: Transaction) -> Txid {
+        let txid = tx.txid();
+        self.outbound.push(tx);
+        txid
+    }
+
+    /// Number of queued outbound transactions.
+    pub fn outbound_len(&self) -> usize {
+        self.outbound.len()
+    }
+
+    /// Builds the periodic request to the adapter: the anchor `β*`, the
+    /// processed set `A`, and the outbound transactions `T` (drained).
+    pub fn make_request(&mut self) -> GetSuccessorsRequest {
+        let processed = self
+            .tree
+            .hashes()
+            .filter(|h| **h != self.tree.root() && self.blocks.contains_key(h))
+            .copied()
+            .collect();
+        GetSuccessorsRequest {
+            anchor: self.anchor(),
+            anchor_height: self.anchor_height(),
+            processed,
+            transactions: std::mem::take(&mut self.outbound),
+        }
+    }
+
+    /// The header at an absolute height on the canonical path: the stable
+    /// chain below the anchor, the best unstable chain above it.
+    pub fn header_at_height(&self, height: u64) -> Option<BlockHeader> {
+        if height <= self.anchor_height() {
+            return self.stable_headers.get(height as usize).copied();
+        }
+        let best = self.tree.best_chain();
+        let offset = (height - self.anchor_height()) as usize;
+        best.get(offset).and_then(|h| self.tree.header(h))
+    }
+
+    /// The tip of the current best chain (the chain maximizing `d_w`).
+    pub fn best_tip(&self) -> (BlockHash, u64) {
+        let best = self.tree.best_chain();
+        let tip = *best.last().expect("anchor always present");
+        (tip, self.anchor_height() + best.len() as u64 - 1)
+    }
+
+    /// The deepest height on the best chain for which the block body is
+    /// available — what `get_utxos`/`get_balance` can actually see. Lags
+    /// [`BitcoinCanisterState::best_tip`] by at most τ while synced.
+    pub fn available_tip_height(&self) -> u64 {
+        let best = self.tree.best_chain();
+        let mut height = self.anchor_height();
+        for (i, hash) in best.iter().enumerate().skip(1) {
+            if self.blocks.contains_key(hash) {
+                height = self.anchor_height() + i as u64;
+            } else {
+                break;
+            }
+        }
+        height
+    }
+
+    // -----------------------------------------------------------------
+    // Validation (the same checks the adapter performs, §III-B/§III-C)
+    // -----------------------------------------------------------------
+
+    fn validate_header(&self, header: &BlockHeader, now_unix: u32) -> Result<(), RejectReason> {
+        let prev = header.prev_blockhash;
+        if !self.tree.contains(&prev) {
+            // Headers below the anchor cannot extend anything.
+            if self.stable_headers.iter().any(|h| h.block_hash() == prev) {
+                return Err(RejectReason::BelowAnchor);
+            }
+            return Err(RejectReason::Orphan(prev));
+        }
+        let expected = self.expected_bits(&prev);
+        if header.bits != expected {
+            return Err(RejectReason::BadDifficultyBits);
+        }
+        if !header.meets_pow_target() {
+            return Err(RejectReason::BadProofOfWork);
+        }
+        let mtp = self.median_time_past(&prev);
+        if header.time <= mtp || header.time > now_unix.saturating_add(2 * 60 * 60) {
+            return Err(RejectReason::BadTimestamp);
+        }
+        Ok(())
+    }
+
+    /// Walks up to `count` ancestors of `hash` (inclusive), newest last,
+    /// crossing from the tree into the stable chain as needed.
+    fn ancestor_headers(&self, hash: &BlockHash, count: usize) -> Vec<BlockHeader> {
+        let mut rev = Vec::with_capacity(count);
+        let mut cursor = *hash;
+        while rev.len() < count {
+            if let Some(header) = self.tree.header(&cursor) {
+                let height = self.tree.height(&cursor).expect("header in tree");
+                rev.push(header);
+                if height == 0 {
+                    break;
+                }
+                if cursor == self.tree.root() {
+                    // Continue below the anchor on the stable chain.
+                    let mut h = height;
+                    while rev.len() < count && h > 0 {
+                        h -= 1;
+                        rev.push(self.stable_headers[h as usize]);
+                    }
+                    break;
+                }
+                cursor = header.prev_blockhash;
+            } else {
+                break;
+            }
+        }
+        rev.reverse();
+        rev
+    }
+
+    fn expected_bits(&self, prev: &BlockHash) -> icbtc_bitcoin::CompactTarget {
+        let params = self.params.network.params();
+        let prev_header = self.tree.header(prev).expect("validated parent");
+        let prev_height = self.tree.height(prev).expect("validated parent");
+        let next_height = prev_height + 1;
+        if next_height % params.retarget_interval as u64 != 0 {
+            return prev_header.bits;
+        }
+        let span = self.ancestor_headers(prev, params.retarget_interval as usize);
+        let first = span.first().expect("non-empty ancestry");
+        let actual = prev_header.time.saturating_sub(first.time) as u64;
+        retarget(prev_header.bits, actual.max(1), params.expected_timespan_secs(), params.pow_limit)
+    }
+
+    fn median_time_past(&self, hash: &BlockHash) -> u32 {
+        let window = self.ancestor_headers(hash, 11);
+        median_time_past(&window.iter().map(|h| h.time).collect::<Vec<_>>())
+    }
+
+    fn block_valid(&self, block: &Block) -> Result<(), RejectReason> {
+        if !block.is_well_formed() {
+            return Err(RejectReason::MalformedBlock);
+        }
+        let prev = block.header.prev_blockhash;
+        let prev_available = prev == self.tree.root() || self.blocks.contains_key(&prev);
+        if !prev_available {
+            return Err(RejectReason::MissingPredecessorBlock(prev));
+        }
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Algorithm 2
+    // -----------------------------------------------------------------
+
+    /// Processes an adapter response `(B, N)` per **Algorithm 2**:
+    /// validates and stores each block, advances the anchor while any
+    /// child of it is difficulty-based δ-stable (folding stabilized
+    /// blocks into the UTXO set and pruning defeated forks), appends the
+    /// upcoming headers, and recomputes the synced flag.
+    pub fn process_response(
+        &mut self,
+        response: GetSuccessorsResponse,
+        now_unix: u32,
+        meter: &mut Meter,
+    ) -> IngestReport {
+        let mut report = IngestReport::default();
+        for block in response.blocks {
+            let hash = block.block_hash();
+            meter.charge(metering::VALIDATE_HEADER);
+            if !self.tree.contains(&hash) {
+                if let Err(reason) = self.validate_header(&block.header, now_unix) {
+                    report.rejected.push(reason);
+                    continue;
+                }
+            }
+            if let Err(reason) = self.block_valid(&block) {
+                report.rejected.push(reason);
+                continue;
+            }
+            meter.charge(block.txdata.len() as u64 * metering::PARSE_TX);
+            let _ = self.tree.insert(block.header);
+            if self.blocks.insert(hash, block).is_none() {
+                report.blocks_accepted += 1;
+            }
+            self.advance_anchor(&mut report, meter);
+        }
+
+        for header in response.next {
+            let hash = header.block_hash();
+            meter.charge(metering::VALIDATE_HEADER);
+            if self.tree.contains(&hash) {
+                continue;
+            }
+            match self.validate_header(&header, now_unix) {
+                Ok(()) => {
+                    let _ = self.tree.insert(header);
+                    report.headers_accepted += 1;
+                }
+                Err(reason) => report.rejected.push(reason),
+            }
+        }
+
+        self.update_synced();
+        report
+    }
+
+    /// Advances the anchor while the work-heaviest child with an
+    /// available body is difficulty-based δ-stable with respect to the
+    /// current anchor's work.
+    fn advance_anchor(&mut self, report: &mut IngestReport, meter: &mut Meter) {
+        loop {
+            let anchor_hash = self.tree.root();
+            let anchor_work = self.tree.header(&anchor_hash).expect("anchor in tree").work();
+            // Among children with available bodies, the d_w-maximal one.
+            let candidate = self
+                .tree
+                .children(&anchor_hash)
+                .iter()
+                .filter(|h| self.blocks.contains_key(h))
+                .max_by(|a, b| {
+                    let da = self.tree.depth_work(a).expect("in tree");
+                    let db = self.tree.depth_work(b).expect("in tree");
+                    da.cmp(&db)
+                })
+                .copied();
+            let Some(next_hash) = candidate else { return };
+            if !self.tree.is_difficulty_stable(&next_hash, self.params.stability_delta, anchor_work)
+            {
+                return;
+            }
+            // Fold the stabilized block into the UTXO set and discard its
+            // body; keep exactly its header at this height.
+            let block = self.blocks.remove(&next_hash).expect("candidate has body");
+            let mut breakdown = MeterBreakdown::new();
+            let height = self.anchor_height() + 1;
+            self.utxos.ingest_block(&block.txdata, height, meter, &mut breakdown);
+            for (label, value) in breakdown.entries() {
+                self.ingestion_breakdown.add(label, *value);
+            }
+            self.stable_headers.push(block.header);
+            self.blocks_stabilized += 1;
+            report.stabilized.push(next_hash);
+            // Prune every branch not passing through the new anchor.
+            for removed in self.tree.reroot(next_hash) {
+                self.blocks.remove(&removed);
+            }
+        }
+    }
+
+    fn update_synced(&mut self) {
+        let max_header_height = self.anchor_height() + (self.tree.max_height() - self.tree.root_height());
+        let max_block_height = self
+            .tree
+            .hashes()
+            .filter(|h| **h == self.tree.root() || self.blocks.contains_key(h))
+            .filter_map(|h| self.tree.height(h))
+            .max()
+            .unwrap_or(self.tree.root_height());
+        let max_block_height = self.anchor_height() + (max_block_height - self.tree.root_height());
+        self.synced = max_header_height.saturating_sub(max_block_height) <= self.params.tau;
+    }
+
+    /// Marks the canister out of sync manually (downtime experiments).
+    pub fn force_unsynced(&mut self) {
+        self.synced = false;
+    }
+
+    /// Installs a pre-built state snapshot, as a canister
+    /// (re)installation would: the stable UTXO set and the matching
+    /// stable header chain. The anchor becomes the last header; the
+    /// unstable region is reset. Used by the benchmark harness to load
+    /// large workloads without replaying block-by-block sync.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `stable_headers` is non-empty, chains correctly
+    /// (each header's `prev` is its predecessor's hash), and its length
+    /// equals the UTXO set's `next_height`.
+    pub fn install_snapshot(&mut self, utxos: UtxoSet, stable_headers: Vec<BlockHeader>) {
+        assert!(!stable_headers.is_empty(), "snapshot needs at least the genesis header");
+        assert_eq!(
+            stable_headers.len() as u64,
+            utxos.next_height(),
+            "one stable header per ingested height"
+        );
+        for pair in stable_headers.windows(2) {
+            assert_eq!(
+                pair[1].prev_blockhash,
+                pair[0].block_hash(),
+                "stable headers must chain"
+            );
+        }
+        let anchor = *stable_headers.last().expect("non-empty");
+        let anchor_height = stable_headers.len() as u64 - 1;
+        self.utxos = utxos;
+        self.stable_headers = stable_headers;
+        self.tree = HeaderTree::with_root_height(anchor, anchor_height);
+        self.blocks.clear();
+        self.blocks_stabilized = anchor_height + 1;
+        self.synced = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icbtc_bitcoin::{Network, Script};
+    use icbtc_btcnet::miner::mine_block_on;
+    use icbtc_btcnet::ChainStore;
+
+    const NOW: u32 = 2_000_000_000;
+
+    fn params() -> IntegrationParams {
+        IntegrationParams::for_network(Network::Regtest).with_stability_delta(2)
+    }
+
+    /// Mines `n` blocks on a reference chain and returns them.
+    fn mine_chain(chain: &mut ChainStore, n: usize, salt: u64) -> Vec<Block> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            let block = mine_block_on(
+                chain,
+                chain.tip_hash(),
+                Vec::new(),
+                Script::new_p2wpkh(&[i as u8; 20]),
+                salt + i as u64,
+            );
+            chain.accept_block(block.clone(), NOW).unwrap();
+            out.push(block);
+        }
+        out
+    }
+
+    fn respond_with(blocks: &[Block]) -> GetSuccessorsResponse {
+        GetSuccessorsResponse { blocks: blocks.to_vec(), next: Vec::new() }
+    }
+
+    #[test]
+    fn initial_state_is_genesis_anchored() {
+        let state = BitcoinCanisterState::new(params());
+        assert_eq!(state.anchor_height(), 0);
+        assert_eq!(state.anchor(), Network::Regtest.genesis_block().header);
+        // The simulated genesis coinbase pays OP_RETURN (unspendable, as
+        // Bitcoin's real genesis output effectively is), so nothing lands
+        // in the UTXO set.
+        assert_eq!(state.utxos().len(), 0);
+        assert_eq!(state.utxos().next_height(), 1);
+        assert_eq!(state.unstable_block_count(), 0);
+        let (tip, height) = state.best_tip();
+        assert_eq!(height, 0);
+        assert_eq!(tip, Network::Regtest.genesis_hash());
+    }
+
+    #[test]
+    fn blocks_accumulate_and_anchor_advances_at_delta() {
+        let mut chain = ChainStore::new(Network::Regtest);
+        let blocks = mine_chain(&mut chain, 6, 0);
+        let mut state = BitcoinCanisterState::new(params());
+        let mut meter = Meter::new();
+
+        // Feed the first two blocks: nothing stable yet at δ = 2
+        // (block 1 has depth 2 but needs d_w/w ≥ 2... it is exactly 2).
+        let report = state.process_response(respond_with(&blocks[..1]), NOW, &mut meter);
+        assert_eq!(report.blocks_accepted, 1);
+        assert!(report.stabilized.is_empty());
+        assert_eq!(state.anchor_height(), 0);
+
+        // Feeding the rest advances the anchor: with 6 blocks and δ = 2,
+        // blocks 1..=4 become stable (block at height h is stable once
+        // depth ≥ 2, i.e. there is a block at h+1).
+        let report = state.process_response(respond_with(&blocks[1..]), NOW, &mut meter);
+        assert_eq!(report.blocks_accepted, 5);
+        assert_eq!(state.anchor_height(), 5);
+        assert_eq!(report.stabilized.len(), 5);
+        // The unstable region holds the remaining tip block.
+        assert_eq!(state.unstable_block_count(), 1);
+        assert!(meter.instructions() > 0);
+        // Stable UTXO set includes the stabilized coinbases.
+        assert_eq!(state.utxos().next_height(), 6);
+    }
+
+    #[test]
+    fn rejects_invalid_blocks() {
+        let mut chain = ChainStore::new(Network::Regtest);
+        let blocks = mine_chain(&mut chain, 2, 0);
+        let mut state = BitcoinCanisterState::new(params());
+        let mut meter = Meter::new();
+
+        // Orphan: skip ahead.
+        let report = state.process_response(respond_with(&blocks[1..2]), NOW, &mut meter);
+        assert_eq!(report.blocks_accepted, 0);
+        assert!(matches!(report.rejected[0], RejectReason::Orphan(_)));
+
+        // Malformed body.
+        let mut bad = blocks[0].clone();
+        bad.txdata.clear();
+        let report = state.process_response(respond_with(&[bad]), NOW, &mut meter);
+        assert_eq!(report.rejected, vec![RejectReason::MalformedBlock]);
+
+        // Bad PoW.
+        let mut tampered = blocks[0].clone();
+        for delta in 1..1000 {
+            tampered.header.nonce = blocks[0].header.nonce.wrapping_add(delta);
+            if !tampered.header.meets_pow_target() {
+                break;
+            }
+        }
+        let report = state.process_response(respond_with(&[tampered]), NOW, &mut meter);
+        assert_eq!(report.rejected, vec![RejectReason::BadProofOfWork]);
+
+        // Timestamp too far in the future.
+        let future_chain_now = blocks[0].header.time.saturating_sub(3 * 60 * 60);
+        let report = state.process_response(respond_with(&blocks[..1]), future_chain_now, &mut meter);
+        assert_eq!(report.rejected, vec![RejectReason::BadTimestamp]);
+    }
+
+    #[test]
+    fn transaction_validity_is_not_checked() {
+        // §III-C: the canister deliberately skips spend validation.
+        let mut chain = ChainStore::new(Network::Regtest);
+        let bogus_spend = Transaction {
+            version: 2,
+            inputs: vec![icbtc_bitcoin::TxIn::new(icbtc_bitcoin::OutPoint::new(
+                Txid([0xab; 32]),
+                7,
+            ))],
+            outputs: vec![icbtc_bitcoin::TxOut::new(
+                icbtc_bitcoin::Amount::from_sat(123),
+                Script::new_p2wpkh(&[0xcd; 20]),
+            )],
+            lock_time: 0,
+        };
+        let block = mine_block_on(
+            &chain,
+            chain.tip_hash(),
+            vec![bogus_spend],
+            Script::new_p2wpkh(&[1; 20]),
+            0,
+        );
+        chain.accept_block(block.clone(), NOW).unwrap();
+        let mut state = BitcoinCanisterState::new(params());
+        let report = state.process_response(respond_with(&[block]), NOW, &mut Meter::new());
+        assert_eq!(report.blocks_accepted, 1);
+        assert!(report.rejected.is_empty());
+    }
+
+    #[test]
+    fn fork_resolution_follows_work_and_prunes_on_stability() {
+        let mut chain = ChainStore::new(Network::Regtest);
+        let main = mine_chain(&mut chain, 3, 0);
+        // A one-block fork off genesis.
+        let mut fork_chain = ChainStore::new(Network::Regtest);
+        let fork = mine_chain(&mut fork_chain, 1, 100);
+
+        let mut state = BitcoinCanisterState::new(params());
+        let mut meter = Meter::new();
+        state.process_response(respond_with(&fork), NOW, &mut meter);
+        state.process_response(respond_with(&main[..1]), NOW, &mut meter);
+        // Two children of the anchor: neither is δ-stable (equal work).
+        assert_eq!(state.anchor_height(), 0);
+        assert_eq!(state.unstable_block_count(), 2);
+
+        // Extend the main branch until it wins by δ = 2.
+        state.process_response(respond_with(&main[1..]), NOW, &mut meter);
+        assert!(state.anchor_height() >= 1, "main branch must stabilize");
+        // The fork's block was pruned with its branch.
+        assert!(state.block(&fork[0].block_hash()).is_none());
+        assert!(!state.tree().contains(&fork[0].block_hash()));
+    }
+
+    #[test]
+    fn make_request_carries_anchor_processed_and_transactions() {
+        let mut chain = ChainStore::new(Network::Regtest);
+        let blocks = mine_chain(&mut chain, 2, 0);
+        let mut state = BitcoinCanisterState::new(params());
+        state.process_response(respond_with(&blocks[..1]), NOW, &mut Meter::new());
+        let tx = Transaction::default();
+        state.queue_transaction(tx.clone());
+        assert_eq!(state.outbound_len(), 1);
+
+        let request = state.make_request();
+        assert_eq!(request.anchor, state.anchor());
+        assert_eq!(request.anchor_height, 0);
+        assert_eq!(request.processed, vec![blocks[0].block_hash()]);
+        assert_eq!(request.transactions, vec![tx]);
+        // Drained.
+        assert_eq!(state.outbound_len(), 0);
+        assert!(state.make_request().transactions.is_empty());
+    }
+
+    #[test]
+    fn synced_flag_follows_tau() {
+        let mut chain = ChainStore::new(Network::Regtest);
+        let blocks = mine_chain(&mut chain, 6, 0);
+        let mut state = BitcoinCanisterState::new(params());
+        let mut meter = Meter::new();
+        assert!(state.is_synced());
+
+        // Learn 6 headers but only 1 block: lag 5 > τ = 2 ⇒ unsynced.
+        let response = GetSuccessorsResponse {
+            blocks: blocks[..1].to_vec(),
+            next: blocks[1..].iter().map(|b| b.header).collect(),
+        };
+        state.process_response(response, NOW, &mut meter);
+        assert!(!state.is_synced());
+
+        // Deliver the remaining blocks: synced again.
+        state.process_response(respond_with(&blocks[1..]), NOW, &mut meter);
+        assert!(state.is_synced());
+    }
+
+    #[test]
+    fn header_at_height_spans_stable_and_unstable() {
+        let mut chain = ChainStore::new(Network::Regtest);
+        let blocks = mine_chain(&mut chain, 5, 0);
+        let mut state = BitcoinCanisterState::new(params());
+        state.process_response(respond_with(&blocks), NOW, &mut Meter::new());
+        assert!(state.anchor_height() >= 3);
+        // Every height up to the tip resolves and matches the mined chain.
+        for (i, block) in blocks.iter().enumerate() {
+            let header = state.header_at_height(i as u64 + 1).unwrap();
+            assert_eq!(header.block_hash(), block.block_hash(), "height {}", i + 1);
+        }
+        assert_eq!(state.header_at_height(99), None);
+        let (_, tip_height) = state.best_tip();
+        assert_eq!(tip_height, 5);
+    }
+
+    #[test]
+    fn ingestion_breakdown_accumulates() {
+        let mut chain = ChainStore::new(Network::Regtest);
+        let blocks = mine_chain(&mut chain, 4, 0);
+        let mut state = BitcoinCanisterState::new(params());
+        let before = state.ingestion_breakdown().get("output_insertion");
+        state.process_response(respond_with(&blocks), NOW, &mut Meter::new());
+        assert!(state.ingestion_breakdown().get("output_insertion") > before);
+    }
+
+    #[test]
+    fn duplicate_blocks_are_idempotent() {
+        let mut chain = ChainStore::new(Network::Regtest);
+        let blocks = mine_chain(&mut chain, 1, 0);
+        let mut state = BitcoinCanisterState::new(params());
+        let mut meter = Meter::new();
+        let first = state.process_response(respond_with(&blocks), NOW, &mut meter);
+        let second = state.process_response(respond_with(&blocks), NOW, &mut meter);
+        assert_eq!(first.blocks_accepted, 1);
+        assert_eq!(second.blocks_accepted, 0);
+        assert_eq!(state.unstable_block_count(), 1);
+    }
+}

@@ -1,0 +1,379 @@
+//! The stable UTXO set (§III-C).
+//!
+//! Instead of storing the blockchain, the Bitcoin canister stores only
+//! the unspent transaction outputs up to and including the anchor height,
+//! indexed by address for efficient `get_utxos`/`get_balance`. This is
+//! what keeps the state ≈ 100 GiB instead of several hundred (Figure 5).
+
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use icbtc_bitcoin::{Address, Amount, Network, OutPoint, Transaction, TxOut};
+use icbtc_ic::{Meter, MeterBreakdown};
+
+use crate::metering;
+
+/// One unspent output as reported by the canister API.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Utxo {
+    /// Where the output lives.
+    pub outpoint: OutPoint,
+    /// Its value.
+    pub value: Amount,
+    /// Height of the block that created it.
+    pub height: u64,
+}
+
+/// Sort key: height descending, then outpoint — the order `get_utxos`
+/// pagination relies on (§III-C).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct AddressIndexKey {
+    /// `u64::MAX - height` so the natural ascending order is height-desc.
+    reverse_height: u64,
+    outpoint: OutPoint,
+}
+
+/// The address-indexed stable UTXO set.
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_canister::utxoset::UtxoSet;
+/// use icbtc_bitcoin::Network;
+/// use icbtc_ic::MeterBreakdown;
+///
+/// let set = UtxoSet::new(Network::Regtest);
+/// assert_eq!(set.len(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UtxoSet {
+    network: Network,
+    by_outpoint: HashMap<OutPoint, (TxOut, u64)>,
+    by_address: BTreeMap<Address, BTreeSet<AddressIndexKey>>,
+    next_height: u64,
+}
+
+impl UtxoSet {
+    /// Creates an empty set for `network`; the first block to ingest is
+    /// height 0 (genesis).
+    pub fn new(network: Network) -> UtxoSet {
+        UtxoSet {
+            network,
+            by_outpoint: HashMap::new(),
+            by_address: BTreeMap::new(),
+            next_height: 0,
+        }
+    }
+
+    /// The network whose addresses index this set.
+    pub fn network(&self) -> Network {
+        self.network
+    }
+
+    /// Number of UTXOs held.
+    pub fn len(&self) -> usize {
+        self.by_outpoint.len()
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_outpoint.is_empty()
+    }
+
+    /// The height the next ingested block must have.
+    pub fn next_height(&self) -> u64 {
+        self.next_height
+    }
+
+    /// Modeled stable-memory footprint in bytes (Figure 5's y-axis).
+    pub fn byte_size(&self) -> u64 {
+        self.by_outpoint.len() as u64 * metering::STABLE_BYTES_PER_UTXO
+    }
+
+    /// Looks up a single outpoint.
+    pub fn get(&self, outpoint: &OutPoint) -> Option<Utxo> {
+        self.by_outpoint.get(outpoint).map(|(txout, height)| Utxo {
+            outpoint: *outpoint,
+            value: txout.value,
+            height: *height,
+        })
+    }
+
+    /// Ingests all transactions of a block at `height` into the set:
+    /// inputs are removed, outputs inserted, with instruction charges per
+    /// operation recorded in `meter` and the insert/remove split in
+    /// `breakdown`.
+    ///
+    /// Transaction *spend validity* is intentionally not checked (§III-C:
+    /// the canister relies on Bitcoin's proof of work and block vetting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height` is not the expected next height — stable blocks
+    /// are ingested strictly in order.
+    pub fn ingest_block(
+        &mut self,
+        transactions: &[Transaction],
+        height: u64,
+        meter: &mut Meter,
+        breakdown: &mut MeterBreakdown,
+    ) {
+        assert_eq!(height, self.next_height, "stable blocks must be ingested in order");
+        for tx in transactions {
+            meter.charge(metering::PARSE_TX);
+            let txid = tx.txid();
+            if !tx.is_coinbase() {
+                for input in &tx.inputs {
+                    // Unknown outpoints (spends of non-standard or foreign
+                    // outputs) are charged like a lookup miss.
+                    self.remove(&input.previous_output, meter, breakdown);
+                }
+            }
+            for (vout, output) in tx.outputs.iter().enumerate() {
+                if output.script_pubkey.is_op_return() {
+                    continue; // provably unspendable, never stored
+                }
+                self.insert(OutPoint::new(txid, vout as u32), output.clone(), height, meter, breakdown);
+            }
+        }
+        self.next_height = height + 1;
+    }
+
+    fn insert(
+        &mut self,
+        outpoint: OutPoint,
+        output: TxOut,
+        height: u64,
+        meter: &mut Meter,
+        breakdown: &mut MeterBreakdown,
+    ) {
+        let cost = metering::INSERT_OUTPUT_BASE
+            + output.script_pubkey.len() as u64 * metering::INSERT_OUTPUT_PER_BYTE;
+        meter.charge(cost);
+        breakdown.add("output_insertion", cost);
+        if let Some(address) = Address::from_script(&output.script_pubkey, self.network) {
+            self.by_address
+                .entry(address)
+                .or_default()
+                .insert(AddressIndexKey { reverse_height: u64::MAX - height, outpoint });
+        }
+        self.by_outpoint.insert(outpoint, (output, height));
+    }
+
+    fn remove(&mut self, outpoint: &OutPoint, meter: &mut Meter, breakdown: &mut MeterBreakdown) {
+        meter.charge(metering::REMOVE_INPUT_BASE);
+        breakdown.add("input_removal", metering::REMOVE_INPUT_BASE);
+        let Some((output, height)) = self.by_outpoint.remove(outpoint) else {
+            return;
+        };
+        if let Some(address) = Address::from_script(&output.script_pubkey, self.network) {
+            if let Entry::Occupied(mut entry) = self.by_address.entry(address) {
+                entry
+                    .get_mut()
+                    .remove(&AddressIndexKey { reverse_height: u64::MAX - height, outpoint: *outpoint });
+                if entry.get().is_empty() {
+                    entry.remove();
+                }
+            }
+        }
+    }
+
+    /// All UTXOs of `address`, sorted by height descending (then
+    /// outpoint), charging per fetched entry.
+    pub fn utxos_of(&self, address: &Address, meter: &mut Meter) -> Vec<Utxo> {
+        let Some(index) = self.by_address.get(address) else {
+            return Vec::new();
+        };
+        index
+            .iter()
+            .map(|key| {
+                meter.charge(metering::STABLE_UTXO_FETCH);
+                let (output, height) = &self.by_outpoint[&key.outpoint];
+                Utxo { outpoint: key.outpoint, value: output.value, height: *height }
+            })
+            .collect()
+    }
+
+    /// Balance of `address` from the stable set alone.
+    pub fn balance(&self, address: &Address, meter: &mut Meter) -> Amount {
+        self.utxos_of(address, meter)
+            .into_iter()
+            .map(|u| u.value)
+            .sum()
+    }
+
+    /// Number of distinct addresses indexed.
+    pub fn address_count(&self) -> usize {
+        self.by_address.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icbtc_bitcoin::{AddressKind, Script, TxIn, Txid};
+
+    fn addr(n: u8) -> Address {
+        Address::new(Network::Regtest, AddressKind::P2wpkh([n; 20]))
+    }
+
+    fn pay_tx(prev: Option<OutPoint>, to: &[(u8, u64)]) -> Transaction {
+        let inputs = match prev {
+            Some(op) => vec![TxIn::new(op)],
+            None => vec![TxIn::new(OutPoint::NULL)],
+        };
+        Transaction {
+            version: 2,
+            inputs,
+            outputs: to
+                .iter()
+                .map(|(n, v)| TxOut::new(Amount::from_sat(*v), addr(*n).script_pubkey()))
+                .collect(),
+            lock_time: 0,
+        }
+    }
+
+    fn fresh() -> (UtxoSet, Meter, MeterBreakdown) {
+        (UtxoSet::new(Network::Regtest), Meter::new(), MeterBreakdown::new())
+    }
+
+    #[test]
+    fn ingest_coinbase_creates_utxos() {
+        let (mut set, mut meter, mut breakdown) = fresh();
+        let coinbase = pay_tx(None, &[(1, 5000)]);
+        set.ingest_block(&[coinbase.clone()], 0, &mut meter, &mut breakdown);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.next_height(), 1);
+        assert_eq!(set.balance(&addr(1), &mut Meter::new()), Amount::from_sat(5000));
+        let utxo = set.get(&OutPoint::new(coinbase.txid(), 0)).unwrap();
+        assert_eq!(utxo.height, 0);
+        assert!(meter.instructions() > 0);
+        assert!(breakdown.get("output_insertion") > 0);
+        // Coinbase inputs are not treated as removals.
+        assert_eq!(breakdown.get("input_removal"), 0);
+    }
+
+    #[test]
+    fn spend_moves_value_between_addresses() {
+        let (mut set, mut meter, mut breakdown) = fresh();
+        let coinbase = pay_tx(None, &[(1, 5000)]);
+        set.ingest_block(&[coinbase.clone()], 0, &mut meter, &mut breakdown);
+        let spend = pay_tx(Some(OutPoint::new(coinbase.txid(), 0)), &[(2, 3000), (1, 1900)]);
+        set.ingest_block(&[spend], 1, &mut meter, &mut breakdown);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.balance(&addr(2), &mut Meter::new()), Amount::from_sat(3000));
+        assert_eq!(set.balance(&addr(1), &mut Meter::new()), Amount::from_sat(1900));
+        assert!(breakdown.get("input_removal") > 0);
+    }
+
+    #[test]
+    fn utxos_sorted_by_height_descending() {
+        let (mut set, mut meter, mut breakdown) = fresh();
+        for height in 0..5 {
+            let tx = pay_tx(None, &[(7, 100 + height)]);
+            set.ingest_block(&[tx], height, &mut meter, &mut breakdown);
+        }
+        let utxos = set.utxos_of(&addr(7), &mut Meter::new());
+        assert_eq!(utxos.len(), 5);
+        let heights: Vec<u64> = utxos.iter().map(|u| u.height).collect();
+        assert_eq!(heights, vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn op_return_outputs_never_stored() {
+        let (mut set, mut meter, mut breakdown) = fresh();
+        let mut tx = pay_tx(None, &[(1, 100)]);
+        tx.outputs.push(TxOut::new(Amount::ZERO, Script::new_op_return(b"data")));
+        set.ingest_block(&[tx], 0, &mut meter, &mut breakdown);
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn nonstandard_scripts_counted_but_not_indexed() {
+        let (mut set, mut meter, mut breakdown) = fresh();
+        let mut tx = pay_tx(None, &[(1, 100)]);
+        tx.outputs.push(TxOut::new(Amount::from_sat(50), Script::from_bytes(vec![0xde, 0xad])));
+        set.ingest_block(&[tx.clone()], 0, &mut meter, &mut breakdown);
+        assert_eq!(set.len(), 2, "held in the outpoint map");
+        assert_eq!(set.address_count(), 1, "but not address-indexed");
+        assert!(set.get(&OutPoint::new(tx.txid(), 1)).is_some());
+    }
+
+    #[test]
+    fn unknown_input_removal_is_charged_but_harmless() {
+        let (mut set, mut meter, mut breakdown) = fresh();
+        let spend = pay_tx(Some(OutPoint::new(Txid([9; 32]), 3)), &[(2, 10)]);
+        set.ingest_block(&[spend], 0, &mut meter, &mut breakdown);
+        assert_eq!(set.len(), 1);
+        assert_eq!(breakdown.get("input_removal"), metering::REMOVE_INPUT_BASE);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_ingestion_panics() {
+        let (mut set, mut meter, mut breakdown) = fresh();
+        set.ingest_block(&[pay_tx(None, &[(1, 1)])], 5, &mut meter, &mut breakdown);
+    }
+
+    #[test]
+    fn byte_size_tracks_utxo_count() {
+        let (mut set, mut meter, mut breakdown) = fresh();
+        assert_eq!(set.byte_size(), 0);
+        set.ingest_block(&[pay_tx(None, &[(1, 1), (2, 2), (3, 3)])], 0, &mut meter, &mut breakdown);
+        assert_eq!(set.byte_size(), 3 * metering::STABLE_BYTES_PER_UTXO);
+    }
+
+    #[test]
+    fn fig6_breakdown_split_is_roughly_even_on_balanced_blocks() {
+        let (mut set, mut meter, mut breakdown) = fresh();
+        // Block 0: create 50 outputs.
+        let creators: Vec<Transaction> =
+            (0..50).map(|i| pay_tx(None, &[(i as u8, 100)])).collect();
+        set.ingest_block(&creators, 0, &mut meter, &mut breakdown);
+        // Block 1: spend all 50, creating 50 new ones.
+        let spends: Vec<Transaction> = creators
+            .iter()
+            .enumerate()
+            .map(|(i, c)| pay_tx(Some(OutPoint::new(c.txid(), 0)), &[(200 - i as u8, 90)]))
+            .collect();
+        let mut block1 = MeterBreakdown::new();
+        set.ingest_block(&spends, 1, &mut meter, &mut block1);
+        let insert = block1.get("output_insertion") as f64;
+        let remove = block1.get("input_removal") as f64;
+        let share = insert / (insert + remove);
+        assert!((0.35..0.65).contains(&share), "insert share {share}");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Ingesting creator blocks then spending everything returns
+            /// the set to empty: conservation of UTXOs.
+            #[test]
+            fn create_then_spend_all(values in proptest::collection::vec(1u64..10_000, 1..20)) {
+                let (mut set, mut meter, mut breakdown) = fresh();
+                let creators: Vec<Transaction> = values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| pay_tx(None, &[((i % 250) as u8, *v)]))
+                    .collect();
+                set.ingest_block(&creators, 0, &mut meter, &mut breakdown);
+                prop_assert_eq!(set.len(), values.len());
+
+                let spends: Vec<Transaction> = creators
+                    .iter()
+                    .map(|c| {
+                        let mut tx = pay_tx(Some(OutPoint::new(c.txid(), 0)), &[(0, 1)]);
+                        tx.outputs[0].script_pubkey = Script::new_op_return(b"burn");
+                        tx
+                    })
+                    .collect();
+                set.ingest_block(&spends, 1, &mut meter, &mut breakdown);
+                prop_assert_eq!(set.len(), 0);
+                prop_assert_eq!(set.address_count(), 0);
+            }
+        }
+    }
+}

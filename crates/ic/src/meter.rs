@@ -1,0 +1,128 @@
+//! WebAssembly-instruction metering.
+//!
+//! The paper's cost evaluation (§IV-B, Figures 6 and 7) is denominated in
+//! *WebAssembly instructions executed*. The simulated execution layer
+//! reproduces that by having canister code charge an explicit [`Meter`]
+//! for each operation, with per-operation constants calibrated against
+//! the magnitudes the paper reports (see EXPERIMENTS.md).
+
+/// An instruction counter for one message execution.
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_ic::Meter;
+/// let mut meter = Meter::new();
+/// meter.charge(1_000);
+/// meter.charge_per_byte(32, 10);
+/// assert_eq!(meter.instructions(), 1_320);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Meter {
+    instructions: u64,
+}
+
+impl Meter {
+    /// Creates a zeroed meter.
+    pub fn new() -> Meter {
+        Meter::default()
+    }
+
+    /// Charges a flat number of instructions.
+    pub fn charge(&mut self, instructions: u64) {
+        self.instructions = self.instructions.saturating_add(instructions);
+    }
+
+    /// Charges `per_byte` instructions for each of `bytes` bytes.
+    pub fn charge_per_byte(&mut self, bytes: usize, per_byte: u64) {
+        self.charge(bytes as u64 * per_byte);
+    }
+
+    /// Instructions charged so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Resets the counter and returns the previous total.
+    pub fn take(&mut self) -> u64 {
+        std::mem::take(&mut self.instructions)
+    }
+}
+
+/// Accumulates instruction counts across many executions, split by label —
+/// used to regenerate Figure 6's output-insertion / input-removal
+/// breakdown.
+#[derive(Debug, Clone, Default)]
+pub struct MeterBreakdown {
+    entries: Vec<(&'static str, u64)>,
+}
+
+impl MeterBreakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> MeterBreakdown {
+        MeterBreakdown::default()
+    }
+
+    /// Adds `instructions` under `label`.
+    pub fn add(&mut self, label: &'static str, instructions: u64) {
+        for entry in &mut self.entries {
+            if entry.0 == label {
+                entry.1 = entry.1.saturating_add(instructions);
+                return;
+            }
+        }
+        self.entries.push((label, instructions));
+    }
+
+    /// Total for one label.
+    pub fn get(&self, label: &str) -> u64 {
+        self.entries.iter().find(|(l, _)| *l == label).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Sum across labels.
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|(_, v)| v).sum()
+    }
+
+    /// All labels and totals, in first-use order.
+    pub fn entries(&self) -> &[(&'static str, u64)] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut m = Meter::new();
+        m.charge(5);
+        m.charge(10);
+        m.charge_per_byte(3, 4);
+        assert_eq!(m.instructions(), 27);
+        assert_eq!(m.take(), 27);
+        assert_eq!(m.instructions(), 0);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let mut m = Meter::new();
+        m.charge(u64::MAX);
+        m.charge(10);
+        assert_eq!(m.instructions(), u64::MAX);
+    }
+
+    #[test]
+    fn breakdown_by_label() {
+        let mut b = MeterBreakdown::new();
+        b.add("insert", 10);
+        b.add("remove", 5);
+        b.add("insert", 7);
+        assert_eq!(b.get("insert"), 17);
+        assert_eq!(b.get("remove"), 5);
+        assert_eq!(b.get("other"), 0);
+        assert_eq!(b.total(), 22);
+        assert_eq!(b.entries().len(), 2);
+    }
+}

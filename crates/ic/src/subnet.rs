@@ -1,0 +1,381 @@
+//! The replicated subnet: consensus + deterministic execution of a state
+//! machine.
+//!
+//! A subnet hosts one replicated application state (here: the Bitcoin
+//! canister) and advances it in rounds. Each round, the consensus engine
+//! picks a block maker, the block's payload (ingress batch plus an
+//! optional externally supplied payload, e.g. the Bitcoin adapter's
+//! response) is finalized, and execution applies it deterministically
+//! under instruction metering.
+
+use icbtc_sim::{SimRng, SimTime};
+
+use crate::consensus::{ConsensusConfig, ConsensusEngine, RoundInfo};
+use crate::ingress::{IngressId, IngressPool, LatencyModel};
+use crate::meter::Meter;
+
+/// A deterministically replicated application.
+pub trait StateMachine {
+    /// Ingress message type.
+    type Input;
+    /// Response type.
+    type Output;
+
+    /// Executes one finalized input, charging the meter for every
+    /// operation.
+    fn execute(&mut self, input: Self::Input, ctx: &mut ExecutionContext<'_>) -> Self::Output;
+}
+
+/// Context handed to executing canister code.
+#[derive(Debug)]
+pub struct ExecutionContext<'a> {
+    /// The instruction meter for this message.
+    pub meter: &'a mut Meter,
+    /// Finalization time of the round being executed.
+    pub now: SimTime,
+    /// The round number.
+    pub round: u64,
+}
+
+/// The result of one replicated (update) call.
+#[derive(Debug, Clone)]
+pub struct CallResult<O> {
+    /// The ingress message id.
+    pub id: IngressId,
+    /// The application response.
+    pub output: O,
+    /// Instructions executed for this message.
+    pub instructions: u64,
+    /// When the certified response reached the caller.
+    pub responded_at: SimTime,
+    /// When the message was originally submitted.
+    pub submitted_at: SimTime,
+}
+
+impl<O> CallResult<O> {
+    /// End-to-end latency experienced by the caller.
+    pub fn latency(&self) -> icbtc_sim::SimDuration {
+        self.responded_at.saturating_since(self.submitted_at)
+    }
+}
+
+/// A report of one executed round.
+#[derive(Debug)]
+pub struct RoundReport<O> {
+    /// Consensus metadata for the round.
+    pub info: RoundInfo,
+    /// Completed calls, in execution order.
+    pub results: Vec<CallResult<O>>,
+    /// Instructions spent executing the external payload (if any).
+    pub payload_instructions: u64,
+}
+
+/// A subnet hosting a replicated state machine.
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_ic::consensus::ConsensusConfig;
+/// use icbtc_ic::subnet::{ExecutionContext, StateMachine, Subnet};
+///
+/// struct Counter(u64);
+/// impl StateMachine for Counter {
+///     type Input = u64;
+///     type Output = u64;
+///     fn execute(&mut self, add: u64, ctx: &mut ExecutionContext<'_>) -> u64 {
+///         ctx.meter.charge(10);
+///         self.0 += add;
+///         self.0
+///     }
+/// }
+///
+/// let mut subnet = Subnet::new(Counter(0), ConsensusConfig::thirteen_replicas(), 7);
+/// subnet.submit(5);
+/// // The call lands in a round once its routing delay has elapsed.
+/// let output = loop {
+///     let report = subnet.execute_round(|_state, _ctx| {});
+///     if let Some(result) = report.results.first() {
+///         break result.output;
+///     }
+/// };
+/// assert_eq!(output, 5);
+/// ```
+pub struct Subnet<S: StateMachine> {
+    state: S,
+    engine: ConsensusEngine,
+    pool: IngressPool<S::Input>,
+    latency: LatencyModel,
+    rng: SimRng,
+    total_instructions: u64,
+    completed_calls: u64,
+}
+
+impl<S: StateMachine> Subnet<S> {
+    /// Creates a subnet around an initial application state.
+    pub fn new(state: S, config: ConsensusConfig, seed: u64) -> Subnet<S> {
+        Subnet {
+            state,
+            engine: ConsensusEngine::new(config, seed),
+            pool: IngressPool::new(),
+            latency: LatencyModel::default(),
+            rng: SimRng::seed_from(seed.wrapping_add(0x1c)),
+            total_instructions: 0,
+            completed_calls: 0,
+        }
+    }
+
+    /// Replaces the latency model (calibration experiments).
+    pub fn set_latency_model(&mut self, model: LatencyModel) {
+        self.latency = model;
+    }
+
+    /// The latency model in force.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Read access to the replicated state (for queries).
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Mutable access to the replicated state — test and upgrade hook
+    /// (corresponds to a canister upgrade, which the paper notes is needed
+    /// for reorganizations deeper than the stability horizon).
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// The consensus engine (round info, Byzantine bookkeeping).
+    pub fn consensus(&self) -> &ConsensusEngine {
+        &self.engine
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Total instructions executed since genesis.
+    pub fn total_instructions(&self) -> u64 {
+        self.total_instructions
+    }
+
+    /// Total completed replicated calls.
+    pub fn completed_calls(&self) -> u64 {
+        self.completed_calls
+    }
+
+    /// Submits an update call at the current time; it becomes includable
+    /// after the sampled routing delay.
+    pub fn submit(&mut self, input: S::Input) -> IngressId {
+        let now = self.engine.now();
+        self.submit_at(now, input)
+    }
+
+    /// Submits with an explicit submission timestamp (driver-controlled
+    /// workloads).
+    pub fn submit_at(&mut self, at: SimTime, input: S::Input) -> IngressId {
+        let routing = self.latency.sample_ingress_routing(&mut self.rng);
+        self.pool.submit(at, at + routing, input)
+    }
+
+    /// Stalls the subnet clock without executing (models downtime).
+    pub fn stall(&mut self, duration: icbtc_sim::SimDuration) {
+        self.engine.stall(duration);
+    }
+
+    /// Executes one round: the external payload hook runs first (the
+    /// Bitcoin payload the block maker's adapter supplied), then the
+    /// ingress batch.
+    pub fn execute_round(
+        &mut self,
+        payload: impl FnOnce(&mut S, &mut ExecutionContext<'_>),
+    ) -> RoundReport<S::Output> {
+        self.execute_round_with(|state, ctx, _info| payload(state, ctx))
+    }
+
+    /// Like [`Subnet::execute_round`], but the payload hook also receives
+    /// the round's consensus metadata — in particular which replica is
+    /// block maker, which decides whose Bitcoin adapter supplies the
+    /// round's payload (and whether a Byzantine maker gets its turn).
+    pub fn execute_round_with(
+        &mut self,
+        payload: impl FnOnce(&mut S, &mut ExecutionContext<'_>, RoundInfo),
+    ) -> RoundReport<S::Output> {
+        let info = self.engine.next_round();
+
+        let mut meter = Meter::new();
+        let mut ctx = ExecutionContext { meter: &mut meter, now: info.finalized_at, round: info.round };
+        payload(&mut self.state, &mut ctx, info);
+        let payload_instructions = meter.take();
+        self.total_instructions += payload_instructions;
+
+        let batch = self.pool.take_ready(info.finalized_at);
+        let mut results = Vec::with_capacity(batch.len());
+        for ready in batch {
+            let mut meter = Meter::new();
+            let mut ctx =
+                ExecutionContext { meter: &mut meter, now: info.finalized_at, round: info.round };
+            let output = self.state.execute(ready.payload, &mut ctx);
+            let instructions = meter.take();
+            self.total_instructions += instructions;
+            self.completed_calls += 1;
+            let response_path = self.latency.sample_response_path(&mut self.rng);
+            let exec_time = self.latency.execution_time(instructions);
+            results.push(CallResult {
+                id: ready.id,
+                output,
+                instructions,
+                responded_at: info.finalized_at + exec_time + response_path,
+                submitted_at: ready.submitted_at,
+            });
+        }
+        RoundReport { info, results, payload_instructions }
+    }
+
+    /// Runs a query against the current state on a single replica,
+    /// returning the result, the instructions executed, and the sampled
+    /// end-to-end latency for a response of `response_bytes(output)` bytes.
+    pub fn query<R>(
+        &mut self,
+        run: impl FnOnce(&S, &mut Meter) -> R,
+        response_bytes: impl FnOnce(&R) -> usize,
+    ) -> (R, u64, icbtc_sim::SimDuration) {
+        let mut meter = Meter::new();
+        let result = run(&self.state, &mut meter);
+        let instructions = meter.take();
+        let bytes = response_bytes(&result);
+        let latency = self.latency.sample_query(&mut self.rng, instructions, bytes);
+        (result, instructions, latency)
+    }
+}
+
+impl<S: StateMachine> std::fmt::Debug for Subnet<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subnet")
+            .field("round", &self.engine.round())
+            .field("now", &self.engine.now())
+            .field("total_instructions", &self.total_instructions)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Adder {
+        total: u64,
+    }
+
+    impl StateMachine for Adder {
+        type Input = u64;
+        type Output = u64;
+        fn execute(&mut self, add: u64, ctx: &mut ExecutionContext<'_>) -> u64 {
+            ctx.meter.charge(100 * add);
+            self.total += add;
+            self.total
+        }
+    }
+
+    fn subnet(seed: u64) -> Subnet<Adder> {
+        Subnet::new(Adder { total: 0 }, ConsensusConfig::thirteen_replicas(), seed)
+    }
+
+    #[test]
+    fn ingress_executes_after_routing_delay() {
+        let mut subnet = subnet(1);
+        subnet.submit(5);
+        // The first round may or may not catch the message depending on
+        // the sampled routing delay; within a few rounds it must land.
+        let mut outputs = Vec::new();
+        for _ in 0..10 {
+            let report = subnet.execute_round(|_, _| {});
+            outputs.extend(report.results.into_iter().map(|r| r.output));
+        }
+        assert_eq!(outputs, vec![5]);
+        assert_eq!(subnet.completed_calls(), 1);
+        assert_eq!(subnet.state().total, 5);
+    }
+
+    #[test]
+    fn metering_accumulates() {
+        let mut subnet = subnet(2);
+        subnet.submit(3);
+        subnet.submit(4);
+        for _ in 0..10 {
+            subnet.execute_round(|_, _| {});
+        }
+        assert_eq!(subnet.total_instructions(), 700);
+    }
+
+    #[test]
+    fn payload_runs_before_ingress_and_is_metered() {
+        let mut subnet = subnet(3);
+        subnet.submit(1);
+        let mut payload_ran_first = false;
+        for _ in 0..10 {
+            let report = subnet.execute_round(|state, ctx| {
+                ctx.meter.charge(42);
+                if state.total == 0 {
+                    payload_ran_first = true;
+                }
+                state.total += 100;
+            });
+            assert_eq!(report.payload_instructions, 42);
+        }
+        assert!(payload_ran_first);
+        // 10 payloads of +100 plus the ingress +1.
+        assert_eq!(subnet.state().total, 1001);
+    }
+
+    #[test]
+    fn replicated_latency_matches_paper_distribution() {
+        let mut subnet = subnet(4);
+        let mut latencies = icbtc_sim::metrics::Histogram::new();
+        for _ in 0..300 {
+            subnet.submit(1);
+            loop {
+                let report = subnet.execute_round(|_, _| {});
+                if let Some(result) = report.results.first() {
+                    latencies.record(result.latency().as_secs_f64());
+                    break;
+                }
+            }
+        }
+        let mean = latencies.mean();
+        let p90 = latencies.percentile(90.0);
+        let min = latencies.min();
+        assert!(mean < 10.0, "mean replicated latency {mean}s, paper < 10s");
+        assert!(mean > 4.0, "mean implausibly low: {mean}s");
+        assert!(min > 2.0, "min {min}s");
+        assert!(p90 < 20.0, "p90 {p90}s, paper ≈ 18s");
+    }
+
+    #[test]
+    fn queries_do_not_touch_consensus() {
+        let mut subnet = subnet(5);
+        let round_before = subnet.consensus().round();
+        let (result, instructions, latency) = subnet.query(
+            |state, meter| {
+                meter.charge(1000);
+                state.total
+            },
+            |_| 8,
+        );
+        assert_eq!(result, 0);
+        assert_eq!(instructions, 1000);
+        assert!(latency > icbtc_sim::SimDuration::ZERO);
+        assert_eq!(subnet.consensus().round(), round_before);
+        assert_eq!(subnet.total_instructions(), 0, "queries are not replicated work");
+    }
+
+    #[test]
+    fn stall_freezes_execution_time() {
+        let mut subnet = subnet(6);
+        subnet.stall(icbtc_sim::SimDuration::from_secs(100));
+        assert!(subnet.now() >= SimTime::from_secs(100));
+        assert_eq!(subnet.consensus().round(), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic discrete-event simulation kernel for the icbtc workspace.
+//!
+//! Every simulated component in this repository — the Bitcoin P2P network,
+//! the Internet Computer subnet, the Bitcoin adapter — advances on the same
+//! virtual clock and draws randomness from seeded generators, so every
+//! experiment in the evaluation harness is exactly reproducible from a seed.
+//!
+//! The kernel is deliberately small:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a nanosecond-resolution virtual clock.
+//! * [`EventQueue`] — a time-ordered queue with deterministic FIFO tie-breaks.
+//! * [`SimRng`] — a seeded random generator with the distribution helpers the
+//!   simulations need (exponential inter-arrival times, rough normals, …).
+//! * [`metrics`] — sample histograms, counters and series used by the
+//!   benchmark harness to regenerate the paper's figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use icbtc_sim::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut queue = EventQueue::new();
+//! queue.push(SimTime::ZERO + SimDuration::from_millis(5), "world");
+//! queue.push(SimTime::ZERO + SimDuration::from_millis(1), "hello");
+//! let (t1, first) = queue.pop().unwrap();
+//! let (t2, second) = queue.pop().unwrap();
+//! assert_eq!((first, second), ("hello", "world"));
+//! assert!(t1 < t2);
+//! ```
+
+pub mod metrics;
+mod queue;
+mod rng;
+mod time;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,381 @@
+//! Measurement primitives used by the evaluation harness.
+//!
+//! The benchmark binaries regenerate the paper's figures as printed series;
+//! these types collect samples, compute the summary statistics the paper
+//! reports (means, medians, percentiles), and render aligned text tables.
+
+use std::fmt;
+
+/// A collection of `f64` samples with percentile queries.
+///
+/// Samples are kept verbatim (the experiments here collect at most a few
+/// hundred thousand points), so percentiles are exact.
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_sim::metrics::Histogram;
+/// let mut h = Histogram::new();
+/// for v in 1..=100 {
+///     h.record(v as f64);
+/// }
+/// assert_eq!(h.percentile(50.0), 50.0);
+/// assert_eq!(h.min(), 1.0);
+/// assert_eq!(h.max(), 100.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "histogram sample must not be NaN");
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Returns the number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Returns the arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Returns the smallest sample, or 0 if empty.
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY).pipe_finite()
+    }
+
+    /// Returns the largest sample, or 0 if empty.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max).pipe_finite()
+    }
+
+    /// Returns the `p`-th percentile (0–100) using nearest-rank, or 0 if
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        self.samples[rank.saturating_sub(1).min(self.samples.len() - 1)]
+    }
+
+    /// Returns the median (50th percentile).
+    pub fn median(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Returns a view of the raw samples (unspecified order).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+trait PipeFinite {
+    fn pipe_finite(self) -> f64;
+}
+
+impl PipeFinite for f64 {
+    fn pipe_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A labelled (x, y) series, printed as two aligned columns — the textual
+/// equivalent of one line in a paper figure.
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_sim::metrics::Series;
+/// let mut s = Series::new("utxo_count");
+/// s.push(1.0, 10.0);
+/// s.push(2.0, 20.0);
+/// assert_eq!(s.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series { name: name.into(), points: Vec::new() }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Returns the series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Returns the recorded points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Returns the mean of the y values, or 0 if empty.
+    pub fn mean_y(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|p| p.1).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+impl fmt::Display for Series {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# series: {}", self.name)?;
+        for (x, y) in &self.points {
+            writeln!(f, "{x:>16.4} {y:>20.4}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A simple aligned text table for experiment reports.
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_sim::metrics::Table;
+/// let mut t = Table::new(vec!["metric", "paper", "measured"]);
+/// t.row(vec!["p50 latency".into(), "<10 s".into(), "9.2 s".into()]);
+/// assert!(t.to_string().contains("p50 latency"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity must match headers");
+        self.rows.push(cells);
+    }
+
+    /// Returns the number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, "{:<width$}  ", cell, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        render(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a large count with engineering suffixes (k, M, B, T) for reports.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(icbtc_sim::metrics::humanize(21_600_000_000.0), "21.60B");
+/// assert_eq!(icbtc_sim::metrics::humanize(950.0), "950.00");
+/// ```
+pub fn humanize(value: f64) -> String {
+    let abs = value.abs();
+    if abs >= 1e12 {
+        format!("{:.2}T", value / 1e12)
+    } else if abs >= 1e9 {
+        format!("{:.2}B", value / 1e9)
+    } else if abs >= 1e6 {
+        format!("{:.2}M", value / 1e6)
+    } else if abs >= 1e3 {
+        format!("{:.2}k", value / 1e3)
+    } else {
+        format!("{value:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::new();
+        for v in [4.0, 1.0, 3.0, 2.0, 5.0] {
+            h.record(v);
+        }
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.mean(), 3.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 5.0);
+        assert_eq!(h.median(), 3.0);
+        assert_eq!(h.percentile(100.0), 5.0);
+        assert_eq!(h.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.percentile(90.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_sample_panics() {
+        Histogram::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn percentile_after_more_records_resorts() {
+        let mut h = Histogram::new();
+        h.record(10.0);
+        assert_eq!(h.median(), 10.0);
+        h.record(1.0);
+        h.record(2.0);
+        assert_eq!(h.median(), 2.0);
+    }
+
+    #[test]
+    fn series_rendering() {
+        let mut s = Series::new("latency");
+        s.push(1.0, 0.5);
+        s.push(2.0, 0.7);
+        let text = s.to_string();
+        assert!(text.contains("# series: latency"));
+        assert_eq!(text.lines().count(), 3);
+        assert!((s.mean_y() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let mut t = Table::new(vec!["a", "long header"]);
+        t.row(vec!["x".into(), "y".into()]);
+        t.row(vec!["wider cell".into(), "z".into()]);
+        let text = t.to_string();
+        assert!(text.contains("long header"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn table_arity_mismatch_panics() {
+        let mut t = Table::new(vec!["one"]);
+        t.row(vec!["a".into(), "b".into()]);
+    }
+
+    #[test]
+    fn humanize_ranges() {
+        assert_eq!(humanize(1_500.0), "1.50k");
+        assert_eq!(humanize(2_000_000.0), "2.00M");
+        assert_eq!(humanize(3.2e12), "3.20T");
+        assert_eq!(humanize(12.0), "12.00");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Percentiles are monotone in p and bounded by min/max.
+            #[test]
+            fn percentile_monotone(mut vals in proptest::collection::vec(-1e9f64..1e9, 1..300)) {
+                let mut h = Histogram::new();
+                for v in &vals {
+                    h.record(*v);
+                }
+                vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let p25 = h.percentile(25.0);
+                let p50 = h.percentile(50.0);
+                let p75 = h.percentile(75.0);
+                prop_assert!(p25 <= p50 && p50 <= p75);
+                prop_assert!(h.min() <= p25 && p75 <= h.max());
+            }
+        }
+    }
+}

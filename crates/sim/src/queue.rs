@@ -1,0 +1,198 @@
+//! Time-ordered event queue with deterministic tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// A pending event: fire time, insertion sequence number, payload.
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest event (and, for
+        // equal times, the earliest-inserted event) is popped first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// Events are popped in non-decreasing time order; events scheduled for the
+/// same instant are popped in insertion order, which keeps simulations
+/// reproducible regardless of heap internals.
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(1), 'a');
+/// q.push(SimTime::from_secs(1), 'b');
+/// assert_eq!(q.pop().unwrap().1, 'a');
+/// assert_eq!(q.pop().unwrap().1, 'b');
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `event` to fire at time `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Removes and returns the earliest event if it fires at or before
+    /// `deadline`.
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.heap.peek() {
+            Some(s) if s.at <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Returns the fire time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), 3);
+        q.push(SimTime::from_secs(1), 1);
+        q.push(SimTime::from_secs(2), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::from_secs(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5), "later");
+        q.push(SimTime::from_secs(1), "sooner");
+        assert_eq!(q.pop_before(SimTime::from_secs(2)).unwrap().1, "sooner");
+        assert!(q.pop_before(SimTime::from_secs(2)).is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, ());
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.peek_time().is_none());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Popped timestamps are always non-decreasing.
+            #[test]
+            fn monotone_pop(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+                let mut q = EventQueue::new();
+                for (i, t) in times.iter().enumerate() {
+                    q.push(SimTime::from_nanos(*t), i);
+                }
+                let mut last = SimTime::ZERO;
+                while let Some((at, _)) = q.pop() {
+                    prop_assert!(at >= last);
+                    last = at;
+                }
+            }
+
+            /// Every pushed event is popped exactly once.
+            #[test]
+            fn conservation(times in proptest::collection::vec(0u64..1000, 0..100)) {
+                let mut q = EventQueue::new();
+                for (i, t) in times.iter().enumerate() {
+                    q.push(SimTime::from_nanos(*t), i);
+                }
+                let mut seen: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+                seen.sort_unstable();
+                prop_assert_eq!(seen, (0..times.len()).collect::<Vec<_>>());
+            }
+        }
+    }
+}

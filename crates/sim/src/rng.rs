@@ -1,0 +1,241 @@
+//! Seeded randomness with the distribution helpers the simulations need.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::SimDuration;
+
+/// A seeded random generator for deterministic simulations.
+///
+/// Wraps [`rand::rngs::StdRng`] and adds the sampling helpers used across
+/// the workspace: exponential inter-arrival times (Poisson block
+/// production), approximately normal latencies, and subset selection for
+/// peer discovery.
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_sim::SimRng;
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// simulated component its own deterministic stream.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from(self.next_u64())
+    }
+
+    /// Returns the next random `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Returns a uniformly random value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below() requires a positive bound");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Returns a uniformly random `usize` index in `[0, len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "index() requires a non-empty collection");
+        self.inner.gen_range(0..len)
+    }
+
+    /// Returns a uniformly random `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+
+    /// Samples an exponential waiting time with the given mean, as used for
+    /// Poisson arrival processes (e.g. Bitcoin block discovery).
+    pub fn exponential(&mut self, mean: SimDuration) -> SimDuration {
+        // Inverse-CDF sampling; (1 - u) avoids ln(0).
+        let u: f64 = self.unit();
+        let sample = -(1.0 - u).ln() * mean.as_secs_f64();
+        SimDuration::from_secs_f64(sample)
+    }
+
+    /// Samples an approximately normal duration with the given mean and
+    /// standard deviation, truncated at zero.
+    ///
+    /// Uses the Irwin–Hall approximation (sum of 12 uniforms), which is
+    /// plenty for latency modelling.
+    pub fn normal(&mut self, mean: SimDuration, std_dev: SimDuration) -> SimDuration {
+        let z: f64 = (0..12).map(|_| self.unit()).sum::<f64>() - 6.0;
+        let sample = mean.as_secs_f64() + z * std_dev.as_secs_f64();
+        SimDuration::from_secs_f64(sample.max(0.0))
+    }
+
+    /// Samples a log-normal-ish heavy-tailed duration: a normal body with an
+    /// occasional multiplicative tail, used for wide-area latencies.
+    pub fn heavy_tail(&mut self, mean: SimDuration, std_dev: SimDuration, tail_p: f64, tail_mul: u64) -> SimDuration {
+        let base = self.normal(mean, std_dev);
+        if self.chance(tail_p) {
+            base * tail_mul
+        } else {
+            base
+        }
+    }
+
+    /// Returns a reference to a uniformly random element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Selects `k` distinct indices uniformly at random from `[0, len)`
+    /// (all of them if `k >= len`), in random order.
+    ///
+    /// Runs in `O(k)` expected time for `k ≪ len` (rejection sampling)
+    /// and `O(len)` otherwise (partial Fisher–Yates).
+    pub fn sample_indices(&mut self, len: usize, k: usize) -> Vec<usize> {
+        let k = k.min(len);
+        if k * 8 <= len {
+            // Sparse case: rejection sampling avoids materializing the
+            // whole index range.
+            let mut picked = Vec::with_capacity(k);
+            while picked.len() < k {
+                let candidate = self.index(len);
+                if !picked.contains(&candidate) {
+                    picked.push(candidate);
+                }
+            }
+            return picked;
+        }
+        let mut indices: Vec<usize> = (0..len).collect();
+        for i in 0..k {
+            let j = i + self.index(len - i);
+            indices.swap(i, j);
+        }
+        indices.truncate(k);
+        indices
+    }
+
+    /// Fisher–Yates shuffles `items` in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn fork_produces_independent_deterministic_streams() {
+        let mut root1 = SimRng::seed_from(1);
+        let mut root2 = SimRng::seed_from(1);
+        let mut c1 = root1.fork();
+        let mut c2 = root2.fork();
+        assert_eq!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = SimRng::seed_from(11);
+        let mean = SimDuration::from_secs(600);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| rng.exponential(mean).as_secs_f64()).sum();
+        let avg = total / n as f64;
+        assert!((avg - 600.0).abs() < 15.0, "sample mean {avg} too far from 600");
+    }
+
+    #[test]
+    fn normal_is_truncated_at_zero() {
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..10_000 {
+            let d = rng.normal(SimDuration::from_millis(10), SimDuration::from_millis(50));
+            assert!(d.as_secs_f64() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn sample_indices_are_distinct_and_bounded() {
+        let mut rng = SimRng::seed_from(5);
+        let picked = rng.sample_indices(100, 5);
+        assert_eq!(picked.len(), 5);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+        assert!(picked.iter().all(|&i| i < 100));
+        // Asking for more than available returns everything.
+        assert_eq!(rng.sample_indices(3, 10).len(), 3);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(9);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        // Out-of-range probabilities are clamped rather than panicking.
+        assert!(rng.chance(7.5));
+        assert!(!rng.chance(-1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from(13);
+        let mut items: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

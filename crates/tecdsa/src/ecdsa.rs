@@ -1,0 +1,438 @@
+//! ECDSA over secp256k1 with RFC-6979 deterministic nonces.
+//!
+//! These are exactly the signatures Bitcoin verifies for P2PKH/P2WPKH
+//! spends: low-s normalized, DER-encoded. The threshold protocol in
+//! [`crate::protocol`] produces signatures that verify under
+//! [`PublicKey::verify`] below.
+
+use std::fmt;
+
+use icbtc_bitcoin::hash::hmac_sha256;
+use rand::RngCore;
+
+use crate::{AffinePoint, Scalar};
+
+/// An ECDSA private key.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct PrivateKey(Scalar);
+
+impl PrivateKey {
+    /// Wraps a non-zero scalar as a private key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scalar is zero.
+    pub fn from_scalar(secret: Scalar) -> PrivateKey {
+        assert!(!secret.is_zero(), "private key must be non-zero");
+        PrivateKey(secret)
+    }
+
+    /// Draws a random private key.
+    pub fn random<R: RngCore>(rng: &mut R) -> PrivateKey {
+        PrivateKey(Scalar::random(rng))
+    }
+
+    /// Returns the underlying scalar.
+    pub fn secret(&self) -> Scalar {
+        self.0
+    }
+
+    /// Returns the corresponding public key.
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey(AffinePoint::generator().mul(self.0))
+    }
+
+    /// Signs a 32-byte digest with an RFC-6979 deterministic nonce and
+    /// low-s normalization.
+    pub fn sign(&self, digest: &[u8; 32]) -> Signature {
+        let z = Scalar::from_be_bytes(*digest);
+        let mut extra: u32 = 0;
+        loop {
+            let k = rfc6979_nonce(&self.0, digest, extra);
+            if let Some(sig) = sign_with_nonce(self.0, z, k) {
+                return sig;
+            }
+            extra += 1;
+        }
+    }
+}
+
+impl fmt::Debug for PrivateKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PrivateKey(…)")
+    }
+}
+
+/// Computes an ECDSA signature for digest scalar `z` with nonce `k`,
+/// returning `None` if either component degenerates to zero (retry with a
+/// fresh nonce).
+pub fn sign_with_nonce(secret: Scalar, z: Scalar, k: Scalar) -> Option<Signature> {
+    if k.is_zero() {
+        return None;
+    }
+    let point = AffinePoint::generator().mul(k);
+    if point.is_infinity() {
+        return None;
+    }
+    let r = Scalar::from_be_bytes(point.x().to_be_bytes());
+    if r.is_zero() {
+        return None;
+    }
+    let s = k.invert() * (z + r * secret);
+    if s.is_zero() {
+        return None;
+    }
+    Some(Signature { r, s }.normalize_s())
+}
+
+/// RFC-6979 deterministic nonce derivation (HMAC-DRBG instantiation), with
+/// an extra counter for the rare retry.
+fn rfc6979_nonce(secret: &Scalar, digest: &[u8; 32], extra: u32) -> Scalar {
+    let x = secret.to_be_bytes();
+    let mut v = [0x01u8; 32];
+    let mut k = [0x00u8; 32];
+
+    let mut seed = Vec::with_capacity(97);
+    seed.extend_from_slice(&v);
+    seed.push(0x00);
+    seed.extend_from_slice(&x);
+    seed.extend_from_slice(digest);
+    if extra > 0 {
+        seed.extend_from_slice(&extra.to_be_bytes());
+    }
+    k = hmac_sha256(&k, &seed);
+    v = hmac_sha256(&k, &v);
+
+    let mut seed = Vec::with_capacity(97);
+    seed.extend_from_slice(&v);
+    seed.push(0x01);
+    seed.extend_from_slice(&x);
+    seed.extend_from_slice(digest);
+    if extra > 0 {
+        seed.extend_from_slice(&extra.to_be_bytes());
+    }
+    k = hmac_sha256(&k, &seed);
+    v = hmac_sha256(&k, &v);
+
+    loop {
+        v = hmac_sha256(&k, &v);
+        if let Some(candidate) = Scalar::from_be_bytes_checked(v) {
+            return candidate;
+        }
+        let mut retry = Vec::with_capacity(33);
+        retry.extend_from_slice(&v);
+        retry.push(0x00);
+        k = hmac_sha256(&k, &retry);
+        v = hmac_sha256(&k, &v);
+    }
+}
+
+/// An ECDSA public key.
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_tecdsa::{ecdsa::PrivateKey, Scalar};
+/// let sk = PrivateKey::from_scalar(Scalar::from_u64(99));
+/// let pk = sk.public_key();
+/// let sig = sk.sign(&[5u8; 32]);
+/// assert!(pk.verify(&[5u8; 32], &sig));
+/// assert!(!pk.verify(&[6u8; 32], &sig));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PublicKey(pub AffinePoint);
+
+impl PublicKey {
+    /// Parses a 33-byte compressed key.
+    pub fn from_compressed(bytes: &[u8]) -> Option<PublicKey> {
+        AffinePoint::from_compressed(bytes).map(PublicKey)
+    }
+
+    /// Serializes as a 33-byte compressed key.
+    pub fn to_compressed(&self) -> [u8; 33] {
+        self.0.to_compressed()
+    }
+
+    /// Returns Bitcoin's HASH160 of the compressed key — the P2WPKH /
+    /// P2PKH address payload.
+    pub fn pubkey_hash(&self) -> [u8; 20] {
+        icbtc_bitcoin::hash::hash160(&self.to_compressed())
+    }
+
+    /// Verifies a signature over a 32-byte digest.
+    pub fn verify(&self, digest: &[u8; 32], signature: &Signature) -> bool {
+        if signature.r.is_zero() || signature.s.is_zero() || self.0.is_infinity() {
+            return false;
+        }
+        let z = Scalar::from_be_bytes(*digest);
+        let s_inv = signature.s.invert();
+        let u1 = z * s_inv;
+        let u2 = signature.r * s_inv;
+        let point = AffinePoint::double_mul(u1, u2, &self.0);
+        if point.is_infinity() {
+            return false;
+        }
+        Scalar::from_be_bytes(point.x().to_be_bytes()) == signature.r
+    }
+}
+
+/// An ECDSA signature `(r, s)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Signature {
+    /// The x coordinate of the nonce point, mod n.
+    pub r: Scalar,
+    /// The proof scalar.
+    pub s: Scalar,
+}
+
+impl Signature {
+    /// Returns the signature with `s` flipped to the low half if needed —
+    /// Bitcoin's BIP-62 low-s rule. Both forms verify; only the low form is
+    /// standard.
+    pub fn normalize_s(self) -> Signature {
+        if self.s.is_high() {
+            Signature { r: self.r, s: -self.s }
+        } else {
+            self
+        }
+    }
+
+    /// Serializes as a 64-byte compact form (`r || s`).
+    pub fn to_compact(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.r.to_be_bytes());
+        out[32..].copy_from_slice(&self.s.to_be_bytes());
+        out
+    }
+
+    /// Parses the 64-byte compact form, rejecting zero or overflowing
+    /// components.
+    pub fn from_compact(bytes: &[u8; 64]) -> Option<Signature> {
+        let mut r = [0u8; 32];
+        let mut s = [0u8; 32];
+        r.copy_from_slice(&bytes[..32]);
+        s.copy_from_slice(&bytes[32..]);
+        Some(Signature {
+            r: Scalar::from_be_bytes_checked(r)?,
+            s: Scalar::from_be_bytes_checked(s)?,
+        })
+    }
+
+    /// Serializes in DER, as carried in Bitcoin script signatures.
+    pub fn to_der(&self) -> Vec<u8> {
+        fn der_integer(bytes: &[u8; 32], out: &mut Vec<u8>) {
+            let start = bytes.iter().position(|&b| b != 0).unwrap_or(31);
+            let mut body: Vec<u8> = bytes[start..].to_vec();
+            if body[0] & 0x80 != 0 {
+                body.insert(0, 0x00);
+            }
+            out.push(0x02);
+            out.push(body.len() as u8);
+            out.extend_from_slice(&body);
+        }
+        let mut content = Vec::with_capacity(72);
+        der_integer(&self.r.to_be_bytes(), &mut content);
+        der_integer(&self.s.to_be_bytes(), &mut content);
+        let mut out = Vec::with_capacity(content.len() + 2);
+        out.push(0x30);
+        out.push(content.len() as u8);
+        out.extend_from_slice(&content);
+        out
+    }
+
+    /// Parses a DER signature (strict: minimal integer encodings).
+    pub fn from_der(bytes: &[u8]) -> Option<Signature> {
+        fn parse_integer(bytes: &[u8]) -> Option<(Scalar, &[u8])> {
+            if bytes.len() < 2 || bytes[0] != 0x02 {
+                return None;
+            }
+            let len = bytes[1] as usize;
+            if len == 0 || len > 33 || bytes.len() < 2 + len {
+                return None;
+            }
+            let body = &bytes[2..2 + len];
+            // Reject non-minimal encodings.
+            if body[0] == 0x00 && (body.len() == 1 || body[1] & 0x80 == 0) {
+                return None;
+            }
+            if body[0] & 0x80 != 0 {
+                return None; // negative
+            }
+            let body = if body[0] == 0x00 { &body[1..] } else { body };
+            if body.len() > 32 {
+                return None;
+            }
+            let mut padded = [0u8; 32];
+            padded[32 - body.len()..].copy_from_slice(body);
+            Some((Scalar::from_be_bytes_checked(padded)?, &bytes[2 + len..]))
+        }
+        if bytes.len() < 6 || bytes[0] != 0x30 || bytes[1] as usize != bytes.len() - 2 {
+            return None;
+        }
+        let (r, rest) = parse_integer(&bytes[2..])?;
+        let (s, rest) = parse_integer(rest)?;
+        if !rest.is_empty() {
+            return None;
+        }
+        Some(Signature { r, s })
+    }
+
+    /// Serializes DER plus the trailing `SIGHASH_ALL` byte, the exact form
+    /// carried in P2WPKH witnesses.
+    pub fn to_der_with_sighash_all(&self) -> Vec<u8> {
+        let mut out = self.to_der();
+        out.push(0x01);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair(seed: u64) -> (PrivateKey, PublicKey) {
+        let sk = PrivateKey::from_scalar(Scalar::from_u64(seed));
+        let pk = sk.public_key();
+        (sk, pk)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let (sk, pk) = keypair(123456789);
+        for digest in [[0u8; 32], [0xff; 32], [0x5a; 32]] {
+            let sig = sk.sign(&digest);
+            assert!(pk.verify(&digest, &sig));
+        }
+    }
+
+    #[test]
+    fn verification_rejects_wrong_inputs() {
+        let (sk, pk) = keypair(42);
+        let (_, other_pk) = keypair(43);
+        let digest = [9u8; 32];
+        let sig = sk.sign(&digest);
+        assert!(!pk.verify(&[10u8; 32], &sig));
+        assert!(!other_pk.verify(&digest, &sig));
+        let forged = Signature { r: sig.r, s: sig.s + Scalar::ONE };
+        assert!(!pk.verify(&digest, &forged));
+    }
+
+    #[test]
+    fn signing_is_deterministic() {
+        let (sk, _) = keypair(7);
+        let digest = [3u8; 32];
+        assert_eq!(sk.sign(&digest), sk.sign(&digest));
+        assert_ne!(sk.sign(&digest), sk.sign(&[4u8; 32]));
+    }
+
+    #[test]
+    fn signatures_are_low_s() {
+        let (sk, _) = keypair(99);
+        for i in 0..8u8 {
+            let sig = sk.sign(&[i; 32]);
+            assert!(!sig.s.is_high());
+        }
+    }
+
+    #[test]
+    fn high_s_form_also_verifies_but_normalizes() {
+        let (sk, pk) = keypair(55);
+        let digest = [1u8; 32];
+        let sig = sk.sign(&digest);
+        let high = Signature { r: sig.r, s: -sig.s };
+        assert!(pk.verify(&digest, &high), "ECDSA accepts both s forms");
+        assert_eq!(high.normalize_s(), sig);
+    }
+
+    #[test]
+    fn der_roundtrip() {
+        let (sk, _) = keypair(1234);
+        for i in 0..16u8 {
+            let sig = sk.sign(&[i; 32]);
+            let der = sig.to_der();
+            assert_eq!(der[0], 0x30);
+            assert!(der.len() <= 72);
+            assert_eq!(Signature::from_der(&der), Some(sig), "digest byte {i}");
+        }
+    }
+
+    #[test]
+    fn der_rejects_malformed() {
+        let (sk, _) = keypair(77);
+        let der = sk.sign(&[0u8; 32]).to_der();
+        assert_eq!(Signature::from_der(&[]), None);
+        assert_eq!(Signature::from_der(&der[1..]), None);
+        let mut bad_tag = der.clone();
+        bad_tag[0] = 0x31;
+        assert_eq!(Signature::from_der(&bad_tag), None);
+        let mut trailing = der.clone();
+        trailing.push(0x00);
+        assert_eq!(Signature::from_der(&trailing), None);
+        let mut bad_len = der.clone();
+        bad_len[1] ^= 1;
+        assert_eq!(Signature::from_der(&bad_len), None);
+    }
+
+    #[test]
+    fn der_with_sighash_byte() {
+        let (sk, _) = keypair(88);
+        let bytes = sk.sign(&[2u8; 32]).to_der_with_sighash_all();
+        assert_eq!(*bytes.last().unwrap(), 0x01);
+        assert!(Signature::from_der(&bytes[..bytes.len() - 1]).is_some());
+    }
+
+    #[test]
+    fn compact_roundtrip() {
+        let (sk, _) = keypair(31337);
+        let sig = sk.sign(&[8u8; 32]);
+        let compact = sig.to_compact();
+        assert_eq!(Signature::from_compact(&compact), Some(sig));
+        assert_eq!(Signature::from_compact(&[0u8; 64]), None);
+    }
+
+    #[test]
+    fn random_keys_work() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..4 {
+            let sk = PrivateKey::random(&mut rng);
+            let pk = sk.public_key();
+            let digest = [0xaau8; 32];
+            assert!(pk.verify(&digest, &sk.sign(&digest)));
+        }
+    }
+
+    #[test]
+    fn pubkey_compressed_roundtrip_and_hash() {
+        let (_, pk) = keypair(1);
+        let compressed = pk.to_compressed();
+        assert_eq!(PublicKey::from_compressed(&compressed), Some(pk));
+        // Private key 1's pubkey hash is the well-known value.
+        let hex: String = pk.pubkey_hash().iter().map(|b| format!("{b:02x}")).collect();
+        assert_eq!(hex, "751e76e8199196d454941c45d1b3a323f1433bd6");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_private_key_panics() {
+        let _ = PrivateKey::from_scalar(Scalar::ZERO);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+
+            #[test]
+            fn sign_verify_arbitrary(seed in 1u64..u64::MAX, digest in proptest::array::uniform32(any::<u8>())) {
+                let sk = PrivateKey::from_scalar(Scalar::from_u64(seed));
+                let sig = sk.sign(&digest);
+                prop_assert!(sk.public_key().verify(&digest, &sig));
+                prop_assert_eq!(Signature::from_der(&sig.to_der()), Some(sig));
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Elements of the secp256k1 base field GF(p).
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use icbtc_bitcoin::U256;
+
+use crate::FIELD;
+
+/// An element of the secp256k1 base field, always kept reduced.
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_tecdsa::FieldElement;
+/// let a = FieldElement::from_u64(3);
+/// let b = FieldElement::from_u64(4);
+/// assert_eq!(a * a + b * b, FieldElement::from_u64(25));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FieldElement(U256);
+
+impl FieldElement {
+    /// The additive identity.
+    pub const ZERO: FieldElement = FieldElement(U256::ZERO);
+    /// The multiplicative identity.
+    pub const ONE: FieldElement = FieldElement(U256::ONE);
+
+    /// Creates an element from a small integer.
+    pub fn from_u64(v: u64) -> FieldElement {
+        FieldElement(U256::from_u64(v))
+    }
+
+    /// Creates an element from big-endian bytes, reducing mod p.
+    pub fn from_be_bytes(bytes: [u8; 32]) -> FieldElement {
+        FieldElement(FIELD.reduce(U256::from_be_bytes(bytes)))
+    }
+
+    /// Creates an element from big-endian bytes, rejecting values ≥ p
+    /// (the strict check BIP-340 x-only parsing requires).
+    pub fn from_be_bytes_checked(bytes: [u8; 32]) -> Option<FieldElement> {
+        let v = U256::from_be_bytes(bytes);
+        if v >= FIELD.m {
+            return None;
+        }
+        Some(FieldElement(v))
+    }
+
+    /// Serializes to big-endian bytes.
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        self.0.to_be_bytes()
+    }
+
+    /// Returns the raw reduced value.
+    pub fn to_u256(self) -> U256 {
+        self.0
+    }
+
+    /// Returns `true` for the additive identity.
+    pub fn is_zero(self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Returns `true` if the canonical representative is even — the parity
+    /// convention BIP-340 and compressed point encoding rely on.
+    pub fn is_even(self) -> bool {
+        !self.0.bit(0)
+    }
+
+    /// Squares the element.
+    pub fn square(self) -> FieldElement {
+        self * self
+    }
+
+    /// Computes the multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element is zero.
+    pub fn invert(self) -> FieldElement {
+        FieldElement(FIELD.inv(self.0))
+    }
+
+    /// Computes a square root if one exists. Since `p ≡ 3 (mod 4)` the
+    /// candidate is `a^((p+1)/4)`; the result is checked by squaring.
+    pub fn sqrt(self) -> Option<FieldElement> {
+        // (p + 1) / 4
+        let exponent = (FIELD.m + U256::ONE) >> 2;
+        let candidate = FieldElement(FIELD.pow(self.0, exponent));
+        if candidate.square() == self {
+            Some(candidate)
+        } else {
+            None
+        }
+    }
+}
+
+impl Add for FieldElement {
+    type Output = FieldElement;
+    fn add(self, rhs: FieldElement) -> FieldElement {
+        FieldElement(FIELD.add(self.0, rhs.0))
+    }
+}
+
+impl Sub for FieldElement {
+    type Output = FieldElement;
+    fn sub(self, rhs: FieldElement) -> FieldElement {
+        FieldElement(FIELD.sub(self.0, rhs.0))
+    }
+}
+
+impl Mul for FieldElement {
+    type Output = FieldElement;
+    fn mul(self, rhs: FieldElement) -> FieldElement {
+        FieldElement(FIELD.mul(self.0, rhs.0))
+    }
+}
+
+impl Neg for FieldElement {
+    type Output = FieldElement;
+    fn neg(self) -> FieldElement {
+        FieldElement(FIELD.neg(self.0))
+    }
+}
+
+impl fmt::Debug for FieldElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fe(0x{:x})", self.0)
+    }
+}
+
+impl fmt::Display for FieldElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = FieldElement::from_be_bytes([0x5a; 32]);
+        assert_eq!(a + FieldElement::ZERO, a);
+        assert_eq!(a * FieldElement::ONE, a);
+        assert_eq!(a - a, FieldElement::ZERO);
+        assert_eq!(a + (-a), FieldElement::ZERO);
+        assert_eq!(a * a.invert(), FieldElement::ONE);
+    }
+
+    #[test]
+    fn from_be_bytes_reduces_but_checked_rejects() {
+        // p + 5 still fits in 256 bits since p = 2^256 - 2^32 - 977.
+        let bytes = (FIELD.m + U256::from_u64(5)).to_be_bytes();
+        assert_eq!(FieldElement::from_be_bytes(bytes), FieldElement::from_u64(5));
+        assert_eq!(FieldElement::from_be_bytes_checked(bytes), None);
+        assert!(FieldElement::from_be_bytes_checked([0x11; 32]).is_some());
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let a = FieldElement::from_be_bytes([0x42; 32]);
+        assert_eq!(FieldElement::from_be_bytes(a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn parity() {
+        assert!(FieldElement::from_u64(4).is_even());
+        assert!(!FieldElement::from_u64(7).is_even());
+        assert!(FieldElement::ZERO.is_even());
+    }
+
+    #[test]
+    fn sqrt_of_squares() {
+        for v in [2u64, 3, 9, 1_000_003] {
+            let a = FieldElement::from_u64(v);
+            let root = a.square().sqrt().expect("squares have roots");
+            assert!(root == a || root == -a, "root of {v}^2");
+        }
+    }
+
+    #[test]
+    fn sqrt_of_non_residue_is_none() {
+        // 7 is the curve's b coefficient; find any non-residue by scanning.
+        let mut found_none = false;
+        for v in 2u64..40 {
+            if FieldElement::from_u64(v).sqrt().is_none() {
+                found_none = true;
+                break;
+            }
+        }
+        assert!(found_none, "expected a quadratic non-residue below 40");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_fe() -> impl Strategy<Value = FieldElement> {
+            proptest::array::uniform32(any::<u8>()).prop_map(FieldElement::from_be_bytes)
+        }
+
+        proptest! {
+            #[test]
+            fn field_axioms(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+                prop_assert_eq!(a + b, b + a);
+                prop_assert_eq!(a * b, b * a);
+                prop_assert_eq!((a + b) + c, a + (b + c));
+                prop_assert_eq!(a * (b + c), a * b + a * c);
+            }
+
+            #[test]
+            fn inverse_property(a in arb_fe()) {
+                prop_assume!(!a.is_zero());
+                prop_assert_eq!(a * a.invert(), FieldElement::ONE);
+            }
+
+            #[test]
+            fn sqrt_squares(a in arb_fe()) {
+                let sq = a.square();
+                let root = sq.sqrt().expect("every square has a root");
+                prop_assert!(root == a || root == -a);
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! From-scratch secp256k1 with threshold ECDSA and Schnorr signing.
+//!
+//! The paper's architecture (§I, §III) relies on the Internet Computer's
+//! threshold-ECDSA (reference \[3\] of the paper) and threshold-Schnorr services: canisters hold
+//! Bitcoin under keys whose private material is secret-shared across the
+//! subnet's replicas, and signatures are produced jointly. This crate
+//! provides that substrate:
+//!
+//! * [`FieldElement`] / [`Scalar`] — arithmetic modulo the secp256k1 field
+//!   prime and group order, built on fast `2²⁵⁶ − δ` folding ([`modular`]).
+//! * [`AffinePoint`] / [`curve`] — the secp256k1 group law and scalar
+//!   multiplication.
+//! * [`ecdsa`] — RFC-6979 deterministic ECDSA with DER encoding, exactly
+//!   the signatures Bitcoin's P2WPKH inputs carry.
+//! * [`schnorr`] — BIP-340 Schnorr signatures for taproot key spends.
+//! * [`shamir`] — Shamir secret sharing over the scalar field.
+//! * [`protocol`] — the t-of-n signing service: dealer-assisted key
+//!   generation, additive key derivation for canisters, and signing
+//!   sessions that tolerate up to `n − t` missing shares. The trusted
+//!   dealer stands in for the interactive DKG (see DESIGN.md §1); the
+//!   produced signatures are real and verify under the standard algorithms.
+//!
+//! # Examples
+//!
+//! ```
+//! use icbtc_tecdsa::{ecdsa, Scalar};
+//!
+//! let sk = ecdsa::PrivateKey::from_scalar(Scalar::from_u64(424242));
+//! let pk = sk.public_key();
+//! let digest = [7u8; 32];
+//! let sig = sk.sign(&digest);
+//! assert!(pk.verify(&digest, &sig));
+//! ```
+
+use std::sync::LazyLock;
+
+use icbtc_bitcoin::U256;
+
+pub mod curve;
+pub mod ecdsa;
+mod field;
+pub mod modular;
+pub mod protocol;
+mod scalar;
+pub mod schnorr;
+pub mod shamir;
+
+pub use curve::AffinePoint;
+pub use field::FieldElement;
+pub use scalar::Scalar;
+
+/// The secp256k1 field prime `p = 2²⁵⁶ − 2³² − 977`.
+pub static FIELD: LazyLock<modular::Modulus> = LazyLock::new(|| {
+    let delta = U256::from_u64((1u64 << 32) + 977);
+    modular::Modulus::new(U256::ZERO.wrapping_sub(delta), delta)
+});
+
+/// The secp256k1 group order `n`.
+pub static ORDER: LazyLock<modular::Modulus> = LazyLock::new(|| {
+    let delta = U256::from_limbs([0x402D_A173_2FC9_BEBF, 0x4551_2319_50B7_5FC4, 1, 0]);
+    modular::Modulus::new(U256::ZERO.wrapping_sub(delta), delta)
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moduli_match_published_constants() {
+        assert_eq!(
+            format!("{:x}", FIELD.m),
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f"
+        );
+        assert_eq!(
+            format!("{:x}", ORDER.m),
+            "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141"
+        );
+    }
+}

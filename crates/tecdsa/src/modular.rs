@@ -1,0 +1,223 @@
+//! Modular arithmetic over 256-bit moduli of the form `2²⁵⁶ − δ`.
+//!
+//! Both secp256k1 moduli have this shape (the field prime `p` with
+//! δ = 2³² + 977, the group order `n` with a 129-bit δ), which allows
+//! reduction of 512-bit products by folding the high half:
+//! `hi·2²⁵⁶ ≡ hi·δ (mod m)`. The fold shrinks the high half by a factor of
+//! `2²⁵⁶/δ` per iteration, so it terminates in at most three rounds.
+
+use icbtc_bitcoin::U256;
+
+/// A modulus `m = 2²⁵⁶ − δ` with `δ < 2¹³⁰`, supporting fast reduction.
+#[derive(Debug, Clone, Copy)]
+pub struct Modulus {
+    /// The modulus itself.
+    pub m: U256,
+    /// `2²⁵⁶ − m`.
+    pub delta: U256,
+}
+
+impl Modulus {
+    /// Creates a modulus, checking the `m + δ = 2²⁵⁶` relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m + delta != 2²⁵⁶` or `m` is not above `2²⁵⁵` (the fold
+    /// bound requires it).
+    pub fn new(m: U256, delta: U256) -> Modulus {
+        let (sum, carry) = m.overflowing_add(delta);
+        assert!(carry && sum.is_zero(), "modulus and delta must sum to 2^256");
+        assert!(m.bits() == 256, "modulus must use all 256 bits");
+        Modulus { m, delta }
+    }
+
+    /// Reduces an arbitrary 256-bit value into `[0, m)`.
+    pub fn reduce(&self, value: U256) -> U256 {
+        if value >= self.m {
+            value.wrapping_sub(self.m)
+        } else {
+            value
+        }
+    }
+
+    /// Reduces a 512-bit value `(lo, hi)` into `[0, m)`.
+    pub fn reduce_wide(&self, mut lo: U256, mut hi: U256) -> U256 {
+        while !hi.is_zero() {
+            let (folded_lo, folded_hi) = hi.widening_mul(self.delta);
+            let (sum, carry) = lo.overflowing_add(folded_lo);
+            lo = sum;
+            hi = if carry {
+                folded_hi.checked_add(U256::ONE).expect("fold high half is small")
+            } else {
+                folded_hi
+            };
+        }
+        let mut out = lo;
+        while out >= self.m {
+            out = out.wrapping_sub(self.m);
+        }
+        out
+    }
+
+    /// Modular addition of values already in `[0, m)`.
+    pub fn add(&self, a: U256, b: U256) -> U256 {
+        let (sum, carry) = a.overflowing_add(b);
+        if carry {
+            // sum + 2^256 ≡ sum + delta (mod m)
+            self.reduce_wide(sum, U256::ONE)
+        } else {
+            self.reduce(sum)
+        }
+    }
+
+    /// Modular subtraction of values already in `[0, m)`.
+    pub fn sub(&self, a: U256, b: U256) -> U256 {
+        if a >= b {
+            a.wrapping_sub(b)
+        } else {
+            a.checked_add(self.m.wrapping_sub(b)).expect("a < b <= m so no overflow")
+        }
+    }
+
+    /// Modular negation of a value already in `[0, m)`.
+    pub fn neg(&self, a: U256) -> U256 {
+        if a.is_zero() {
+            a
+        } else {
+            self.m.wrapping_sub(a)
+        }
+    }
+
+    /// Modular multiplication.
+    pub fn mul(&self, a: U256, b: U256) -> U256 {
+        let (lo, hi) = a.widening_mul(b);
+        self.reduce_wide(lo, hi)
+    }
+
+    /// Modular exponentiation by square-and-multiply.
+    pub fn pow(&self, base: U256, exponent: U256) -> U256 {
+        let mut result = U256::ONE;
+        let mut acc = self.reduce(base);
+        for i in 0..exponent.bits() as usize {
+            if exponent.bit(i) {
+                result = self.mul(result, acc);
+            }
+            acc = self.mul(acc, acc);
+        }
+        result
+    }
+
+    /// Modular inverse via Fermat's little theorem (`m` must be prime).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is zero.
+    pub fn inv(&self, a: U256) -> U256 {
+        assert!(!self.reduce(a).is_zero(), "zero has no modular inverse");
+        self.pow(a, self.m.wrapping_sub(U256::from_u64(2)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FIELD, ORDER};
+
+    #[test]
+    fn construction_validates() {
+        // Both secp256k1 moduli construct fine (done in lazy statics).
+        assert_eq!(FIELD.m.bits(), 256);
+        assert_eq!(ORDER.m.bits(), 256);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_delta_panics() {
+        let _ = Modulus::new(U256::MAX, U256::MAX);
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let m = *FIELD;
+        let a = m.reduce(U256::from_be_bytes([0xab; 32]));
+        let b = m.reduce(U256::from_be_bytes([0x17; 32]));
+        assert_eq!(m.sub(m.add(a, b), b), a);
+        assert_eq!(m.add(a, m.neg(a)), U256::ZERO);
+        assert_eq!(m.neg(U256::ZERO), U256::ZERO);
+        // Wrap-around addition stays reduced.
+        let near = m.m.wrapping_sub(U256::ONE);
+        assert_eq!(m.add(near, U256::from_u64(2)), U256::ONE);
+    }
+
+    #[test]
+    fn mul_matches_small_numbers() {
+        let m = *ORDER;
+        assert_eq!(m.mul(U256::from_u64(6), U256::from_u64(7)), U256::from_u64(42));
+        assert_eq!(m.mul(U256::ZERO, U256::MAX), U256::ZERO);
+    }
+
+    #[test]
+    fn fermat_inverse() {
+        for m in [*FIELD, *ORDER] {
+            for v in [2u64, 3, 65537, 0xdeadbeef] {
+                let a = U256::from_u64(v);
+                let inv = m.inv(a);
+                assert_eq!(m.mul(a, inv), U256::ONE, "inverse of {v}");
+            }
+            // Inverse of m-1 (= -1) is itself.
+            let minus_one = m.m.wrapping_sub(U256::ONE);
+            assert_eq!(m.inv(minus_one), minus_one);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverse_of_zero_panics() {
+        let _ = FIELD.inv(U256::ZERO);
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        let m = *FIELD;
+        assert_eq!(m.pow(U256::from_u64(5), U256::ZERO), U256::ONE);
+        assert_eq!(m.pow(U256::from_u64(5), U256::ONE), U256::from_u64(5));
+        assert_eq!(m.pow(U256::from_u64(2), U256::from_u64(10)), U256::from_u64(1024));
+        // Fermat: a^(m-1) = 1.
+        assert_eq!(m.pow(U256::from_u64(7), m.m.wrapping_sub(U256::ONE)), U256::ONE);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_u256() -> impl Strategy<Value = U256> {
+            proptest::array::uniform4(any::<u64>()).prop_map(U256::from_limbs)
+        }
+
+        proptest! {
+            #[test]
+            fn mul_commutes_and_reduces(a in arb_u256(), b in arb_u256()) {
+                let m = *FIELD;
+                let ab = m.mul(a, b);
+                prop_assert_eq!(ab, m.mul(b, a));
+                prop_assert!(ab < m.m);
+            }
+
+            #[test]
+            fn distributive(a in arb_u256(), b in arb_u256(), c in arb_u256()) {
+                let m = *ORDER;
+                let left = m.mul(m.reduce_wide(a, U256::ZERO), m.add(m.reduce(b), m.reduce(c)));
+                let right = m.add(m.mul(a, b), m.mul(a, c));
+                prop_assert_eq!(left, right);
+            }
+
+            #[test]
+            fn inverse_roundtrip(a in arb_u256()) {
+                let m = *ORDER;
+                let a = m.reduce(a);
+                prop_assume!(!a.is_zero());
+                prop_assert_eq!(m.mul(a, m.inv(a)), U256::ONE);
+            }
+        }
+    }
+}

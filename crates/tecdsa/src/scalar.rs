@@ -1,0 +1,234 @@
+//! Scalars modulo the secp256k1 group order.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use icbtc_bitcoin::U256;
+use rand::RngCore;
+
+use crate::ORDER;
+
+/// A scalar modulo the secp256k1 group order `n`, always kept reduced.
+///
+/// Scalars are private keys, nonces, signature components, and the Shamir
+/// share values of the threshold protocol.
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_tecdsa::Scalar;
+/// let a = Scalar::from_u64(10);
+/// assert_eq!(a * a.invert(), Scalar::ONE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Scalar(U256);
+
+impl Scalar {
+    /// The additive identity.
+    pub const ZERO: Scalar = Scalar(U256::ZERO);
+    /// The multiplicative identity.
+    pub const ONE: Scalar = Scalar(U256::ONE);
+
+    /// Creates a scalar from a small integer.
+    pub fn from_u64(v: u64) -> Scalar {
+        Scalar(U256::from_u64(v))
+    }
+
+    /// Creates a scalar from big-endian bytes, reducing mod n.
+    pub fn from_be_bytes(bytes: [u8; 32]) -> Scalar {
+        Scalar(ORDER.reduce(U256::from_be_bytes(bytes)))
+    }
+
+    /// Creates a scalar from big-endian bytes, rejecting zero and values
+    /// ≥ n — the strict validation applied to incoming signatures.
+    pub fn from_be_bytes_checked(bytes: [u8; 32]) -> Option<Scalar> {
+        let v = U256::from_be_bytes(bytes);
+        if v.is_zero() || v >= ORDER.m {
+            return None;
+        }
+        Some(Scalar(v))
+    }
+
+    /// Draws a uniformly random non-zero scalar.
+    pub fn random<R: RngCore>(rng: &mut R) -> Scalar {
+        loop {
+            let mut bytes = [0u8; 32];
+            rng.fill_bytes(&mut bytes);
+            let v = U256::from_be_bytes(bytes);
+            if !v.is_zero() && v < ORDER.m {
+                return Scalar(v);
+            }
+        }
+    }
+
+    /// Serializes to big-endian bytes.
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        self.0.to_be_bytes()
+    }
+
+    /// Returns the raw reduced value.
+    pub fn to_u256(self) -> U256 {
+        self.0
+    }
+
+    /// Returns `true` for zero.
+    pub fn is_zero(self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Returns `true` if the scalar exceeds `n/2` — the "high-s" test used
+    /// for Bitcoin's low-s signature normalization.
+    pub fn is_high(self) -> bool {
+        self.0 > (ORDER.m >> 1)
+    }
+
+    /// Computes the multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scalar is zero.
+    pub fn invert(self) -> Scalar {
+        Scalar(ORDER.inv(self.0))
+    }
+}
+
+impl Add for Scalar {
+    type Output = Scalar;
+    fn add(self, rhs: Scalar) -> Scalar {
+        Scalar(ORDER.add(self.0, rhs.0))
+    }
+}
+
+impl Sub for Scalar {
+    type Output = Scalar;
+    fn sub(self, rhs: Scalar) -> Scalar {
+        Scalar(ORDER.sub(self.0, rhs.0))
+    }
+}
+
+impl Mul for Scalar {
+    type Output = Scalar;
+    fn mul(self, rhs: Scalar) -> Scalar {
+        Scalar(ORDER.mul(self.0, rhs.0))
+    }
+}
+
+impl Neg for Scalar {
+    type Output = Scalar;
+    fn neg(self) -> Scalar {
+        Scalar(ORDER.neg(self.0))
+    }
+}
+
+impl std::iter::Sum for Scalar {
+    fn sum<I: Iterator<Item = Scalar>>(iter: I) -> Scalar {
+        iter.fold(Scalar::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Scalars are frequently secret; display only a short fingerprint.
+        let bytes = self.0.to_be_bytes();
+        write!(f, "Scalar(…{:02x}{:02x})", bytes[30], bytes[31])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icbtc_sim_compat::seeded_rng;
+
+    /// Minimal local shim: a deterministic RngCore without depending on
+    /// icbtc-sim (kept out of this crate's dependency set on purpose).
+    mod icbtc_sim_compat {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        pub fn seeded_rng(seed: u64) -> StdRng {
+            StdRng::seed_from_u64(seed)
+        }
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Scalar::from_be_bytes([0x33; 32]);
+        assert_eq!(a + Scalar::ZERO, a);
+        assert_eq!(a * Scalar::ONE, a);
+        assert_eq!(a - a, Scalar::ZERO);
+        assert_eq!(a + (-a), Scalar::ZERO);
+        assert_eq!(a * a.invert(), Scalar::ONE);
+    }
+
+    #[test]
+    fn checked_parsing() {
+        assert_eq!(Scalar::from_be_bytes_checked([0; 32]), None);
+        assert_eq!(Scalar::from_be_bytes_checked(ORDER.m.to_be_bytes()), None);
+        assert!(Scalar::from_be_bytes_checked([1; 32]).is_some());
+        // Unchecked parsing reduces n + 3 to 3.
+        let bytes = (ORDER.m + U256::from_u64(3)).to_be_bytes();
+        assert_eq!(Scalar::from_be_bytes(bytes), Scalar::from_u64(3));
+    }
+
+    #[test]
+    fn high_s_detection() {
+        let half = Scalar(ORDER.m >> 1);
+        assert!(!half.is_high());
+        assert!((half + Scalar::ONE).is_high());
+        assert!(!Scalar::ONE.is_high());
+        // -1 = n - 1 is high.
+        assert!((-Scalar::ONE).is_high());
+    }
+
+    #[test]
+    fn random_scalars_are_distinct_and_reduced() {
+        let mut rng = seeded_rng(7);
+        let a = Scalar::random(&mut rng);
+        let b = Scalar::random(&mut rng);
+        assert_ne!(a, b);
+        assert!(!a.is_zero());
+        assert!(a.to_u256() < ORDER.m);
+    }
+
+    #[test]
+    fn sum_folds() {
+        let total: Scalar = (1..=10u64).map(Scalar::from_u64).sum();
+        assert_eq!(total, Scalar::from_u64(55));
+    }
+
+    #[test]
+    fn debug_reveals_only_fingerprint() {
+        let s = Scalar::from_u64(0xabcd);
+        let shown = format!("{s:?}");
+        assert!(shown.contains("abcd") || shown.contains("cd"));
+        assert!(shown.len() < 20, "must not dump the full scalar");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_scalar() -> impl Strategy<Value = Scalar> {
+            proptest::array::uniform32(any::<u8>()).prop_map(Scalar::from_be_bytes)
+        }
+
+        proptest! {
+            #[test]
+            fn ring_axioms(a in arb_scalar(), b in arb_scalar(), c in arb_scalar()) {
+                prop_assert_eq!(a + b, b + a);
+                prop_assert_eq!((a * b) * c, a * (b * c));
+                prop_assert_eq!(a * (b + c), a * b + a * c);
+            }
+
+            #[test]
+            fn byte_roundtrip(a in arb_scalar()) {
+                prop_assert_eq!(Scalar::from_be_bytes(a.to_be_bytes()), a);
+            }
+
+            #[test]
+            fn neg_is_involution(a in arb_scalar()) {
+                prop_assert_eq!(-(-a), a);
+            }
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Shamir secret sharing over the secp256k1 scalar field.
+//!
+//! The threshold signing service (§I of the paper, its reference \[3\]) keeps canister
+//! signing keys secret-shared across the subnet's replicas so that any
+//! `t` of `n` replicas can sign and fewer than `t` learn nothing. This
+//! module provides the polynomial sharing and Lagrange interpolation the
+//! protocol layer builds on.
+
+use std::fmt;
+
+use rand::RngCore;
+
+use crate::Scalar;
+
+/// A share of a secret: the polynomial's evaluation at index `x` (indices
+/// are 1-based; 0 holds the secret itself).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Share {
+    /// 1-based share index.
+    pub index: u32,
+    /// The polynomial's value at this index.
+    pub value: Scalar,
+}
+
+/// Error from share reconstruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShamirError {
+    /// Fewer shares than the reconstruction threshold.
+    InsufficientShares {
+        /// Shares provided.
+        have: usize,
+        /// Shares required.
+        need: usize,
+    },
+    /// Two shares carried the same index.
+    DuplicateIndex(u32),
+    /// A share used the reserved index 0.
+    ZeroIndex,
+}
+
+impl fmt::Display for ShamirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShamirError::InsufficientShares { have, need } => {
+                write!(f, "insufficient shares: have {have}, need {need}")
+            }
+            ShamirError::DuplicateIndex(i) => write!(f, "duplicate share index {i}"),
+            ShamirError::ZeroIndex => write!(f, "share index 0 is reserved for the secret"),
+        }
+    }
+}
+
+impl std::error::Error for ShamirError {}
+
+/// A random polynomial of degree `threshold − 1` with the secret as the
+/// constant term.
+#[derive(Clone)]
+pub struct Polynomial {
+    coefficients: Vec<Scalar>,
+}
+
+impl Polynomial {
+    /// Samples a polynomial hiding `secret` that requires `threshold`
+    /// evaluations to reconstruct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn random<R: RngCore>(secret: Scalar, threshold: usize, rng: &mut R) -> Polynomial {
+        assert!(threshold >= 1, "threshold must be at least 1");
+        let mut coefficients = Vec::with_capacity(threshold);
+        coefficients.push(secret);
+        for _ in 1..threshold {
+            coefficients.push(Scalar::random(rng));
+        }
+        Polynomial { coefficients }
+    }
+
+    /// Evaluates the polynomial at `x` by Horner's rule.
+    pub fn evaluate(&self, x: Scalar) -> Scalar {
+        let mut acc = Scalar::ZERO;
+        for coefficient in self.coefficients.iter().rev() {
+            acc = acc * x + *coefficient;
+        }
+        acc
+    }
+
+    /// Returns the hidden secret (the evaluation at 0).
+    pub fn secret(&self) -> Scalar {
+        self.coefficients[0]
+    }
+
+    /// Produces shares for indices `1..=n`.
+    pub fn shares(&self, n: usize) -> Vec<Share> {
+        (1..=n as u32)
+            .map(|index| Share { index, value: self.evaluate(Scalar::from_u64(index as u64)) })
+            .collect()
+    }
+}
+
+impl fmt::Debug for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Polynomial(degree {})", self.coefficients.len().saturating_sub(1))
+    }
+}
+
+/// Splits `secret` into `n` shares with reconstruction threshold
+/// `threshold`.
+///
+/// # Panics
+///
+/// Panics if `threshold` is zero or exceeds `n`.
+pub fn share_secret<R: RngCore>(
+    secret: Scalar,
+    threshold: usize,
+    n: usize,
+    rng: &mut R,
+) -> Vec<Share> {
+    assert!(threshold >= 1 && threshold <= n, "need 1 <= threshold <= n");
+    Polynomial::random(secret, threshold, rng).shares(n)
+}
+
+/// Computes the Lagrange coefficient λ_i(0) for share index `target` over
+/// the participating `indices`.
+///
+/// # Panics
+///
+/// Panics if `target` is not among `indices`, any index is zero, or
+/// indices repeat.
+pub fn lagrange_at_zero(indices: &[u32], target: u32) -> Scalar {
+    assert!(indices.contains(&target), "target must participate");
+    let mut numerator = Scalar::ONE;
+    let mut denominator = Scalar::ONE;
+    let target_scalar = Scalar::from_u64(target as u64);
+    for &j in indices {
+        assert!(j != 0, "index 0 is reserved");
+        if j == target {
+            continue;
+        }
+        let xj = Scalar::from_u64(j as u64);
+        // λ_i(0) = Π_j  x_j / (x_j − x_i)
+        numerator = numerator * xj;
+        denominator = denominator * (xj - target_scalar);
+    }
+    assert!(!denominator.is_zero(), "duplicate indices");
+    numerator * denominator.invert()
+}
+
+/// Reconstructs the secret (the polynomial at 0) from at least
+/// `threshold` distinct shares.
+///
+/// # Errors
+///
+/// Returns [`ShamirError`] on too few shares, duplicate indices, or a
+/// zero index.
+pub fn reconstruct(shares: &[Share], threshold: usize) -> Result<Scalar, ShamirError> {
+    if shares.len() < threshold {
+        return Err(ShamirError::InsufficientShares { have: shares.len(), need: threshold });
+    }
+    let subset = &shares[..threshold];
+    let mut seen = Vec::with_capacity(subset.len());
+    for share in subset {
+        if share.index == 0 {
+            return Err(ShamirError::ZeroIndex);
+        }
+        if seen.contains(&share.index) {
+            return Err(ShamirError::DuplicateIndex(share.index));
+        }
+        seen.push(share.index);
+    }
+    let indices: Vec<u32> = subset.iter().map(|s| s.index).collect();
+    let mut secret = Scalar::ZERO;
+    for share in subset {
+        secret = secret + lagrange_at_zero(&indices, share.index) * share.value;
+    }
+    Ok(secret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn share_and_reconstruct() {
+        let mut rng = rng(1);
+        let secret = Scalar::from_u64(0xfeedface);
+        let shares = share_secret(secret, 3, 7, &mut rng);
+        assert_eq!(shares.len(), 7);
+        assert_eq!(reconstruct(&shares[..3], 3).unwrap(), secret);
+        // Any subset works.
+        assert_eq!(reconstruct(&[shares[6], shares[2], shares[4]], 3).unwrap(), secret);
+        // Extra shares don't hurt.
+        assert_eq!(reconstruct(&shares, 3).unwrap(), secret);
+    }
+
+    #[test]
+    fn below_threshold_fails() {
+        let mut rng = rng(2);
+        let shares = share_secret(Scalar::from_u64(5), 4, 9, &mut rng);
+        assert_eq!(
+            reconstruct(&shares[..3], 4),
+            Err(ShamirError::InsufficientShares { have: 3, need: 4 })
+        );
+    }
+
+    #[test]
+    fn duplicate_and_zero_indices_rejected() {
+        let mut rng = rng(3);
+        let shares = share_secret(Scalar::from_u64(5), 2, 4, &mut rng);
+        assert_eq!(
+            reconstruct(&[shares[0], shares[0]], 2),
+            Err(ShamirError::DuplicateIndex(1))
+        );
+        let zero = Share { index: 0, value: Scalar::ONE };
+        assert_eq!(reconstruct(&[zero, shares[1]], 2), Err(ShamirError::ZeroIndex));
+    }
+
+    #[test]
+    fn threshold_one_is_plain_copy() {
+        let mut rng = rng(4);
+        let secret = Scalar::from_u64(77);
+        let shares = share_secret(secret, 1, 3, &mut rng);
+        for share in &shares {
+            assert_eq!(share.value, secret);
+        }
+    }
+
+    #[test]
+    fn wrong_subset_of_smaller_size_gives_wrong_secret() {
+        let mut rng = rng(5);
+        let secret = Scalar::from_u64(123);
+        let shares = share_secret(secret, 3, 5, &mut rng);
+        // Interpolating with threshold 2 over a degree-2 polynomial yields
+        // garbage (with overwhelming probability), demonstrating hiding.
+        let wrong = reconstruct(&shares[..2], 2).unwrap();
+        assert_ne!(wrong, secret);
+    }
+
+    #[test]
+    fn lagrange_coefficients_sum_to_one_on_constant_poly() {
+        // For the constant polynomial every share equals the secret, so
+        // the coefficients must sum to 1.
+        let indices = [1u32, 3, 4, 7];
+        let total: Scalar = indices.iter().map(|&i| lagrange_at_zero(&indices, i)).sum();
+        assert_eq!(total, Scalar::ONE);
+    }
+
+    #[test]
+    fn additive_homomorphism() {
+        // Shares of a+b are the sums of shares of a and b over the same
+        // indices — the property the threshold protocol's key derivation
+        // and partial-signature combination rely on.
+        let mut rng = rng(6);
+        let a = Scalar::from_u64(1000);
+        let b = Scalar::from_u64(2345);
+        let shares_a = share_secret(a, 3, 5, &mut rng);
+        let shares_b = share_secret(b, 3, 5, &mut rng);
+        let summed: Vec<Share> = shares_a
+            .iter()
+            .zip(&shares_b)
+            .map(|(sa, sb)| Share { index: sa.index, value: sa.value + sb.value })
+            .collect();
+        assert_eq!(reconstruct(&summed, 3).unwrap(), a + b);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            ShamirError::InsufficientShares { have: 1, need: 2 },
+            ShamirError::DuplicateIndex(3),
+            ShamirError::ZeroIndex,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn threshold_above_n_panics() {
+        let mut rng = rng(7);
+        let _ = share_secret(Scalar::ONE, 5, 3, &mut rng);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            #[test]
+            fn reconstruct_any_subset(
+                seed in any::<u64>(),
+                secret in 1u64..u64::MAX,
+                t in 1usize..6,
+                extra in 0usize..4,
+            ) {
+                let n = t + extra;
+                let mut rng = rng(seed);
+                let secret = Scalar::from_u64(secret);
+                let mut shares = share_secret(secret, t, n, &mut rng);
+                // Shuffle deterministically by rotating.
+                shares.rotate_left(seed as usize % n);
+                prop_assert_eq!(reconstruct(&shares, t).unwrap(), secret);
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Attack demo: why δ-stability protects smart contracts from
+//! double-spends and post-downtime fork injection (§IV-A, Lemmas IV.2
+//! and IV.3).
+//!
+//! ```text
+//! cargo run --example double_spend_attack
+//! ```
+//!
+//! Scenario 1 — *fork racing* (Lemma IV.2): an attacker with bounded hash
+//! power secretly mines a fork containing a conflicting payment and feeds
+//! it to the network. Because the canister selects chains by accumulated
+//! work and counts confirmations through confirmation-based stability,
+//! the victim's view never credits the attacker's branch unless it
+//! genuinely out-works the honest network.
+//!
+//! Scenario 2 — *post-downtime injection* (Lemma IV.3): after canister
+//! downtime, Byzantine replicas feed a prepared fork one block per round
+//! while claiming there are no further headers. A single honest block
+//! maker is enough to reveal the real chain, so the attack needs `c*`
+//! Byzantine makers in a row — probability `< 3^{-c*}`.
+
+use icbtc::contracts::Wallet;
+use icbtc::system::{DowntimeAttack, System, SystemConfig};
+use icbtc::btcnet::adversary::SecretForkMiner;
+use icbtc::btcnet::NodeId;
+use icbtc_bitcoin::Amount;
+use icbtc_sim::SimTime;
+
+fn main() {
+    println!("=== double-spend & downtime attacks vs δ-stability ===\n");
+    scenario_fork_racing();
+    println!();
+    scenario_downtime_injection();
+}
+
+fn scenario_fork_racing() {
+    println!("--- scenario 1: fork racing (Lemma IV.2) ---");
+    let mut system = System::new(SystemConfig::regtest(1001));
+    system.btc_mut().run_until(SimTime::from_secs(1800));
+    assert!(system.sync_canister(5000));
+
+    // The merchant ships goods once a payment has c* = 4 confirmations.
+    let merchant = Wallet::new("merchant");
+    let customer = Wallet::new("customer");
+    system.fund_address(&customer.address(&system), 1);
+    assert!(system.sync_canister(5000));
+
+    let merchant_address = merchant.address(&system);
+    let payment = customer
+        .transfer(&mut system, &merchant_address, Amount::from_btc_int(10), Amount::from_sat(1000))
+        .expect("payment accepted");
+    let pay_height = system.await_transaction_mined(payment, 600).expect("payment mined");
+    println!("payment {payment} mined at height {pay_height}");
+
+    // The attacker snapshots the chain just below the payment and mines a
+    // secret fork (its conflicting spend simply omits the payment).
+    let honest_view = system.btc().node(NodeId(0)).chain().clone();
+    let branch_point = honest_view.best_chain_hash_at(pay_height - 1).expect("branch point");
+    let mut fork = SecretForkMiner::branch_at(&honest_view, branch_point).expect("branch exists");
+
+    // Honest chain reaches 4 blocks past the payment while the attacker
+    // (at ~33% hash power) manages only 2 fork blocks in the same period.
+    for _ in 0..4 {
+        system
+            .btc_mut()
+            .mine_block_paying(NodeId(0), icbtc_bitcoin::Script::new_op_return(b"honest"));
+    }
+    let fork_blocks = fork.extend(2, 9);
+    for block in fork_blocks {
+        system.btc_mut().submit_block(NodeId(1), block);
+    }
+    assert!(system.sync_canister(5000));
+
+    // Plain depth would say 5 confirmations — but Definition II.1's
+    // stability subtracts the competing fork's depth: min(5, 5−2) = 3.
+    // The canister therefore does NOT yet report c* = 4 confirmations:
+    // exactly the conservatism that defeats double-spends.
+    let during_attack = merchant.balance(&mut system, 4).expect("synced");
+    println!(
+        "while the fork is alive, balance at 4 confirmations: {during_attack} \
+         (stability dropped to 3 although depth is 5)"
+    );
+    assert_eq!(during_attack, Amount::ZERO, "stability must be conservative under forks");
+
+    // The attacker cannot keep pace (Definition IV.2): two more honest
+    // blocks restore the margin and the payment reaches 4-stability.
+    for _ in 0..2 {
+        system
+            .btc_mut()
+            .mine_block_paying(NodeId(0), icbtc_bitcoin::Script::new_op_return(b"honest"));
+    }
+    assert!(system.sync_canister(5000));
+    let merchant_view = merchant.balance(&mut system, 4).expect("synced");
+    println!("after the honest chain pulls ahead: {merchant_view}");
+    assert_eq!(merchant_view, Amount::from_btc_int(10), "payment survived the fork");
+    println!("the outpaced fork never undid the merchant's payment ✓");
+}
+
+fn scenario_downtime_injection() {
+    println!("--- scenario 2: post-downtime injection (Lemma IV.3) ---");
+    // 4 of 13 replicas are Byzantine — the maximum f for n = 13.
+    let mut config = SystemConfig::regtest(2002);
+    config.consensus.byzantine = 4;
+    let mut system = System::new(config);
+    system.btc_mut().run_until(SimTime::from_secs(1800));
+    assert!(system.sync_canister(8000));
+    let honest_tip_before = system.canister().state().best_tip().1;
+    println!("canister synced to height {honest_tip_before}");
+
+    // The canister goes down for two simulated hours; the attacker uses
+    // the predictable downtime to prepare a 6-block fork.
+    let honest_view = system.btc().node(NodeId(0)).chain().clone();
+    let mut fork = SecretForkMiner::branch_at(&honest_view, honest_view.tip_hash()).expect("tip");
+    let fork_blocks = fork.extend(6, 77);
+    system.stall_subnet(icbtc_sim::SimDuration::from_secs(2 * 3600));
+    println!("canister was down 2h; attacker prepared a {}-block fork", fork_blocks.len());
+
+    // On restart, Byzantine block makers feed the fork one block per
+    // round with N = ∅; honest makers answer from their adapters.
+    system.set_downtime_attack(DowntimeAttack::new(fork_blocks));
+    assert!(system.sync_canister(8000));
+    let delivered = system.clear_downtime_attack();
+
+    // The canister followed the real chain: honest adapters reported the
+    // true headers as soon as one honest maker got a round.
+    let (_, tip) = system.canister().state().best_tip();
+    let real = system.btc().best_height();
+    println!(
+        "fork blocks delivered by Byzantine makers: {delivered}; canister tip {tip} vs real chain {real}"
+    );
+    assert_eq!(tip, real, "canister tracked the real chain, not the injected fork");
+    println!("a single honest block maker defeats the injection (p_fail < 3^-c*) ✓");
+}

@@ -1,0 +1,153 @@
+//! A decentralized Bitcoin escrow — one of the paper's motivating
+//! applications (§I).
+//!
+//! ```text
+//! cargo run --example escrow
+//! ```
+//!
+//! A buyer locks bitcoin in an escrow contract running on the IC. The
+//! contract releases the funds to the seller once the deposit has enough
+//! confirmations *and* the buyer confirms delivery; if the deal is
+//! disputed, the funds return to the buyer. The deposit address is
+//! derived from the subnet's threshold key — no bridge, no custodian,
+//! and the release transaction is a real threshold-signed Bitcoin
+//! transaction.
+
+use icbtc::contracts::Wallet;
+use icbtc::system::{System, SystemConfig};
+use icbtc_bitcoin::{Address, Amount};
+use icbtc_sim::SimTime;
+
+/// The escrow contract state machine, as a canister would hold it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EscrowStatus {
+    /// Waiting for the buyer's deposit to reach the required depth.
+    AwaitingDeposit,
+    /// Deposit confirmed; waiting for the delivery decision.
+    Funded,
+    /// Funds released to the seller.
+    Released,
+    /// Funds refunded to the buyer.
+    Refunded,
+}
+
+struct Escrow {
+    wallet: Wallet,
+    buyer_refund: Address,
+    seller_payout: Address,
+    price: Amount,
+    /// Confirmations required before the deposit counts — the paper's
+    /// `c*` for critical actions (§IV-A).
+    required_confirmations: u32,
+    status: EscrowStatus,
+}
+
+impl Escrow {
+    fn new(id: &str, buyer_refund: Address, seller_payout: Address, price: Amount) -> Escrow {
+        Escrow {
+            wallet: Wallet::new(&format!("escrow-{id}")),
+            buyer_refund,
+            seller_payout,
+            price,
+            required_confirmations: 6,
+            status: EscrowStatus::AwaitingDeposit,
+        }
+    }
+
+    fn deposit_address(&self, system: &System) -> Address {
+        self.wallet.address(system)
+    }
+
+    /// The contract's periodic check (a canister timer in production):
+    /// has the deposit reached the required confirmation depth?
+    fn poll_deposit(&mut self, system: &mut System) {
+        if self.status != EscrowStatus::AwaitingDeposit {
+            return;
+        }
+        let confirmed = self
+            .wallet
+            .balance(system, self.required_confirmations)
+            .unwrap_or(Amount::ZERO);
+        if confirmed >= self.price {
+            self.status = EscrowStatus::Funded;
+        }
+    }
+
+    /// Buyer confirmed delivery: release to the seller.
+    fn release(&mut self, system: &mut System) -> icbtc_bitcoin::Txid {
+        assert_eq!(self.status, EscrowStatus::Funded, "can only release a funded escrow");
+        let fee = Amount::from_sat(2_000);
+        let payout = self.price.checked_sub(fee).expect("price covers fee");
+        let txid = self
+            .wallet
+            .transfer(system, &self.seller_payout, payout, fee)
+            .expect("funded escrow can pay out");
+        self.status = EscrowStatus::Released;
+        txid
+    }
+
+    /// Arbitration failed: refund the buyer.
+    #[allow(dead_code)]
+    fn refund(&mut self, system: &mut System) -> icbtc_bitcoin::Txid {
+        assert_eq!(self.status, EscrowStatus::Funded, "can only refund a funded escrow");
+        let fee = Amount::from_sat(2_000);
+        let payout = self.price.checked_sub(fee).expect("price covers fee");
+        let txid = self
+            .wallet
+            .transfer(system, &self.buyer_refund, payout, fee)
+            .expect("funded escrow can refund");
+        self.status = EscrowStatus::Refunded;
+        txid
+    }
+}
+
+fn main() {
+    println!("=== decentralized escrow on the IC ===\n");
+    let mut system = System::new(SystemConfig::regtest(777));
+    system.btc_mut().run_until(SimTime::from_secs(1800));
+    assert!(system.sync_canister(5000));
+
+    // Participants.
+    let buyer = Wallet::new("buyer");
+    let seller = Wallet::new("seller");
+    let price = Amount::from_btc_int(2);
+    let mut escrow = Escrow::new("deal-31337", buyer.address(&system), seller.address(&system), price);
+    println!("escrow deposit address: {}", escrow.deposit_address(&system));
+    println!("price: {price}, required confirmations: {}", escrow.required_confirmations);
+
+    // The buyer funds their own wallet, then deposits into the escrow.
+    system.fund_address(&buyer.address(&system), 2);
+    assert!(system.sync_canister(5000));
+    let deposit_address = escrow.deposit_address(&system);
+    let deposit_txid = buyer
+        .transfer(&mut system, &deposit_address, price, Amount::from_sat(1500))
+        .expect("buyer deposit");
+    println!("\nbuyer deposited in tx {deposit_txid}");
+    let height = system.await_transaction_mined(deposit_txid, 600).expect("deposit mined");
+    println!("deposit mined at height {height}");
+
+    // The contract polls until the deposit is 6-confirmed. Each poll we
+    // let the chain grow a block.
+    let mut polls = 0;
+    while escrow.status == EscrowStatus::AwaitingDeposit {
+        system.fund_address(&Wallet::new("unrelated-miner").address(&system), 1);
+        assert!(system.sync_canister(5000));
+        escrow.poll_deposit(&mut system);
+        polls += 1;
+        assert!(polls < 30, "deposit never confirmed");
+    }
+    println!("deposit reached {} confirmations after {polls} polls — escrow FUNDED", escrow.required_confirmations);
+
+    // Delivery confirmed: release to the seller.
+    let release_txid = escrow.release(&mut system);
+    println!("\nrelease transaction {release_txid}");
+    let height = system.await_transaction_mined(release_txid, 600).expect("release mined");
+    println!("release mined at height {height}");
+
+    assert!(system.sync_canister(5000));
+    let seller_balance = seller.balance(&mut system, 0).expect("synced");
+    println!("seller balance: {seller_balance}");
+    assert_eq!(seller_balance, price.checked_sub(Amount::from_sat(2_000)).unwrap());
+    assert_eq!(escrow.status, EscrowStatus::Released);
+    println!("\nescrow complete.");
+}

@@ -1,0 +1,499 @@
+//! The smart-contract toolkit: canisters holding and moving bitcoin.
+//!
+//! The paper's motivating capability (§I): canisters hold bitcoin
+//! *natively* — each contract controls Bitcoin addresses derived from the
+//! subnet's threshold key, reads its balance through the Bitcoin
+//! canister, and spends by having the replicas threshold-sign real
+//! Bitcoin transactions that the adapters forward to the network.
+//!
+//! [`Wallet`] is the building block the example applications (escrow,
+//! payroll) compose.
+
+use icbtc_bitcoin::builder::{BuildError, TransactionBuilder};
+use icbtc_bitcoin::encode::Encodable;
+use icbtc_bitcoin::{Address, AddressKind, Amount, Transaction, Txid};
+use icbtc_canister::{ApiError, CanisterCall, CanisterReply, Utxo};
+use icbtc_tecdsa::protocol::DerivationPath;
+
+use crate::system::System;
+
+/// Error from wallet operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalletError {
+    /// The Bitcoin canister rejected a call.
+    Api(ApiError),
+    /// Not enough confirmed funds for the requested transfer.
+    InsufficientFunds {
+        /// What the wallet holds.
+        available: Amount,
+        /// What the transfer needs (amount + fee).
+        required: Amount,
+    },
+    /// Transaction construction failed.
+    Build(BuildError),
+}
+
+impl std::fmt::Display for WalletError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalletError::Api(e) => write!(f, "bitcoin canister error: {e}"),
+            WalletError::InsufficientFunds { available, required } => {
+                write!(f, "insufficient funds: have {available}, need {required}")
+            }
+            WalletError::Build(e) => write!(f, "transaction build error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalletError {}
+
+impl From<ApiError> for WalletError {
+    fn from(e: ApiError) -> WalletError {
+        WalletError::Api(e)
+    }
+}
+
+impl From<BuildError> for WalletError {
+    fn from(e: BuildError) -> WalletError {
+        WalletError::Build(e)
+    }
+}
+
+/// A canister-controlled Bitcoin wallet: one derivation path under the
+/// subnet's threshold key, spending P2WPKH outputs.
+///
+/// # Examples
+///
+/// ```
+/// use icbtc::contracts::Wallet;
+/// use icbtc::system::{System, SystemConfig};
+///
+/// let system = System::new(SystemConfig::regtest(5));
+/// let wallet = Wallet::new("my-dapp");
+/// let address = wallet.address(&system);
+/// assert!(address.to_string().starts_with("bcrt1q"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Wallet {
+    path: DerivationPath,
+}
+
+impl Wallet {
+    /// Creates a wallet for a contract identified by `label`.
+    pub fn new(label: &str) -> Wallet {
+        Wallet { path: DerivationPath::new([label.as_bytes().to_vec()]) }
+    }
+
+    /// Creates a wallet at an explicit derivation path.
+    pub fn at_path(path: DerivationPath) -> Wallet {
+        Wallet { path }
+    }
+
+    /// The wallet's derivation path.
+    pub fn path(&self) -> &DerivationPath {
+        &self.path
+    }
+
+    /// The wallet's P2WPKH address on the system's network.
+    pub fn address(&self, system: &System) -> Address {
+        let pubkey = system.threshold_key().derived_public_key(&self.path);
+        let network = system.canister().state().params().network;
+        Address::new(network, AddressKind::P2wpkh(pubkey.pubkey_hash()))
+    }
+
+    /// The wallet's confirmed balance via a canister query.
+    ///
+    /// # Errors
+    ///
+    /// Propagates canister API errors (e.g. not synced).
+    pub fn balance(
+        &self,
+        system: &mut System,
+        min_confirmations: u32,
+    ) -> Result<Amount, WalletError> {
+        let address = self.address(system);
+        let outcome = system.query(CanisterCall::GetBalance { address, min_confirmations });
+        match outcome.outcome.reply? {
+            CanisterReply::Balance(b) => Ok(b.balance),
+            _ => unreachable!("balance call returns balance"),
+        }
+    }
+
+    /// The wallet's UTXOs via a canister query (first page).
+    ///
+    /// # Errors
+    ///
+    /// Propagates canister API errors.
+    pub fn utxos(&self, system: &mut System) -> Result<Vec<Utxo>, WalletError> {
+        let address = self.address(system);
+        let outcome = system.query(CanisterCall::GetUtxos { address, filter: None });
+        match outcome.outcome.reply? {
+            CanisterReply::Utxos(r) => Ok(r.utxos),
+            _ => unreachable!("utxos call returns utxos"),
+        }
+    }
+
+    /// Builds, threshold-signs, and submits a transfer of `amount` to
+    /// `to`, paying `fee`; change returns to the wallet. Returns the
+    /// txid accepted by the Bitcoin canister.
+    ///
+    /// The spend selects UTXOs greedily (largest first), computes each
+    /// input's BIP-143 sighash, and gathers a threshold-ECDSA signature
+    /// per input; the finished witnesses are `[DER signature ‖ SIGHASH_ALL,
+    /// compressed pubkey]` — exactly what Bitcoin validates for P2WPKH.
+    ///
+    /// # Errors
+    ///
+    /// [`WalletError::InsufficientFunds`] when the confirmed UTXOs cannot
+    /// cover `amount + fee`, and canister/build errors otherwise.
+    pub fn transfer(
+        &self,
+        system: &mut System,
+        to: &Address,
+        amount: Amount,
+        fee: Amount,
+    ) -> Result<Txid, WalletError> {
+        let tx = self.build_signed_transfer(system, to, amount, fee)?;
+        let outcome =
+            system.replicated(CanisterCall::SendTransaction { transaction: tx.encode_to_vec() });
+        match outcome.outcome.reply? {
+            CanisterReply::TransactionSent(txid) => Ok(txid),
+            _ => unreachable!("send_transaction returns txid"),
+        }
+    }
+
+    /// Pays several recipients in a single threshold-signed transaction —
+    /// the batch form payroll-style contracts use. Returns the accepted
+    /// txid.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Wallet::transfer`].
+    pub fn pay_many(
+        &self,
+        system: &mut System,
+        payments: &[(Address, Amount)],
+        fee: Amount,
+    ) -> Result<Txid, WalletError> {
+        let tx = self.build_signed_payment(system, payments, fee)?;
+        let outcome =
+            system.replicated(CanisterCall::SendTransaction { transaction: tx.encode_to_vec() });
+        match outcome.outcome.reply? {
+            CanisterReply::TransactionSent(txid) => Ok(txid),
+            _ => unreachable!("send_transaction returns txid"),
+        }
+    }
+
+    /// Like [`Wallet::transfer`] but returns the signed transaction
+    /// without submitting it (used by contracts that hold pre-signed
+    /// transactions, e.g. escrow releases).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Wallet::transfer`].
+    pub fn build_signed_transfer(
+        &self,
+        system: &mut System,
+        to: &Address,
+        amount: Amount,
+        fee: Amount,
+    ) -> Result<Transaction, WalletError> {
+        self.build_signed_payment(system, &[(*to, amount)], fee)
+    }
+
+    /// Builds and threshold-signs a multi-output payment without
+    /// submitting it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Wallet::transfer`].
+    pub fn build_signed_payment(
+        &self,
+        system: &mut System,
+        payments: &[(Address, Amount)],
+        fee: Amount,
+    ) -> Result<Transaction, WalletError> {
+        let own_address = self.address(system);
+        let mut utxos = self.utxos(system)?;
+        utxos.sort_by(|a, b| b.value.cmp(&a.value));
+
+        let amount: Amount = payments.iter().map(|(_, v)| *v).sum();
+        let required = amount
+            .checked_add(fee)
+            .ok_or(WalletError::InsufficientFunds { available: Amount::ZERO, required: Amount::MAX_MONEY })?;
+        let mut selected = Vec::new();
+        let mut total = Amount::ZERO;
+        for utxo in utxos {
+            total = total.checked_add(utxo.value).expect("utxo sum below max money");
+            selected.push(utxo);
+            if total >= required {
+                break;
+            }
+        }
+        if total < required {
+            return Err(WalletError::InsufficientFunds { available: total, required });
+        }
+
+        let mut builder = TransactionBuilder::new();
+        for utxo in &selected {
+            builder.add_input(utxo.outpoint, utxo.value, own_address.script_pubkey());
+        }
+        for (to, value) in payments {
+            builder.add_output(to.script_pubkey(), *value);
+        }
+        builder.change_script(own_address.script_pubkey());
+        builder.fee(fee);
+        let mut unsigned = builder.build()?;
+
+        let pubkey = system.threshold_key().derived_public_key(&self.path);
+        for index in 0..selected.len() {
+            let sighash = unsigned.sighash(index);
+            let signature = system.sign_with_ecdsa(&self.path, sighash);
+            debug_assert!(pubkey.verify(&sighash, &signature));
+            unsigned.set_witness(
+                index,
+                vec![signature.to_der_with_sighash_all(), pubkey.to_compressed().to_vec()],
+            );
+        }
+        Ok(unsigned.into_transaction())
+    }
+}
+
+/// A taproot wallet: like [`Wallet`], but holding funds in P2TR outputs
+/// spent by key path with threshold **Schnorr** signatures (BIP-340/341)
+/// — the second signature scheme the IC exposes to canisters (§I).
+///
+/// # Examples
+///
+/// ```
+/// use icbtc::contracts::TaprootWallet;
+/// use icbtc::system::{System, SystemConfig};
+///
+/// let system = System::new(SystemConfig::regtest(5));
+/// let wallet = TaprootWallet::new("taproot-dapp");
+/// assert!(wallet.address(&system).to_string().starts_with("bcrt1p"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaprootWallet {
+    path: DerivationPath,
+}
+
+impl TaprootWallet {
+    /// Creates a taproot wallet for a contract identified by `label`.
+    pub fn new(label: &str) -> TaprootWallet {
+        TaprootWallet {
+            path: DerivationPath::new([b"taproot".to_vec(), label.as_bytes().to_vec()]),
+        }
+    }
+
+    /// The wallet's derivation path.
+    pub fn path(&self) -> &DerivationPath {
+        &self.path
+    }
+
+    /// The x-only output key (BIP-340 even-y normalized).
+    pub fn output_key(&self, system: &System) -> [u8; 32] {
+        let pubkey = system.threshold_key().derived_public_key(&self.path);
+        pubkey.0.normalize_even_y().0.to_x_only()
+    }
+
+    /// The wallet's P2TR address.
+    pub fn address(&self, system: &System) -> Address {
+        let network = system.canister().state().params().network;
+        Address::new(network, AddressKind::P2tr(self.output_key(system)))
+    }
+
+    /// The wallet's balance via a canister query.
+    ///
+    /// # Errors
+    ///
+    /// Propagates canister API errors.
+    pub fn balance(
+        &self,
+        system: &mut System,
+        min_confirmations: u32,
+    ) -> Result<Amount, WalletError> {
+        let address = self.address(system);
+        let outcome = system.query(CanisterCall::GetBalance { address, min_confirmations });
+        match outcome.outcome.reply? {
+            CanisterReply::Balance(b) => Ok(b.balance),
+            _ => unreachable!("balance call returns balance"),
+        }
+    }
+
+    /// Builds, threshold-Schnorr-signs, and submits a key-path transfer
+    /// of `amount` to `to`, paying `fee`; change returns to the wallet.
+    ///
+    /// The witness of each input is a single 64-byte BIP-340 signature
+    /// over the BIP-341 key-spend sighash — exactly what taproot
+    /// validates.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Wallet::transfer`].
+    pub fn transfer(
+        &self,
+        system: &mut System,
+        to: &Address,
+        amount: Amount,
+        fee: Amount,
+    ) -> Result<Txid, WalletError> {
+        let own_address = self.address(system);
+        let outcome = system.query(CanisterCall::GetUtxos { address: own_address, filter: None });
+        let mut utxos = match outcome.outcome.reply? {
+            CanisterReply::Utxos(r) => r.utxos,
+            _ => unreachable!("utxos call returns utxos"),
+        };
+        utxos.sort_by(|a, b| b.value.cmp(&a.value));
+
+        let required = amount
+            .checked_add(fee)
+            .ok_or(WalletError::InsufficientFunds { available: Amount::ZERO, required: Amount::MAX_MONEY })?;
+        let mut selected = Vec::new();
+        let mut total = Amount::ZERO;
+        for utxo in utxos {
+            total = total.checked_add(utxo.value).expect("utxo sum below max money");
+            selected.push(utxo);
+            if total >= required {
+                break;
+            }
+        }
+        if total < required {
+            return Err(WalletError::InsufficientFunds { available: total, required });
+        }
+
+        let mut builder = TransactionBuilder::new();
+        for utxo in &selected {
+            builder.add_input(utxo.outpoint, utxo.value, own_address.script_pubkey());
+        }
+        builder.add_output(to.script_pubkey(), amount);
+        builder.change_script(own_address.script_pubkey());
+        builder.fee(fee);
+        let mut unsigned = builder.build()?;
+
+        for index in 0..selected.len() {
+            let sighash = unsigned.sighash(index); // BIP-341 key path
+            let (signature, pubkey_x) = system.sign_with_schnorr(&self.path, sighash);
+            debug_assert!(icbtc_tecdsa::schnorr::verify(&pubkey_x, &sighash, &signature));
+            unsigned.set_witness(index, vec![signature.to_bytes().to_vec()]);
+        }
+        let tx = unsigned.into_transaction();
+        let outcome =
+            system.replicated(CanisterCall::SendTransaction { transaction: tx.encode_to_vec() });
+        match outcome.outcome.reply? {
+            CanisterReply::TransactionSent(txid) => Ok(txid),
+            _ => unreachable!("send_transaction returns txid"),
+        }
+    }
+}
+
+/// Verifies that every input of `tx` carries a valid BIP-341 key-path
+/// Schnorr signature for the given spent outputs — the taproot analogue
+/// of [`verify_p2wpkh_spend`].
+pub fn verify_p2tr_key_spend(
+    tx: &Transaction,
+    spent: &[(Amount, icbtc_bitcoin::Script)],
+) -> bool {
+    use icbtc_bitcoin::script::{taproot_key_spend_sighash, ScriptKind};
+    use icbtc_tecdsa::schnorr::{verify, SchnorrSignature};
+
+    if tx.inputs.len() != spent.len() {
+        return false;
+    }
+    for (index, (input, (_, script))) in tx.inputs.iter().zip(spent).enumerate() {
+        let ScriptKind::P2tr(output_key) = script.classify() else {
+            return false;
+        };
+        let [sig_bytes] = input.witness.as_slice() else {
+            return false;
+        };
+        let Ok(sig_array) = <[u8; 64]>::try_from(sig_bytes.as_slice()) else {
+            return false;
+        };
+        let Some(signature) = SchnorrSignature::from_bytes(&sig_array) else {
+            return false;
+        };
+        let digest = taproot_key_spend_sighash(tx, index, spent);
+        if !verify(&output_key, &digest, &signature) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Verifies that every input of `tx` carries a valid P2WPKH threshold
+/// signature for the given spent outputs — what a Bitcoin full node would
+/// check before accepting the spend. Used by tests and examples to show
+/// the produced transactions are genuinely valid.
+pub fn verify_p2wpkh_spend(
+    tx: &Transaction,
+    spent: &[(Amount, icbtc_bitcoin::Script)],
+) -> bool {
+    use icbtc_bitcoin::script::{segwit_v0_sighash, ScriptKind};
+    use icbtc_bitcoin::Script;
+    use icbtc_tecdsa::ecdsa::{PublicKey, Signature};
+
+    if tx.inputs.len() != spent.len() {
+        return false;
+    }
+    for (index, (input, (value, script))) in tx.inputs.iter().zip(spent).enumerate() {
+        let ScriptKind::P2wpkh(expected_hash) = script.classify() else {
+            return false;
+        };
+        let [sig_bytes, pubkey_bytes] = input.witness.as_slice() else {
+            return false;
+        };
+        let Some(pubkey) = PublicKey::from_compressed(pubkey_bytes) else {
+            return false;
+        };
+        if pubkey.pubkey_hash() != expected_hash {
+            return false;
+        }
+        let Some((der, sighash_flag)) = sig_bytes.split_last_chunk::<1>().map(|(d, f)| (d, f[0])) else {
+            return false;
+        };
+        if sighash_flag != 0x01 {
+            return false;
+        }
+        let Some(signature) = Signature::from_der(der) else {
+            return false;
+        };
+        let script_code = Script::new_p2pkh(&expected_hash);
+        let digest = segwit_v0_sighash(tx, index, &script_code, *value);
+        if !pubkey.verify(&digest, &signature) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemConfig;
+    use icbtc_sim::SimTime;
+
+    #[test]
+    fn wallet_addresses_are_stable_and_distinct() {
+        let system = System::new(SystemConfig::regtest(9));
+        let a = Wallet::new("alpha");
+        let b = Wallet::new("beta");
+        assert_eq!(a.address(&system), a.address(&system));
+        assert_ne!(a.address(&system), b.address(&system));
+        assert_eq!(a.path(), Wallet::at_path(a.path().clone()).path());
+    }
+
+    #[test]
+    fn empty_wallet_reports_zero_and_refuses_transfer() {
+        let mut system = System::new(SystemConfig::regtest(10));
+        system.btc_mut().run_until(SimTime::from_secs(3600));
+        assert!(system.sync_canister(3000));
+        let wallet = Wallet::new("empty");
+        assert_eq!(wallet.balance(&mut system, 0).unwrap(), Amount::ZERO);
+        let to = Wallet::new("other").address(&system);
+        let err = wallet
+            .transfer(&mut system, &to, Amount::from_sat(1000), Amount::from_sat(100))
+            .unwrap_err();
+        assert!(matches!(err, WalletError::InsufficientFunds { .. }));
+    }
+}

@@ -1,0 +1,480 @@
+//! The full integrated system: simulated Bitcoin network, per-replica
+//! Bitcoin adapters, the IC subnet hosting the Bitcoin canister, and the
+//! subnet's threshold signing key (Figure 1 / Figure 4 of the paper).
+//!
+//! Per IC round, the flow matches §III: the random beacon picks a block
+//! maker; *that replica's* adapter answers the canister's current
+//! `GetSuccessors` request; the response rides the IC block and is folded
+//! into the canister state by Algorithm 2 during execution. A Byzantine
+//! block maker may instead inject attacker-chosen payloads — the
+//! Lemma IV.3 scenario — via [`System::set_downtime_attack`].
+
+use icbtc_adapter::BitcoinAdapter;
+use icbtc_bitcoin::{Block, Network};
+use icbtc_btcnet::network::{BtcNetwork, NetworkConfig};
+use icbtc_canister::{BitcoinCanister, CallOutcome, CanisterCall};
+use icbtc_core::{GetSuccessorsResponse, IntegrationParams};
+use icbtc_ic::consensus::ConsensusConfig;
+use icbtc_ic::subnet::Subnet;
+use icbtc_sim::{SimDuration, SimRng, SimTime};
+use icbtc_tecdsa::ecdsa::Signature;
+use icbtc_tecdsa::protocol::{DerivationPath, ThresholdKey};
+
+/// Configuration of a full integrated deployment.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Bitcoin-network simulation parameters.
+    pub btc: NetworkConfig,
+    /// IC subnet consensus parameters.
+    pub consensus: ConsensusConfig,
+    /// Integration parameters (δ, τ, ℓ, …).
+    pub params: IntegrationParams,
+    /// Master seed for all randomness.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// A small regtest deployment: 4 Bitcoin nodes, a 13-replica subnet,
+    /// δ = 6 — the local-testing setup of §III-B.
+    pub fn regtest(seed: u64) -> SystemConfig {
+        SystemConfig {
+            btc: NetworkConfig::regtest(4),
+            consensus: ConsensusConfig::thirteen_replicas(),
+            params: IntegrationParams::for_network(Network::Regtest),
+            seed,
+        }
+    }
+
+    /// A mainnet-like deployment (scaled difficulty, δ = 144).
+    pub fn mainnet(seed: u64) -> SystemConfig {
+        SystemConfig {
+            btc: NetworkConfig::mainnet(8),
+            consensus: ConsensusConfig::thirteen_replicas(),
+            params: IntegrationParams::for_network(Network::Mainnet),
+            seed,
+        }
+    }
+}
+
+/// An attacker payload source for the post-downtime scenario of
+/// Lemma IV.3: Byzantine block makers deliver one fork block at a time
+/// while claiming there are no further headers (`N = ∅`).
+#[derive(Debug)]
+pub struct DowntimeAttack {
+    fork_blocks: Vec<Block>,
+    next: usize,
+}
+
+impl DowntimeAttack {
+    /// Creates the attack from a pre-mined fork (oldest block first).
+    pub fn new(fork_blocks: Vec<Block>) -> DowntimeAttack {
+        DowntimeAttack { fork_blocks, next: 0 }
+    }
+
+    /// Blocks already delivered.
+    pub fn delivered(&self) -> usize {
+        self.next
+    }
+
+    fn next_payload(&mut self) -> GetSuccessorsResponse {
+        let blocks = match self.fork_blocks.get(self.next) {
+            Some(block) => {
+                self.next += 1;
+                vec![block.clone()]
+            }
+            None => Vec::new(),
+        };
+        GetSuccessorsResponse { blocks, next: Vec::new() }
+    }
+}
+
+/// Statistics of one replicated call through the full stack.
+#[derive(Debug, Clone)]
+pub struct ReplicatedOutcome {
+    /// The canister's reply and cycles charge.
+    pub outcome: CallOutcome,
+    /// End-to-end latency experienced by the caller.
+    pub latency: SimDuration,
+    /// Instructions executed for the call.
+    pub instructions: u64,
+    /// Rounds the system stepped while waiting.
+    pub rounds_waited: u64,
+}
+
+/// Statistics of one query call.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The canister's reply and cycles charge.
+    pub outcome: CallOutcome,
+    /// Sampled end-to-end latency.
+    pub latency: SimDuration,
+    /// Instructions executed.
+    pub instructions: u64,
+}
+
+/// The integrated Bitcoin-on-IC system.
+///
+/// # Examples
+///
+/// ```
+/// use icbtc::system::{System, SystemConfig};
+///
+/// let mut system = System::new(SystemConfig::regtest(7));
+/// // Step a few rounds; the canister starts pulling in blocks.
+/// system.run_rounds(5);
+/// assert!(system.canister().state().is_synced() || system.btc().best_height() > 0);
+/// ```
+pub struct System {
+    btc: BtcNetwork,
+    subnet: Subnet<BitcoinCanister>,
+    adapters: Vec<BitcoinAdapter>,
+    key: ThresholdKey,
+    rng: SimRng,
+    attack: Option<DowntimeAttack>,
+    rounds_executed: u64,
+}
+
+impl System {
+    /// Builds and wires the full system.
+    pub fn new(config: SystemConfig) -> System {
+        let mut rng = SimRng::seed_from(config.seed);
+        let btc = BtcNetwork::new(config.btc.clone(), rng.next_u64());
+        let n = config.consensus.n;
+        let adapters: Vec<BitcoinAdapter> =
+            (0..n).map(|_| BitcoinAdapter::new(config.params, rng.next_u64())).collect();
+        let canister = BitcoinCanister::new(config.params);
+        let subnet = Subnet::new(canister, config.consensus.clone(), rng.next_u64());
+        // Threshold key: reconstruction threshold 2f+1, the certification
+        // threshold of the IC.
+        let f = (n - 1) / 3;
+        let key = ThresholdKey::generate(n, 2 * f + 1, &mut rng);
+        System { btc, subnet, adapters, key, rng, attack: None, rounds_executed: 0 }
+    }
+
+    /// The simulated Bitcoin network.
+    pub fn btc(&self) -> &BtcNetwork {
+        &self.btc
+    }
+
+    /// Mutable access to the Bitcoin network (mining control, adversary
+    /// injection).
+    pub fn btc_mut(&mut self) -> &mut BtcNetwork {
+        &mut self.btc
+    }
+
+    /// The Bitcoin canister.
+    pub fn canister(&self) -> &BitcoinCanister {
+        self.subnet.state()
+    }
+
+    /// The IC subnet.
+    pub fn subnet(&self) -> &Subnet<BitcoinCanister> {
+        &self.subnet
+    }
+
+    /// The subnet's threshold signing key.
+    pub fn threshold_key(&self) -> &ThresholdKey {
+        &self.key
+    }
+
+    /// One replica's adapter (inspection).
+    pub fn adapter(&self, replica: usize) -> &BitcoinAdapter {
+        &self.adapters[replica]
+    }
+
+    /// Current simulated time (the subnet clock; the Bitcoin network is
+    /// kept caught up to it).
+    pub fn now(&self) -> SimTime {
+        self.subnet.now()
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds_executed(&self) -> u64 {
+        self.rounds_executed
+    }
+
+    /// Arms the Lemma IV.3 downtime attack: while active, Byzantine block
+    /// makers feed `attack`'s fork blocks one per round with `N = ∅`;
+    /// honest makers keep answering from their adapters.
+    pub fn set_downtime_attack(&mut self, attack: DowntimeAttack) {
+        self.attack = Some(attack);
+    }
+
+    /// Disarms the attack, returning how many fork blocks were delivered.
+    pub fn clear_downtime_attack(&mut self) -> usize {
+        self.attack.take().map(|a| a.delivered()).unwrap_or(0)
+    }
+
+    /// Stalls the subnet (canister downtime) while the Bitcoin network
+    /// keeps producing blocks.
+    pub fn stall_subnet(&mut self, duration: SimDuration) {
+        self.subnet.stall(duration);
+        let deadline = self.subnet.now();
+        self.btc.run_until(deadline);
+    }
+
+    /// Executes one IC round end-to-end: catch the Bitcoin network up to
+    /// subnet time, run adapter upkeep, let the round's block maker
+    /// assemble the Bitcoin payload, and execute Algorithm 2 plus the
+    /// ingress batch.
+    pub fn step_round(&mut self) -> icbtc_ic::RoundReport<CallOutcome> {
+        // Unify the clocks: if the Bitcoin network ran ahead (e.g. the
+        // driver pre-mined a chain), the subnet clock jumps forward; then
+        // the network is caught up to the subnet.
+        let btc_now = self.btc.now();
+        if btc_now > self.subnet.now() {
+            self.subnet.stall(btc_now - self.subnet.now());
+        }
+        let deadline = self.subnet.now();
+        self.btc.run_until(deadline);
+        for adapter in &mut self.adapters {
+            adapter.step(&mut self.btc);
+        }
+        // Let adapter traffic settle within the round.
+        let settle = self.rng.normal(SimDuration::from_millis(300), SimDuration::from_millis(80));
+        self.btc.run_until(deadline + settle);
+
+        let request = self.subnet.state_mut().state_mut().make_request();
+        let btc = &mut self.btc;
+        let adapters = &mut self.adapters;
+        let attack = &mut self.attack;
+        let report = self.subnet.execute_round_with(|canister, ctx, info| {
+            let response = if info.maker_is_byzantine {
+                match attack.as_mut() {
+                    Some(active) => active.next_payload(),
+                    // Without an armed attack, Byzantine makers simply
+                    // contribute nothing (omission).
+                    None => GetSuccessorsResponse::default(),
+                }
+            } else {
+                adapters[info.block_maker.0 as usize].handle_request(btc, &request)
+            };
+            let now_unix = btc.unix_time(ctx.now);
+            canister.state_mut().process_response(response, now_unix, ctx.meter);
+        });
+        self.rounds_executed += 1;
+        report
+    }
+
+    /// Steps `n` rounds, discarding reports.
+    pub fn run_rounds(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step_round();
+        }
+    }
+
+    /// Steps rounds until the canister holds block bodies all the way to
+    /// the Bitcoin network's best height, or `max_rounds` elapse. Returns
+    /// `true` on success.
+    pub fn sync_canister(&mut self, max_rounds: usize) -> bool {
+        let caught_up = |system: &System| {
+            system.canister().state().available_tip_height() >= system.btc.best_height()
+                && system.canister().state().is_synced()
+        };
+        for _ in 0..max_rounds {
+            if caught_up(self) {
+                return true;
+            }
+            self.step_round();
+        }
+        caught_up(self)
+    }
+
+    /// Issues a replicated (update) call and steps rounds until its
+    /// certified response is available.
+    pub fn replicated(&mut self, call: CanisterCall) -> ReplicatedOutcome {
+        let id = self.subnet.submit(call);
+        let mut rounds = 0;
+        loop {
+            let report = self.step_round();
+            rounds += 1;
+            if let Some(result) = report.results.into_iter().find(|r| r.id == id) {
+                return ReplicatedOutcome {
+                    latency: result.latency(),
+                    instructions: result.instructions,
+                    outcome: result.output,
+                    rounds_waited: rounds,
+                };
+            }
+            assert!(rounds < 10_000, "replicated call starved");
+        }
+    }
+
+    /// Issues a query (single-replica, non-certified) call.
+    pub fn query(&mut self, call: CanisterCall) -> QueryOutcome {
+        let (outcome, instructions, latency) = self.subnet.query(
+            |canister, meter| canister.query(&call, meter),
+            |outcome| estimate_response_bytes(outcome),
+        );
+        QueryOutcome { outcome, latency, instructions }
+    }
+
+    /// Mines `blocks` Bitcoin blocks paying their coinbases to `address`
+    /// and propagates them — the standard way to fund a wallet on
+    /// regtest. The canister must be re-synced afterwards to see them.
+    pub fn fund_address(&mut self, address: &icbtc_bitcoin::Address, blocks: usize) {
+        let script = address.script_pubkey();
+        for _ in 0..blocks {
+            self.btc.mine_block_paying(icbtc_btcnet::NodeId(0), script.clone());
+            // Give gossip a moment between blocks.
+            let now = self.btc.now();
+            self.btc.run_until(now + SimDuration::from_secs(2));
+        }
+    }
+
+    /// Steps rounds until `txid` appears in a block on node 0's best
+    /// chain, forcing a Bitcoin block every `blocks_every` rounds so the
+    /// mempool drains promptly. Returns the confirmation height, or
+    /// `None` after `max_rounds`.
+    pub fn await_transaction_mined(
+        &mut self,
+        txid: icbtc_bitcoin::Txid,
+        max_rounds: usize,
+    ) -> Option<u64> {
+        for round in 0..max_rounds {
+            self.step_round();
+            if round % 8 == 7 {
+                // Force periodic block production so the test is not at
+                // the mercy of the Poisson process.
+                self.btc.mine_block_paying(
+                    icbtc_btcnet::NodeId(0),
+                    icbtc_bitcoin::Script::new_op_return(b"awaiting"),
+                );
+            }
+            let chain = self.btc.node(icbtc_btcnet::NodeId(0)).chain();
+            for hash in chain.best_chain_hashes() {
+                let Some(block) = chain.block(&hash) else { continue };
+                if block.txdata.iter().any(|t| t.txid() == txid) {
+                    return chain.header(&hash).map(|s| s.height);
+                }
+            }
+        }
+        None
+    }
+
+    /// Threshold-signs `digest` under the key derived at `path`, using
+    /// the 2f+1 lowest-indexed honest replicas. The resulting signature
+    /// verifies under `threshold_key().derived_public_key(path)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if combination fails, which cannot happen with honest
+    /// majority participation.
+    pub fn sign_with_ecdsa(&mut self, path: &DerivationPath, digest: [u8; 32]) -> Signature {
+        let session = self.key.open_ecdsa(path, digest, &mut self.rng);
+        let threshold = self.key.threshold();
+        let partials: Vec<_> =
+            (1..=threshold as u32).map(|i| session.partial_signature(i)).collect();
+        session.combine(&partials).expect("honest quorum signs")
+    }
+
+    /// Threshold-signs `message` with BIP-340 Schnorr under the key
+    /// derived at `path` — the taproot counterpart of
+    /// [`System::sign_with_ecdsa`]. Returns the signature and the x-only
+    /// public key it verifies under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if combination fails, which cannot happen with honest
+    /// majority participation.
+    pub fn sign_with_schnorr(
+        &mut self,
+        path: &DerivationPath,
+        message: [u8; 32],
+    ) -> (icbtc_tecdsa::schnorr::SchnorrSignature, [u8; 32]) {
+        let session = self.key.open_schnorr(path, message, &mut self.rng);
+        let threshold = self.key.threshold();
+        let partials: Vec<_> =
+            (1..=threshold as u32).map(|i| session.partial_signature(i)).collect();
+        let pubkey_x = session.public_key_x();
+        (session.combine(&partials).expect("honest quorum signs"), pubkey_x)
+    }
+}
+
+/// Rough serialized size of a canister reply, for the query latency
+/// model's transfer term.
+fn estimate_response_bytes(outcome: &CallOutcome) -> usize {
+    use icbtc_canister::CanisterReply;
+    match &outcome.reply {
+        Ok(CanisterReply::Utxos(r)) => 64 + r.utxos.len() * 48,
+        Ok(CanisterReply::Balance(_)) => 16,
+        Ok(CanisterReply::TransactionSent(_)) => 32,
+        Ok(CanisterReply::FeePercentiles(p)) => 8 * p.len(),
+        Ok(CanisterReply::BlockHeaders(r)) => 16 + r.headers.len() * 80,
+        Err(_) => 32,
+    }
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("rounds", &self.rounds_executed)
+            .field("btc_height", &self.btc.best_height())
+            .field("anchor_height", &self.canister().state().anchor_height())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icbtc_bitcoin::{Address, AddressKind};
+    use icbtc_canister::CanisterReply;
+
+    #[test]
+    fn canister_tracks_the_network() {
+        let mut system = System::new(SystemConfig::regtest(1));
+        // Produce some chain first.
+        system.btc_mut().run_until(SimTime::from_secs(4 * 3600));
+        assert!(system.btc().best_height() > 3);
+        assert!(system.sync_canister(4000), "canister must catch up");
+        let (_, tip) = system.canister().state().best_tip();
+        assert_eq!(tip, system.btc().best_height());
+        // δ = 6 on regtest: the anchor trails the tip by about δ.
+        let anchor = system.canister().state().anchor_height();
+        assert!(tip - anchor <= 8, "anchor {anchor} vs tip {tip}");
+    }
+
+    #[test]
+    fn replicated_and_query_calls_work() {
+        let mut system = System::new(SystemConfig::regtest(2));
+        system.btc_mut().run_until(SimTime::from_secs(3600));
+        assert!(system.sync_canister(4000));
+        let address = Address::new(Network::Regtest, AddressKind::P2wpkh([1; 20]));
+        let call = CanisterCall::GetBalance { address, min_confirmations: 0 };
+
+        let replicated = system.replicated(call.clone());
+        assert!(matches!(replicated.outcome.reply, Ok(CanisterReply::Balance(_))));
+        let secs = replicated.latency.as_secs_f64();
+        assert!((2.0..30.0).contains(&secs), "replicated latency {secs}s");
+
+        let query = system.query(call);
+        assert!(matches!(query.outcome.reply, Ok(CanisterReply::Balance(_))));
+        assert!(query.latency < replicated.latency);
+    }
+
+    #[test]
+    fn threshold_signing_through_the_system() {
+        let mut system = System::new(SystemConfig::regtest(3));
+        let path = DerivationPath::new([b"wallet-0".to_vec()]);
+        let digest = [0x42u8; 32];
+        let signature = system.sign_with_ecdsa(&path, digest);
+        let pubkey = system.threshold_key().derived_public_key(&path);
+        assert!(pubkey.verify(&digest, &signature));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut system = System::new(SystemConfig::regtest(seed));
+            system.btc_mut().run_until(SimTime::from_secs(2 * 3600));
+            system.run_rounds(50);
+            (
+                system.btc().best_height(),
+                system.canister().state().anchor_height(),
+                system.canister().state().best_tip().0,
+            )
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

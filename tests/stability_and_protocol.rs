@@ -1,0 +1,202 @@
+//! Integration tests for the δ-stability machinery and the adapter ⇄
+//! canister protocol across crate boundaries: parameter sweeps over δ,
+//! the τ sync bound, and the single-block rule above the bulk-sync
+//! height.
+
+use icbtc::adapter::BitcoinAdapter;
+use icbtc::btcnet::network::{BtcNetwork, NetworkConfig};
+use icbtc::btcnet::NodeId;
+use icbtc::canister::BitcoinCanisterState;
+use icbtc::core::IntegrationParams;
+use icbtc::ic::Meter;
+use icbtc_bitcoin::Network;
+use icbtc_sim::{SimDuration, SimTime};
+
+const NOW: u32 = 2_100_000_000;
+
+/// Drives one adapter against a network until it has synced headers, then
+/// pumps request/response cycles into a canister state until quiescent.
+fn sync_pair(
+    net: &mut BtcNetwork,
+    adapter: &mut BitcoinAdapter,
+    state: &mut BitcoinCanisterState,
+    max_iterations: usize,
+) {
+    for _ in 0..max_iterations {
+        adapter.step(net);
+        net.run_until(net.now() + SimDuration::from_secs(3));
+        let request = state.make_request();
+        let response = adapter.handle_request(net, &request);
+        let quiescent = response.is_empty();
+        state.process_response(response, NOW, &mut Meter::new());
+        if quiescent && state.is_synced() && adapter.best_header_height() == net.best_height() {
+            return;
+        }
+    }
+}
+
+fn grown_network(nodes: usize, hours: u64, seed: u64) -> BtcNetwork {
+    let mut net = BtcNetwork::new(NetworkConfig::regtest(nodes), seed);
+    net.run_until(SimTime::from_secs(hours * 3600));
+    net
+}
+
+#[test]
+fn delta_sweep_controls_anchor_lag() {
+    // Larger δ ⇒ anchor trails further behind ⇒ more unstable blocks to
+    // scan per query: the paper's security/cost trade-off (§III-C).
+    let mut lags = Vec::new();
+    for delta in [2u64, 4, 8] {
+        let mut net = grown_network(3, 5, 400 + delta);
+        let params = IntegrationParams::for_network(Network::Regtest)
+            .with_stability_delta(delta)
+            .with_connections(2);
+        let mut adapter = BitcoinAdapter::new(params, delta);
+        let mut state = BitcoinCanisterState::new(params);
+        sync_pair(&mut net, &mut adapter, &mut state, 300);
+        let (_, tip) = state.best_tip();
+        assert_eq!(tip, net.best_height(), "delta {delta} tip");
+        let lag = tip - state.anchor_height();
+        assert!(lag >= delta - 1, "delta {delta}: lag {lag}");
+        lags.push(lag);
+    }
+    assert!(lags[0] < lags[2], "larger delta must increase the anchor lag: {lags:?}");
+}
+
+#[test]
+fn single_block_mode_still_syncs_completely() {
+    // With bulk_sync_height = 0, the adapter returns one block per
+    // request (the Lemma IV.3 safeguard) — sync is slower in rounds but
+    // converges to the same state.
+    let mut net = grown_network(3, 4, 500);
+    let params = IntegrationParams::for_network(Network::Regtest)
+        .with_bulk_sync_height(0)
+        .with_connections(2);
+    let mut adapter = BitcoinAdapter::new(params, 1);
+    let mut state = BitcoinCanisterState::new(params);
+
+    let mut single_block_responses = 0;
+    for _ in 0..2000 {
+        adapter.step(&mut net);
+        net.run_until(net.now() + SimDuration::from_secs(2));
+        let request = state.make_request();
+        let response = adapter.handle_request(&mut net, &request);
+        assert!(response.blocks.len() <= 1, "single-block rule violated");
+        if response.blocks.len() == 1 {
+            single_block_responses += 1;
+        }
+        let done = response.is_empty();
+        state.process_response(response, NOW, &mut Meter::new());
+        if done && state.best_tip().1 == net.best_height() {
+            break;
+        }
+    }
+    assert_eq!(state.best_tip().1, net.best_height());
+    assert!(single_block_responses as u64 >= net.best_height());
+}
+
+#[test]
+fn tau_gate_blocks_api_until_blocks_arrive() {
+    // Feed the canister a burst of headers without bodies: it must flip
+    // to unsynced (max header height − max block height > τ) and recover
+    // once bodies arrive.
+    let mut net = grown_network(3, 4, 600);
+    let params = IntegrationParams::for_network(Network::Regtest).with_connections(2);
+    let mut adapter = BitcoinAdapter::new(params, 2);
+    let mut state = BitcoinCanisterState::new(params);
+
+    // Sync the adapter's headers only.
+    for _ in 0..120 {
+        adapter.step(&mut net);
+        net.run_until(net.now() + SimDuration::from_secs(3));
+        if adapter.best_header_height() == net.best_height() {
+            break;
+        }
+    }
+    assert_eq!(adapter.best_header_height(), net.best_height());
+    assert!(net.best_height() > params.tau + 2, "need a chain longer than tau");
+
+    // First request: mostly headers (blocks still being fetched).
+    let request = state.make_request();
+    let response = adapter.handle_request(&mut net, &request);
+    let header_only = response.blocks.is_empty() && !response.next.is_empty();
+    state.process_response(response, NOW, &mut Meter::new());
+    if header_only {
+        assert!(!state.is_synced(), "header burst beyond tau must unsync the canister");
+    }
+
+    // Keep pumping until bodies arrive.
+    sync_pair(&mut net, &mut adapter, &mut state, 400);
+    assert!(state.is_synced());
+    assert_eq!(state.best_tip().1, net.best_height());
+}
+
+#[test]
+fn canister_handles_reorg_within_unstable_region() {
+    // A fork that overtakes the current best chain inside the unstable
+    // window is adopted automatically (§III-C: reorganizations above the
+    // anchor need no intervention).
+    let mut net = grown_network(3, 3, 700);
+    let params = IntegrationParams::for_network(Network::Regtest)
+        .with_stability_delta(20) // keep everything unstable
+        .with_connections(2);
+    let mut adapter = BitcoinAdapter::new(params, 3);
+    let mut state = BitcoinCanisterState::new(params);
+    sync_pair(&mut net, &mut adapter, &mut state, 300);
+    let (tip_before, height_before) = state.best_tip();
+
+    // Build a longer fork from 2 blocks back and inject it.
+    let view = net.node(NodeId(0)).chain().clone();
+    let branch = view.best_chain_hash_at(view.tip_height() - 2).unwrap();
+    let mut fork = icbtc::btcnet::adversary::SecretForkMiner::branch_at(&view, branch).unwrap();
+    for block in fork.extend(4, 9) {
+        net.submit_block(NodeId(0), block);
+    }
+    sync_pair(&mut net, &mut adapter, &mut state, 400);
+
+    let (tip_after, height_after) = state.best_tip();
+    assert!(height_after >= height_before + 2, "{height_before} -> {height_after}");
+    assert_ne!(tip_before, tip_after);
+    assert_eq!(tip_after, fork.tip(), "canister adopted the heavier fork");
+}
+
+#[test]
+fn adapters_on_different_replicas_converge() {
+    // All 4 adapters of a (mini) subnet see the same chain even though
+    // they connect to different Bitcoin nodes.
+    let mut net = grown_network(8, 4, 800);
+    let params = IntegrationParams::for_network(Network::Regtest).with_connections(2);
+    let mut adapters: Vec<BitcoinAdapter> =
+        (0..4).map(|i| BitcoinAdapter::new(params, 900 + i)).collect();
+    for _ in 0..150 {
+        for adapter in &mut adapters {
+            adapter.step(&mut net);
+        }
+        net.run_until(net.now() + SimDuration::from_secs(3));
+        if adapters.iter().all(|a| a.best_header_height() == net.best_height()) {
+            break;
+        }
+    }
+    for (i, adapter) in adapters.iter().enumerate() {
+        assert_eq!(
+            adapter.best_header_height(),
+            net.best_height(),
+            "adapter {i} lagging"
+        );
+    }
+}
+
+#[test]
+fn mainnet_parameters_instantiate() {
+    // The production parameter set wires up (δ = 144 means the anchor
+    // never moves on a short test chain — that itself is the check).
+    let mut net = BtcNetwork::new(NetworkConfig::mainnet(4), 1000);
+    net.run_until(SimTime::from_secs(4 * 3600));
+    let params = IntegrationParams::for_network(Network::Mainnet).with_connections(3);
+    let mut adapter = BitcoinAdapter::new(params, 5);
+    let mut state = BitcoinCanisterState::new(params);
+    sync_pair(&mut net, &mut adapter, &mut state, 400);
+    assert_eq!(state.best_tip().1, net.best_height());
+    assert_eq!(state.anchor_height(), 0, "δ=144 keeps genesis anchored on a short chain");
+    assert!(state.unstable_block_count() as u64 >= net.best_height());
+}
