@@ -483,43 +483,55 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use icbtc_sim::testkit;
 
-        proptest! {
-            #[test]
-            fn base58_roundtrip(payload in proptest::collection::vec(any::<u8>(), 1..64)) {
+        #[test]
+        fn base58_roundtrip() {
+            testkit::check(0xAD_0001, testkit::DEFAULT_CASES, |rng| {
+                let payload = testkit::bytes(rng, 1..64);
                 let encoded = base58check_encode(&payload);
-                prop_assert_eq!(base58check_decode(&encoded), Some(payload));
-            }
+                assert_eq!(base58check_decode(&encoded), Some(payload));
+            });
+        }
 
-            #[test]
-            fn bech32_roundtrip_v0_20(prog in proptest::array::uniform20(any::<u8>())) {
+        #[test]
+        fn bech32_roundtrip_v0_20() {
+            testkit::check(0xAD_0002, testkit::DEFAULT_CASES, |rng| {
+                let prog: [u8; 20] = testkit::byte_array(rng);
                 let encoded = segwit_encode("tb", 0, &prog);
                 let (hrp, v, back) = segwit_decode(&encoded).unwrap();
-                prop_assert_eq!((hrp.as_str(), v), ("tb", 0));
-                prop_assert_eq!(back, prog.to_vec());
-            }
+                assert_eq!((hrp.as_str(), v), ("tb", 0));
+                assert_eq!(back, prog.to_vec());
+            });
+        }
 
-            #[test]
-            fn bech32m_roundtrip_v1_32(prog in proptest::array::uniform32(any::<u8>())) {
+        #[test]
+        fn bech32m_roundtrip_v1_32() {
+            testkit::check(0xAD_0003, testkit::DEFAULT_CASES, |rng| {
+                let prog: [u8; 32] = testkit::byte_array(rng);
                 let encoded = segwit_encode("bcrt", 1, &prog);
                 let (hrp, v, back) = segwit_decode(&encoded).unwrap();
-                prop_assert_eq!((hrp.as_str(), v), ("bcrt", 1));
-                prop_assert_eq!(back, prog.to_vec());
-            }
+                assert_eq!((hrp.as_str(), v), ("bcrt", 1));
+                assert_eq!(back, prog.to_vec());
+            });
+        }
 
-            /// Single-character corruption never passes checksum validation.
-            #[test]
-            fn bech32_detects_corruption(prog in proptest::array::uniform20(any::<u8>()), pos in 4usize..30, c in 0usize..32) {
+        /// Single-character corruption never passes checksum validation.
+        #[test]
+        fn bech32_detects_corruption() {
+            testkit::check(0xAD_0004, testkit::DEFAULT_CASES, |rng| {
+                let prog: [u8; 20] = testkit::byte_array(rng);
+                let pos = testkit::usize_in(rng, 4..30);
+                let c = testkit::usize_in(rng, 0..32);
                 let encoded = segwit_encode("bc", 0, &prog);
                 let mut chars: Vec<u8> = encoded.into_bytes();
                 let replacement = BECH32_CHARSET[c];
                 if chars[pos] != replacement {
                     chars[pos] = replacement;
                     let corrupted = String::from_utf8(chars).unwrap();
-                    prop_assert_eq!(segwit_decode(&corrupted), None);
+                    assert_eq!(segwit_decode(&corrupted), None);
                 }
-            }
+            });
         }
     }
 }

@@ -289,44 +289,37 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use icbtc_sim::testkit;
 
-        proptest! {
-            /// The Merkle root changes if any leaf changes.
-            #[test]
-            fn merkle_sensitive_to_leaves(
-                leaves in proptest::collection::vec(proptest::array::uniform32(any::<u8>()), 1..20),
-                flip in any::<usize>(),
-            ) {
-                let txids: Vec<Txid> = leaves.iter().copied().map(Txid).collect();
+        /// The Merkle root changes if any leaf changes.
+        #[test]
+        fn merkle_sensitive_to_leaves() {
+            testkit::check(0xB1_0001, testkit::DEFAULT_CASES, |rng| {
+                let txids: Vec<Txid> =
+                    testkit::vec_with(rng, 1..20, |r| Txid(testkit::byte_array(r)));
                 let root = merkle_root(&txids);
                 let mut mutated = txids.clone();
-                let idx = flip % mutated.len();
+                let idx = rng.index(mutated.len());
                 mutated[idx].0[0] ^= 0xff;
-                prop_assert_ne!(merkle_root(&mutated), root);
-            }
+                assert_ne!(merkle_root(&mutated), root);
+            });
+        }
 
-            /// Header encode/decode round-trips.
-            #[test]
-            fn header_roundtrip(
-                version in any::<i32>(),
-                prev in proptest::array::uniform32(any::<u8>()),
-                merkle in proptest::array::uniform32(any::<u8>()),
-                time in any::<u32>(),
-                bits in any::<u32>(),
-                nonce in any::<u32>(),
-            ) {
+        /// Header encode/decode round-trips.
+        #[test]
+        fn header_roundtrip() {
+            testkit::check(0xB1_0002, testkit::DEFAULT_CASES, |rng| {
                 let header = BlockHeader {
-                    version,
-                    prev_blockhash: BlockHash(prev),
-                    merkle_root: MerkleRoot(merkle),
-                    time,
-                    bits: CompactTarget::from_consensus(bits),
-                    nonce,
+                    version: testkit::i32_any(rng),
+                    prev_blockhash: BlockHash(testkit::byte_array(rng)),
+                    merkle_root: MerkleRoot(testkit::byte_array(rng)),
+                    time: testkit::u32_any(rng),
+                    bits: CompactTarget::from_consensus(testkit::u32_any(rng)),
+                    nonce: testkit::u32_any(rng),
                 };
                 let back = BlockHeader::decode_exact(&header.encode_to_vec()).unwrap();
-                prop_assert_eq!(back, header);
-            }
+                assert_eq!(back, header);
+            });
         }
     }
 }

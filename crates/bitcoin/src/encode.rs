@@ -375,17 +375,21 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use icbtc_sim::testkit;
 
-        proptest! {
-            #[test]
-            fn varint_roundtrip(v in any::<u64>()) {
+        #[test]
+        fn varint_roundtrip() {
+            testkit::check(0xE2_0001, testkit::DEFAULT_CASES, |rng| {
+                let v = testkit::u64_any(rng);
                 let bytes = VarInt(v).encode_to_vec();
-                prop_assert_eq!(VarInt::decode_exact(&bytes).unwrap(), VarInt(v));
-            }
+                assert_eq!(VarInt::decode_exact(&bytes).unwrap(), VarInt(v));
+            });
+        }
 
-            #[test]
-            fn varint_encoding_is_minimal(v in any::<u64>()) {
+        #[test]
+        fn varint_encoding_is_minimal() {
+            testkit::check(0xE2_0002, testkit::DEFAULT_CASES, |rng| {
+                let v = testkit::u64_any(rng);
                 let len = VarInt(v).encode_to_vec().len();
                 let expected = match v {
                     0..=0xfc => 1,
@@ -393,13 +397,16 @@ mod tests {
                     0x1_0000..=0xffff_ffff => 5,
                     _ => 9,
                 };
-                prop_assert_eq!(len, expected);
-            }
+                assert_eq!(len, expected);
+            });
+        }
 
-            #[test]
-            fn bytes_roundtrip(v in proptest::collection::vec(any::<u8>(), 0..600)) {
-                prop_assert_eq!(Vec::<u8>::decode_exact(&v.encode_to_vec()).unwrap(), v);
-            }
+        #[test]
+        fn bytes_roundtrip() {
+            testkit::check(0xE2_0003, testkit::DEFAULT_CASES, |rng| {
+                let v = testkit::bytes(rng, 0..600);
+                assert_eq!(Vec::<u8>::decode_exact(&v.encode_to_vec()).unwrap(), v);
+            });
         }
     }
 }

@@ -620,25 +620,28 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use icbtc_sim::testkit;
 
-        proptest! {
-            /// Streaming and one-shot SHA-256 agree for arbitrary splits.
-            #[test]
-            fn sha256_split_invariance(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
-                let split = split.min(data.len());
+        /// Streaming and one-shot SHA-256 agree for arbitrary splits.
+        #[test]
+        fn sha256_split_invariance() {
+            testkit::check(0x4A_0001, testkit::DEFAULT_CASES, |rng| {
+                let data = testkit::bytes(rng, 0..512);
+                let split = testkit::usize_in(rng, 0..512).min(data.len());
                 let mut h = Sha256::new();
                 h.update(&data[..split]);
                 h.update(&data[split..]);
-                prop_assert_eq!(h.finalize(), sha256(&data));
-            }
+                assert_eq!(h.finalize(), sha256(&data));
+            });
+        }
 
-            /// Txid hex display round-trips.
-            #[test]
-            fn txid_hex_roundtrip(bytes in proptest::array::uniform32(any::<u8>())) {
-                let txid = Txid(bytes);
-                prop_assert_eq!(Txid::from_hex(&txid.to_string()), Some(txid));
-            }
+        /// Txid hex display round-trips.
+        #[test]
+        fn txid_hex_roundtrip() {
+            testkit::check(0x4A_0002, testkit::DEFAULT_CASES, |rng| {
+                let txid = Txid(testkit::byte_array(rng));
+                assert_eq!(Txid::from_hex(&txid.to_string()), Some(txid));
+            });
         }
     }
 }

@@ -343,35 +343,43 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use icbtc_sim::testkit;
 
-        proptest! {
-            /// from_target(to_target(x)) is idempotent (compact form is a
-            /// fixed point).
-            #[test]
-            fn compact_idempotent(bits in any::<u32>()) {
+        /// from_target(to_target(x)) is idempotent (compact form is a
+        /// fixed point).
+        #[test]
+        fn compact_idempotent() {
+            testkit::check(0x90_0001, testkit::DEFAULT_CASES, |rng| {
+                let bits = testkit::u32_any(rng);
                 let t = CompactTarget::from_consensus(bits).to_target();
                 let c = CompactTarget::from_target(t);
-                prop_assert_eq!(c.to_target(), CompactTarget::from_target(c.to_target()).to_target());
-            }
+                assert_eq!(c.to_target(), CompactTarget::from_target(c.to_target()).to_target());
+            });
+        }
 
-            /// Work is antitone in the target: smaller target, more work.
-            #[test]
-            fn work_antitone(a in 1u64..u64::MAX, b in 1u64..u64::MAX) {
+        /// Work is antitone in the target: smaller target, more work.
+        #[test]
+        fn work_antitone() {
+            testkit::check(0x90_0002, testkit::DEFAULT_CASES, |rng| {
+                let a = testkit::u64_in(rng, 1..u64::MAX);
+                let b = testkit::u64_in(rng, 1..u64::MAX);
                 let (lo, hi) = (a.min(b), a.max(b));
                 let w_lo = CompactTarget::from_target(U256::from_u64(lo)).work();
                 let w_hi = CompactTarget::from_target(U256::from_u64(hi)).work();
-                prop_assert!(w_lo >= w_hi);
-            }
+                assert!(w_lo >= w_hi);
+            });
+        }
 
-            /// Retarget output never exceeds the pow limit.
-            #[test]
-            fn retarget_bounded(timespan in 1u64..10_000_000) {
+        /// Retarget output never exceeds the pow limit.
+        #[test]
+        fn retarget_bounded() {
+            testkit::check(0x90_0003, testkit::DEFAULT_CASES, |rng| {
+                let timespan = testkit::u64_in(rng, 1..10_000_000);
                 let pow_limit = CompactTarget::from_consensus(0x207fffff);
                 let old = CompactTarget::from_consensus(0x1d00ffff);
                 let new = retarget(old, timespan, 2016 * 600, pow_limit);
-                prop_assert!(new.to_target() <= pow_limit.to_target());
-            }
+                assert!(new.to_target() <= pow_limit.to_target());
+            });
         }
     }
 }

@@ -426,26 +426,33 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use icbtc_sim::testkit;
 
-        proptest! {
-            /// Classification of constructed templates is exact for all
-            /// hash inputs.
-            #[test]
-            fn classify_p2wpkh(h in proptest::array::uniform20(any::<u8>())) {
-                prop_assert_eq!(Script::new_p2wpkh(&h).classify(), ScriptKind::P2wpkh(h));
-            }
+        /// Classification of constructed templates is exact for all
+        /// hash inputs.
+        #[test]
+        fn classify_p2wpkh() {
+            testkit::check(0x5C_0001, testkit::DEFAULT_CASES, |rng| {
+                let h: [u8; 20] = testkit::byte_array(rng);
+                assert_eq!(Script::new_p2wpkh(&h).classify(), ScriptKind::P2wpkh(h));
+            });
+        }
 
-            #[test]
-            fn classify_p2tr(k in proptest::array::uniform32(any::<u8>())) {
-                prop_assert_eq!(Script::new_p2tr(&k).classify(), ScriptKind::P2tr(k));
-            }
+        #[test]
+        fn classify_p2tr() {
+            testkit::check(0x5C_0002, testkit::DEFAULT_CASES, |rng| {
+                let k: [u8; 32] = testkit::byte_array(rng);
+                assert_eq!(Script::new_p2tr(&k).classify(), ScriptKind::P2tr(k));
+            });
+        }
 
-            /// Arbitrary scripts never panic during classification.
-            #[test]
-            fn classify_total(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        /// Arbitrary scripts never panic during classification.
+        #[test]
+        fn classify_total() {
+            testkit::check(0x5C_0003, testkit::DEFAULT_CASES, |rng| {
+                let bytes = testkit::bytes(rng, 0..64);
                 let _ = Script::from_bytes(bytes).classify();
-            }
+            });
         }
     }
 }

@@ -517,69 +517,64 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use icbtc_sim::testkit;
+        use icbtc_sim::SimRng;
 
-        fn arb_txin() -> impl Strategy<Value = TxIn> {
-            (
-                proptest::array::uniform32(any::<u8>()),
-                any::<u32>(),
-                proptest::collection::vec(any::<u8>(), 0..40),
-                any::<u32>(),
-                proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..4),
-            )
-                .prop_map(|(txid, vout, script_sig, sequence, witness)| TxIn {
-                    previous_output: OutPoint::new(Txid(txid), vout),
-                    script_sig,
-                    sequence,
-                    witness,
-                })
+        fn arb_txin(rng: &mut SimRng) -> TxIn {
+            TxIn {
+                previous_output: OutPoint::new(Txid(testkit::byte_array(rng)), testkit::u32_any(rng)),
+                script_sig: testkit::bytes(rng, 0..40),
+                sequence: testkit::u32_any(rng),
+                witness: testkit::vec_with(rng, 0..4, |r| testkit::bytes(r, 0..40)),
+            }
         }
 
-        fn arb_txout() -> impl Strategy<Value = TxOut> {
-            (0u64..Amount::MAX_MONEY.to_sat(), proptest::collection::vec(any::<u8>(), 0..40))
-                .prop_map(|(v, s)| TxOut::new(Amount::from_sat(v), Script::from_bytes(s)))
+        fn arb_txout(rng: &mut SimRng) -> TxOut {
+            let v = testkit::u64_in(rng, 0..Amount::MAX_MONEY.to_sat());
+            TxOut::new(Amount::from_sat(v), Script::from_bytes(testkit::bytes(rng, 0..40)))
         }
 
-        fn arb_tx() -> impl Strategy<Value = Transaction> {
-            (
-                any::<i32>(),
-                proptest::collection::vec(arb_txin(), 1..5),
-                proptest::collection::vec(arb_txout(), 1..5),
-                any::<u32>(),
-            )
-                .prop_map(|(version, inputs, outputs, lock_time)| Transaction {
-                    version,
-                    inputs,
-                    outputs,
-                    lock_time,
-                })
+        fn arb_tx(rng: &mut SimRng) -> Transaction {
+            Transaction {
+                version: testkit::i32_any(rng),
+                inputs: testkit::vec_with(rng, 1..5, arb_txin),
+                outputs: testkit::vec_with(rng, 1..5, arb_txout),
+                lock_time: testkit::u32_any(rng),
+            }
         }
 
-        proptest! {
-            /// Wire encoding round-trips for arbitrary transactions.
-            #[test]
-            fn tx_roundtrip(tx in arb_tx()) {
+        /// Wire encoding round-trips for arbitrary transactions.
+        #[test]
+        fn tx_roundtrip() {
+            testkit::check(0x7C_0001, testkit::DEFAULT_CASES, |rng| {
+                let tx = arb_tx(rng);
                 let bytes = tx.encode_to_vec();
                 let back = Transaction::decode_exact(&bytes).unwrap();
-                prop_assert_eq!(back, tx);
-            }
+                assert_eq!(back, tx);
+            });
+        }
 
-            /// The txid never depends on witness data.
-            #[test]
-            fn txid_ignores_witness(mut tx in arb_tx()) {
+        /// The txid never depends on witness data.
+        #[test]
+        fn txid_ignores_witness() {
+            testkit::check(0x7C_0002, testkit::DEFAULT_CASES, |rng| {
+                let mut tx = arb_tx(rng);
                 let before = tx.txid();
                 for input in &mut tx.inputs {
                     input.witness.clear();
                 }
-                prop_assert_eq!(tx.txid(), before);
-            }
+                assert_eq!(tx.txid(), before);
+            });
+        }
 
-            /// Weight identity: weight = 3*base + total, vsize = ceil(w/4).
-            #[test]
-            fn weight_identity(tx in arb_tx()) {
-                prop_assert_eq!(tx.weight(), 3 * tx.base_size() + tx.total_size());
-                prop_assert_eq!(tx.vsize(), tx.weight().div_ceil(4));
-            }
+        /// Weight identity: weight = 3*base + total, vsize = ceil(w/4).
+        #[test]
+        fn weight_identity() {
+            testkit::check(0x7C_0003, testkit::DEFAULT_CASES, |rng| {
+                let tx = arb_tx(rng);
+                assert_eq!(tx.weight(), 3 * tx.base_size() + tx.total_size());
+                assert_eq!(tx.vsize(), tx.weight().div_ceil(4));
+            });
         }
     }
 }

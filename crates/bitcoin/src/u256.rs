@@ -471,47 +471,67 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use icbtc_sim::testkit;
+        use icbtc_sim::SimRng;
 
-        fn arb_u256() -> impl Strategy<Value = U256> {
-            proptest::array::uniform4(any::<u64>()).prop_map(U256::from_limbs)
+        fn arb_u256(rng: &mut SimRng) -> U256 {
+            U256::from_limbs(testkit::limbs4(rng))
         }
 
-        proptest! {
-            #[test]
-            fn add_sub_roundtrip(a in arb_u256(), b in arb_u256()) {
+        #[test]
+        fn add_sub_roundtrip() {
+            testkit::check(0x25_0001, testkit::DEFAULT_CASES, |rng| {
+                let a = arb_u256(rng);
+                let b = arb_u256(rng);
                 if let Some(sum) = a.checked_add(b) {
-                    prop_assert_eq!(sum - b, a);
-                    prop_assert_eq!(sum - a, b);
+                    assert_eq!(sum - b, a);
+                    assert_eq!(sum - a, b);
                 }
-            }
+            });
+        }
 
-            #[test]
-            fn div_rem_reconstructs(a in arb_u256(), b in arb_u256()) {
-                prop_assume!(!b.is_zero());
+        #[test]
+        fn div_rem_reconstructs() {
+            testkit::check(0x25_0002, testkit::DEFAULT_CASES, |rng| {
+                let a = arb_u256(rng);
+                let b = arb_u256(rng);
+                if b.is_zero() {
+                    return;
+                }
                 let (q, r) = a.div_rem(b);
-                prop_assert!(r < b);
+                assert!(r < b);
                 let back = q.checked_mul(b).unwrap().checked_add(r).unwrap();
-                prop_assert_eq!(back, a);
-            }
+                assert_eq!(back, a);
+            });
+        }
 
-            #[test]
-            fn shift_roundtrip(a in arb_u256(), s in 0usize..256) {
+        #[test]
+        fn shift_roundtrip() {
+            testkit::check(0x25_0003, testkit::DEFAULT_CASES, |rng| {
+                let a = arb_u256(rng);
+                let s = testkit::usize_in(rng, 0..256);
                 let masked = (a >> s) << s;
                 // Shifting right then left clears the low s bits only.
-                prop_assert_eq!(masked >> s, a >> s);
-            }
+                assert_eq!(masked >> s, a >> s);
+            });
+        }
 
-            #[test]
-            fn byte_roundtrip(a in arb_u256()) {
-                prop_assert_eq!(U256::from_be_bytes(a.to_be_bytes()), a);
-                prop_assert_eq!(U256::from_le_bytes(a.to_le_bytes()), a);
-            }
+        #[test]
+        fn byte_roundtrip() {
+            testkit::check(0x25_0004, testkit::DEFAULT_CASES, |rng| {
+                let a = arb_u256(rng);
+                assert_eq!(U256::from_be_bytes(a.to_be_bytes()), a);
+                assert_eq!(U256::from_le_bytes(a.to_le_bytes()), a);
+            });
+        }
 
-            #[test]
-            fn widening_mul_commutes(a in arb_u256(), b in arb_u256()) {
-                prop_assert_eq!(a.widening_mul(b), b.widening_mul(a));
-            }
+        #[test]
+        fn widening_mul_commutes() {
+            testkit::check(0x25_0005, testkit::DEFAULT_CASES, |rng| {
+                let a = arb_u256(rng);
+                let b = arb_u256(rng);
+                assert_eq!(a.widening_mul(b), b.widening_mul(a));
+            });
         }
     }
 }

@@ -346,13 +346,14 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use icbtc_sim::testkit;
 
-        proptest! {
-            /// Ingesting creator blocks then spending everything returns
-            /// the set to empty: conservation of UTXOs.
-            #[test]
-            fn create_then_spend_all(values in proptest::collection::vec(1u64..10_000, 1..20)) {
+        /// Ingesting creator blocks then spending everything returns
+        /// the set to empty: conservation of UTXOs.
+        #[test]
+        fn create_then_spend_all() {
+            testkit::check(0xC4_0001, testkit::DEFAULT_CASES, |rng| {
+                let values = testkit::vec_with(rng, 1..20, |r| testkit::u64_in(r, 1..10_000));
                 let (mut set, mut meter, mut breakdown) = fresh();
                 let creators: Vec<Transaction> = values
                     .iter()
@@ -360,7 +361,7 @@ mod tests {
                     .map(|(i, v)| pay_tx(None, &[((i % 250) as u8, *v)]))
                     .collect();
                 set.ingest_block(&creators, 0, &mut meter, &mut breakdown);
-                prop_assert_eq!(set.len(), values.len());
+                assert_eq!(set.len(), values.len());
 
                 let spends: Vec<Transaction> = creators
                     .iter()
@@ -371,9 +372,9 @@ mod tests {
                     })
                     .collect();
                 set.ingest_block(&spends, 1, &mut meter, &mut breakdown);
-                prop_assert_eq!(set.len(), 0);
-                prop_assert_eq!(set.address_count(), 0);
-            }
+                assert_eq!(set.len(), 0);
+                assert_eq!(set.address_count(), 0);
+            });
         }
     }
 }

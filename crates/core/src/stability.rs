@@ -548,7 +548,7 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use icbtc_sim::testkit;
 
         /// Builds a random tree by attaching each new header to a random
         /// existing node.
@@ -566,10 +566,11 @@ mod tests {
             (tree, hashes)
         }
 
-        proptest! {
-            /// At most one block per height is δ-stable, for every δ ≥ 1.
-            #[test]
-            fn unique_stable_block_per_height(choices in proptest::collection::vec(any::<u8>(), 1..40)) {
+        /// At most one block per height is δ-stable, for every δ ≥ 1.
+        #[test]
+        fn unique_stable_block_per_height() {
+            testkit::check(0x57_0001, testkit::DEFAULT_CASES, |rng| {
+                let choices = testkit::bytes(rng, 1..40);
                 let (tree, _) = random_tree(&choices);
                 for height in 0..=tree.max_height() {
                     for delta in 1..4u64 {
@@ -578,40 +579,46 @@ mod tests {
                             .iter()
                             .filter(|h| tree.is_confirmation_stable(h, delta))
                             .collect();
-                        prop_assert!(stable.len() <= 1);
+                        assert!(stable.len() <= 1);
                     }
                 }
-            }
+            });
+        }
 
-            /// Stability never exceeds depth, and equals depth when the
-            /// block has no same-height competitor.
-            #[test]
-            fn stability_bounded_by_depth(choices in proptest::collection::vec(any::<u8>(), 1..40)) {
+        /// Stability never exceeds depth, and equals depth when the
+        /// block has no same-height competitor.
+        #[test]
+        fn stability_bounded_by_depth() {
+            testkit::check(0x57_0002, testkit::DEFAULT_CASES, |rng| {
+                let choices = testkit::bytes(rng, 1..40);
                 let (tree, hashes) = random_tree(&choices);
                 for hash in &hashes {
                     let depth = tree.depth_count(hash).unwrap() as i64;
                     let stability = tree.confirmation_stability(hash).unwrap();
-                    prop_assert!(stability <= depth);
+                    assert!(stability <= depth);
                     let height = tree.height(hash).unwrap();
                     if tree.at_height(height).len() == 1 {
-                        prop_assert_eq!(stability, depth);
+                        assert_eq!(stability, depth);
                     }
                 }
-            }
+            });
+        }
 
-            /// The best chain is connected, starts at the root, and ends
-            /// at a tip.
-            #[test]
-            fn best_chain_well_formed(choices in proptest::collection::vec(any::<u8>(), 1..40)) {
+        /// The best chain is connected, starts at the root, and ends
+        /// at a tip.
+        #[test]
+        fn best_chain_well_formed() {
+            testkit::check(0x57_0003, testkit::DEFAULT_CASES, |rng| {
+                let choices = testkit::bytes(rng, 1..40);
                 let (tree, _) = random_tree(&choices);
                 let chain = tree.best_chain();
-                prop_assert_eq!(chain[0], tree.root());
+                assert_eq!(chain[0], tree.root());
                 for pair in chain.windows(2) {
                     let child_header = tree.header(&pair[1]).unwrap();
-                    prop_assert_eq!(child_header.prev_blockhash, pair[0]);
+                    assert_eq!(child_header.prev_blockhash, pair[0]);
                 }
-                prop_assert!(tree.children(chain.last().unwrap()).is_empty());
-            }
+                assert!(tree.children(chain.last().unwrap()).is_empty());
+            });
         }
     }
 }

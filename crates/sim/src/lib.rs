@@ -13,6 +13,9 @@
 //!   simulations need (exponential inter-arrival times, rough normals, …).
 //! * [`metrics`] — sample histograms, counters and series used by the
 //!   benchmark harness to regenerate the paper's figures.
+//! * [`testkit`] — a seeded property-testing harness used by every crate's
+//!   randomized tests, so the whole workspace tests offline with no
+//!   external dependencies.
 //!
 //! # Examples
 //!
@@ -31,6 +34,7 @@
 pub mod metrics;
 mod queue;
 mod rng;
+pub mod testkit;
 mod time;
 
 pub use queue::EventQueue;

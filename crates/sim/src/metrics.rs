@@ -359,12 +359,13 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use crate::testkit;
 
-        proptest! {
-            /// Percentiles are monotone in p and bounded by min/max.
-            #[test]
-            fn percentile_monotone(mut vals in proptest::collection::vec(-1e9f64..1e9, 1..300)) {
+        /// Percentiles are monotone in p and bounded by min/max.
+        #[test]
+        fn percentile_monotone() {
+            testkit::check(0x3E_0001, testkit::DEFAULT_CASES, |rng| {
+                let mut vals = testkit::vec_with(rng, 1..300, |r| testkit::f64_in(r, -1e9..1e9));
                 let mut h = Histogram::new();
                 for v in &vals {
                     h.record(*v);
@@ -373,9 +374,9 @@ mod tests {
                 let p25 = h.percentile(25.0);
                 let p50 = h.percentile(50.0);
                 let p75 = h.percentile(75.0);
-                prop_assert!(p25 <= p50 && p50 <= p75);
-                prop_assert!(h.min() <= p25 && p75 <= h.max());
-            }
+                assert!(p25 <= p50 && p50 <= p75);
+                assert!(h.min() <= p25 && p75 <= h.max());
+            });
         }
     }
 }

@@ -165,34 +165,38 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use crate::testkit;
 
-        proptest! {
-            /// Popped timestamps are always non-decreasing.
-            #[test]
-            fn monotone_pop(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        /// Popped timestamps are always non-decreasing.
+        #[test]
+        fn monotone_pop() {
+            testkit::check(0x51_0001, testkit::DEFAULT_CASES, |rng| {
+                let times = testkit::vec_with(rng, 1..200, |r| testkit::u64_in(r, 0..1_000_000));
                 let mut q = EventQueue::new();
                 for (i, t) in times.iter().enumerate() {
                     q.push(SimTime::from_nanos(*t), i);
                 }
                 let mut last = SimTime::ZERO;
                 while let Some((at, _)) = q.pop() {
-                    prop_assert!(at >= last);
+                    assert!(at >= last);
                     last = at;
                 }
-            }
+            });
+        }
 
-            /// Every pushed event is popped exactly once.
-            #[test]
-            fn conservation(times in proptest::collection::vec(0u64..1000, 0..100)) {
+        /// Every pushed event is popped exactly once.
+        #[test]
+        fn conservation() {
+            testkit::check(0x51_0002, testkit::DEFAULT_CASES, |rng| {
+                let times = testkit::vec_with(rng, 0..100, |r| testkit::u64_in(r, 0..1000));
                 let mut q = EventQueue::new();
                 for (i, t) in times.iter().enumerate() {
                     q.push(SimTime::from_nanos(*t), i);
                 }
                 let mut seen: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
                 seen.sort_unstable();
-                prop_assert_eq!(seen, (0..times.len()).collect::<Vec<_>>());
-            }
+                assert_eq!(seen, (0..times.len()).collect::<Vec<_>>());
+            });
         }
     }
 }

@@ -426,26 +426,29 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use icbtc_sim::testkit;
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(16))]
-
-            /// Scalar multiplication is a homomorphism: (a+b)G = aG + bG.
-            #[test]
-            fn mul_distributes(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        /// Scalar multiplication is a homomorphism: (a+b)G = aG + bG.
+        #[test]
+        fn mul_distributes() {
+            testkit::check(0xC7_0001, testkit::DEFAULT_CASES, |rng| {
+                let a = testkit::u64_in(rng, 1..1_000_000);
+                let b = testkit::u64_in(rng, 1..1_000_000);
                 let g = AffinePoint::generator();
                 let left = g.mul(Scalar::from_u64(a) + Scalar::from_u64(b));
                 let right = g.mul(Scalar::from_u64(a)).add(&g.mul(Scalar::from_u64(b)));
-                prop_assert_eq!(left, right);
-            }
+                assert_eq!(left, right);
+            });
+        }
 
-            /// All multiples stay on the curve.
-            #[test]
-            fn multiples_on_curve(k in 1u64..u64::MAX) {
+        /// All multiples stay on the curve.
+        #[test]
+        fn multiples_on_curve() {
+            testkit::check(0xC7_0002, testkit::DEFAULT_CASES, |rng| {
+                let k = testkit::u64_in(rng, 1..u64::MAX);
                 let p = AffinePoint::generator().mul(Scalar::from_u64(k));
-                prop_assert!(p.is_on_curve());
-            }
+                assert!(p.is_on_curve());
+            });
         }
     }
 }

@@ -8,7 +8,7 @@
 use std::fmt;
 
 use icbtc_bitcoin::hash::hmac_sha256;
-use rand::RngCore;
+use icbtc_sim::SimRng;
 
 use crate::{AffinePoint, Scalar};
 
@@ -28,7 +28,7 @@ impl PrivateKey {
     }
 
     /// Draws a random private key.
-    pub fn random<R: RngCore>(rng: &mut R) -> PrivateKey {
+    pub fn random(rng: &mut SimRng) -> PrivateKey {
         PrivateKey(Scalar::random(rng))
     }
 
@@ -289,9 +289,7 @@ impl Signature {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
+    
     fn keypair(seed: u64) -> (PrivateKey, PublicKey) {
         let sk = PrivateKey::from_scalar(Scalar::from_u64(seed));
         let pk = sk.public_key();
@@ -394,7 +392,7 @@ mod tests {
 
     #[test]
     fn random_keys_work() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SimRng::seed_from(5);
         for _ in 0..4 {
             let sk = PrivateKey::random(&mut rng);
             let pk = sk.public_key();
@@ -421,18 +419,18 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use icbtc_sim::testkit;
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(8))]
-
-            #[test]
-            fn sign_verify_arbitrary(seed in 1u64..u64::MAX, digest in proptest::array::uniform32(any::<u8>())) {
+        #[test]
+        fn sign_verify_arbitrary() {
+            testkit::check(0xEC_0001, testkit::DEFAULT_CASES, |rng| {
+                let seed = testkit::u64_in(rng, 1..u64::MAX);
+                let digest: [u8; 32] = testkit::byte_array(rng);
                 let sk = PrivateKey::from_scalar(Scalar::from_u64(seed));
                 let sig = sk.sign(&digest);
-                prop_assert!(sk.public_key().verify(&digest, &sig));
-                prop_assert_eq!(Signature::from_der(&sig.to_der()), Some(sig));
-            }
+                assert!(sk.public_key().verify(&digest, &sig));
+                assert_eq!(Signature::from_der(&sig.to_der()), Some(sig));
+            });
         }
     }
 }

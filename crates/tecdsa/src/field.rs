@@ -195,33 +195,45 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use icbtc_sim::testkit;
+        use icbtc_sim::SimRng;
 
-        fn arb_fe() -> impl Strategy<Value = FieldElement> {
-            proptest::array::uniform32(any::<u8>()).prop_map(FieldElement::from_be_bytes)
+        fn arb_fe(rng: &mut SimRng) -> FieldElement {
+            FieldElement::from_be_bytes(testkit::byte_array(rng))
         }
 
-        proptest! {
-            #[test]
-            fn field_axioms(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
-                prop_assert_eq!(a + b, b + a);
-                prop_assert_eq!(a * b, b * a);
-                prop_assert_eq!((a + b) + c, a + (b + c));
-                prop_assert_eq!(a * (b + c), a * b + a * c);
-            }
+        #[test]
+        fn field_axioms() {
+            testkit::check(0xFE_0001, testkit::DEFAULT_CASES, |rng| {
+                let a = arb_fe(rng);
+                let b = arb_fe(rng);
+                let c = arb_fe(rng);
+                assert_eq!(a + b, b + a);
+                assert_eq!(a * b, b * a);
+                assert_eq!((a + b) + c, a + (b + c));
+                assert_eq!(a * (b + c), a * b + a * c);
+            });
+        }
 
-            #[test]
-            fn inverse_property(a in arb_fe()) {
-                prop_assume!(!a.is_zero());
-                prop_assert_eq!(a * a.invert(), FieldElement::ONE);
-            }
+        #[test]
+        fn inverse_property() {
+            testkit::check(0xFE_0002, testkit::DEFAULT_CASES, |rng| {
+                let a = arb_fe(rng);
+                if a.is_zero() {
+                    return;
+                }
+                assert_eq!(a * a.invert(), FieldElement::ONE);
+            });
+        }
 
-            #[test]
-            fn sqrt_squares(a in arb_fe()) {
+        #[test]
+        fn sqrt_squares() {
+            testkit::check(0xFE_0003, testkit::DEFAULT_CASES, |rng| {
+                let a = arb_fe(rng);
                 let sq = a.square();
                 let root = sq.sqrt().expect("every square has a root");
-                prop_assert!(root == a || root == -a);
-            }
+                assert!(root == a || root == -a);
+            });
         }
     }
 }

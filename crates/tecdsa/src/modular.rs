@@ -188,36 +188,48 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use icbtc_sim::testkit;
+        use icbtc_sim::SimRng;
 
-        fn arb_u256() -> impl Strategy<Value = U256> {
-            proptest::array::uniform4(any::<u64>()).prop_map(U256::from_limbs)
+        fn arb_u256(rng: &mut SimRng) -> U256 {
+            U256::from_limbs(testkit::limbs4(rng))
         }
 
-        proptest! {
-            #[test]
-            fn mul_commutes_and_reduces(a in arb_u256(), b in arb_u256()) {
+        #[test]
+        fn mul_commutes_and_reduces() {
+            testkit::check(0x30_0001, testkit::DEFAULT_CASES, |rng| {
+                let a = arb_u256(rng);
+                let b = arb_u256(rng);
                 let m = *FIELD;
                 let ab = m.mul(a, b);
-                prop_assert_eq!(ab, m.mul(b, a));
-                prop_assert!(ab < m.m);
-            }
+                assert_eq!(ab, m.mul(b, a));
+                assert!(ab < m.m);
+            });
+        }
 
-            #[test]
-            fn distributive(a in arb_u256(), b in arb_u256(), c in arb_u256()) {
+        #[test]
+        fn distributive() {
+            testkit::check(0x30_0002, testkit::DEFAULT_CASES, |rng| {
+                let a = arb_u256(rng);
+                let b = arb_u256(rng);
+                let c = arb_u256(rng);
                 let m = *ORDER;
                 let left = m.mul(m.reduce_wide(a, U256::ZERO), m.add(m.reduce(b), m.reduce(c)));
                 let right = m.add(m.mul(a, b), m.mul(a, c));
-                prop_assert_eq!(left, right);
-            }
+                assert_eq!(left, right);
+            });
+        }
 
-            #[test]
-            fn inverse_roundtrip(a in arb_u256()) {
+        #[test]
+        fn inverse_roundtrip() {
+            testkit::check(0x30_0003, testkit::DEFAULT_CASES, |rng| {
                 let m = *ORDER;
-                let a = m.reduce(a);
-                prop_assume!(!a.is_zero());
-                prop_assert_eq!(m.mul(a, m.inv(a)), U256::ONE);
-            }
+                let a = m.reduce(arb_u256(rng));
+                if a.is_zero() {
+                    return;
+                }
+                assert_eq!(m.mul(a, m.inv(a)), U256::ONE);
+            });
         }
     }
 }

@@ -17,7 +17,7 @@
 use std::fmt;
 
 use icbtc_bitcoin::hash::hmac_sha256;
-use rand::RngCore;
+use icbtc_sim::SimRng;
 
 use crate::ecdsa::{PublicKey, Signature};
 use crate::schnorr::{challenge, SchnorrSignature};
@@ -81,11 +81,10 @@ impl From<ShamirError> for ThresholdError {
 ///
 /// ```
 /// use icbtc_tecdsa::protocol::{DerivationPath, ThresholdKey};
-/// use rand::rngs::StdRng;
-/// use rand::SeedableRng;
+/// use icbtc_sim::SimRng;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut rng = SimRng::seed_from(7);
 /// let key = ThresholdKey::generate(13, 9, &mut rng);
 /// let digest = [1u8; 32];
 /// let mut session = key.open_ecdsa(&DerivationPath::root(), digest, &mut rng);
@@ -111,7 +110,7 @@ impl ThresholdKey {
     /// # Panics
     ///
     /// Panics unless `1 <= threshold <= n`.
-    pub fn generate<R: RngCore>(n: usize, threshold: usize, rng: &mut R) -> ThresholdKey {
+    pub fn generate(n: usize, threshold: usize, rng: &mut SimRng) -> ThresholdKey {
         let master_secret = Scalar::random(rng);
         let shares = share_secret(master_secret, threshold, n, rng);
         let public_key = PublicKey(AffinePoint::generator().mul(master_secret));
@@ -170,11 +169,11 @@ impl ThresholdKey {
     /// Opens an ECDSA signing session for `digest` under the key derived
     /// at `path`. The dealer phase picks the nonce and deals the
     /// per-signature sharings; replicas then contribute partial signatures.
-    pub fn open_ecdsa<R: RngCore>(
+    pub fn open_ecdsa(
         &self,
         path: &DerivationPath,
         digest: [u8; 32],
-        rng: &mut R,
+        rng: &mut SimRng,
     ) -> EcdsaSession {
         let x = self.derived_secret(path);
         loop {
@@ -204,11 +203,11 @@ impl ThresholdKey {
 
     /// Opens a BIP-340 Schnorr signing session for `message` under the
     /// key derived at `path`.
-    pub fn open_schnorr<R: RngCore>(
+    pub fn open_schnorr(
         &self,
         path: &DerivationPath,
         message: [u8; 32],
-        rng: &mut R,
+        rng: &mut SimRng,
     ) -> SchnorrSession {
         let secret = self.derived_secret(path);
         let (pub_even, key_flipped) = AffinePoint::generator().mul(secret).normalize_even_y();
@@ -438,11 +437,8 @@ fn advance_combination(combo: &mut [usize], n: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    fn rng(seed: u64) -> StdRng {
-        StdRng::seed_from_u64(seed)
+    fn rng(seed: u64) -> SimRng {
+        SimRng::seed_from(seed)
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::fmt;
 use std::ops::{Add, Mul, Neg, Sub};
 
 use icbtc_bitcoin::U256;
-use rand::RngCore;
+use icbtc_sim::SimRng;
 
 use crate::ORDER;
 
@@ -50,7 +50,7 @@ impl Scalar {
     }
 
     /// Draws a uniformly random non-zero scalar.
-    pub fn random<R: RngCore>(rng: &mut R) -> Scalar {
+    pub fn random(rng: &mut SimRng) -> Scalar {
         loop {
             let mut bytes = [0u8; 32];
             rng.fill_bytes(&mut bytes);
@@ -137,17 +137,8 @@ impl fmt::Debug for Scalar {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use icbtc_sim_compat::seeded_rng;
-
-    /// Minimal local shim: a deterministic RngCore without depending on
-    /// icbtc-sim (kept out of this crate's dependency set on purpose).
-    mod icbtc_sim_compat {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
-
-        pub fn seeded_rng(seed: u64) -> StdRng {
-            StdRng::seed_from_u64(seed)
-        }
+    fn seeded_rng(seed: u64) -> SimRng {
+        SimRng::seed_from(seed)
     }
 
     #[test]
@@ -206,29 +197,39 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use icbtc_sim::testkit;
+        use icbtc_sim::SimRng;
 
-        fn arb_scalar() -> impl Strategy<Value = Scalar> {
-            proptest::array::uniform32(any::<u8>()).prop_map(Scalar::from_be_bytes)
+        fn arb_scalar(rng: &mut SimRng) -> Scalar {
+            Scalar::from_be_bytes(testkit::byte_array(rng))
         }
 
-        proptest! {
-            #[test]
-            fn ring_axioms(a in arb_scalar(), b in arb_scalar(), c in arb_scalar()) {
-                prop_assert_eq!(a + b, b + a);
-                prop_assert_eq!((a * b) * c, a * (b * c));
-                prop_assert_eq!(a * (b + c), a * b + a * c);
-            }
+        #[test]
+        fn ring_axioms() {
+            testkit::check(0x5A_0001, testkit::DEFAULT_CASES, |rng| {
+                let a = arb_scalar(rng);
+                let b = arb_scalar(rng);
+                let c = arb_scalar(rng);
+                assert_eq!(a + b, b + a);
+                assert_eq!((a * b) * c, a * (b * c));
+                assert_eq!(a * (b + c), a * b + a * c);
+            });
+        }
 
-            #[test]
-            fn byte_roundtrip(a in arb_scalar()) {
-                prop_assert_eq!(Scalar::from_be_bytes(a.to_be_bytes()), a);
-            }
+        #[test]
+        fn byte_roundtrip() {
+            testkit::check(0x5A_0002, testkit::DEFAULT_CASES, |rng| {
+                let a = arb_scalar(rng);
+                assert_eq!(Scalar::from_be_bytes(a.to_be_bytes()), a);
+            });
+        }
 
-            #[test]
-            fn neg_is_involution(a in arb_scalar()) {
-                prop_assert_eq!(-(-a), a);
-            }
+        #[test]
+        fn neg_is_involution() {
+            testkit::check(0x5A_0003, testkit::DEFAULT_CASES, |rng| {
+                let a = arb_scalar(rng);
+                assert_eq!(-(-a), a);
+            });
         }
     }
 }

@@ -216,22 +216,19 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use icbtc_sim::testkit;
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(8))]
-
-            #[test]
-            fn roundtrip_arbitrary(
-                seed in 1u64..u64::MAX,
-                msg in proptest::array::uniform32(any::<u8>()),
-                aux in proptest::array::uniform32(any::<u8>()),
-            ) {
+        #[test]
+        fn roundtrip_arbitrary() {
+            testkit::check(0x5B_0001, testkit::DEFAULT_CASES, |rng| {
+                let seed = testkit::u64_in(rng, 1..u64::MAX);
+                let msg: [u8; 32] = testkit::byte_array(rng);
+                let aux: [u8; 32] = testkit::byte_array(rng);
                 let secret = Scalar::from_u64(seed);
                 let pk = x_only_public_key(secret);
                 let sig = sign(secret, &msg, &aux);
-                prop_assert!(verify(&pk, &msg, &sig));
-            }
+                assert!(verify(&pk, &msg, &sig));
+            });
         }
     }
 }

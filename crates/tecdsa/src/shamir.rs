@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use rand::RngCore;
+use icbtc_sim::SimRng;
 
 use crate::Scalar;
 
@@ -66,7 +66,7 @@ impl Polynomial {
     /// # Panics
     ///
     /// Panics if `threshold` is zero.
-    pub fn random<R: RngCore>(secret: Scalar, threshold: usize, rng: &mut R) -> Polynomial {
+    pub fn random(secret: Scalar, threshold: usize, rng: &mut SimRng) -> Polynomial {
         assert!(threshold >= 1, "threshold must be at least 1");
         let mut coefficients = Vec::with_capacity(threshold);
         coefficients.push(secret);
@@ -110,11 +110,11 @@ impl fmt::Debug for Polynomial {
 /// # Panics
 ///
 /// Panics if `threshold` is zero or exceeds `n`.
-pub fn share_secret<R: RngCore>(
+pub fn share_secret(
     secret: Scalar,
     threshold: usize,
     n: usize,
-    rng: &mut R,
+    rng: &mut SimRng,
 ) -> Vec<Share> {
     assert!(threshold >= 1 && threshold <= n, "need 1 <= threshold <= n");
     Polynomial::random(secret, threshold, rng).shares(n)
@@ -179,11 +179,8 @@ pub fn reconstruct(shares: &[Share], threshold: usize) -> Result<Scalar, ShamirE
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    fn rng(seed: u64) -> StdRng {
-        StdRng::seed_from_u64(seed)
+    fn rng(seed: u64) -> SimRng {
+        SimRng::seed_from(seed)
     }
 
     #[test]
@@ -289,26 +286,24 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use icbtc_sim::testkit;
+        use icbtc_sim::SimRng;
 
-        proptest! {
-            #![proptest_config(ProptestConfig::with_cases(16))]
-
-            #[test]
-            fn reconstruct_any_subset(
-                seed in any::<u64>(),
-                secret in 1u64..u64::MAX,
-                t in 1usize..6,
-                extra in 0usize..4,
-            ) {
+        #[test]
+        fn reconstruct_any_subset() {
+            testkit::check(0x54_0001, testkit::DEFAULT_CASES, |rng| {
+                let seed = testkit::u64_any(rng);
+                let secret = testkit::u64_in(rng, 1..u64::MAX);
+                let t = testkit::usize_in(rng, 1..6);
+                let extra = testkit::usize_in(rng, 0..4);
                 let n = t + extra;
-                let mut rng = rng(seed);
+                let mut share_rng = SimRng::seed_from(seed);
                 let secret = Scalar::from_u64(secret);
-                let mut shares = share_secret(secret, t, n, &mut rng);
+                let mut shares = share_secret(secret, t, n, &mut share_rng);
                 // Shuffle deterministically by rotating.
                 shares.rotate_left(seed as usize % n);
-                prop_assert_eq!(reconstruct(&shares, t).unwrap(), secret);
-            }
+                assert_eq!(reconstruct(&shares, t).unwrap(), secret);
+            });
         }
     }
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline.
+#
+# The workspace is hermetic: no crates.io dependencies, so the build must
+# succeed with the network disabled and an empty registry cache. Any PR
+# that reintroduces a registry dependency fails here immediately — cargo's
+# --offline flag refuses to resolve anything outside the workspace.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> verifying the dependency tree is workspace-only"
+if cargo tree --offline --prefix none | grep -v '^icbtc' | grep -q '[^[:space:]]'; then
+    echo "ERROR: non-workspace dependency detected:" >&2
+    cargo tree --offline --prefix none | grep -v '^icbtc' >&2
+    exit 1
+fi
+
+echo "OK: hermetic build + tests passed"
