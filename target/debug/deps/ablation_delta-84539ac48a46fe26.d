@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_delta-84539ac48a46fe26.d: crates/bench/src/bin/ablation_delta.rs
+
+/root/repo/target/debug/deps/ablation_delta-84539ac48a46fe26: crates/bench/src/bin/ablation_delta.rs
+
+crates/bench/src/bin/ablation_delta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sync-8608d1be26f0ed65.d: crates/bench/src/bin/ablation_sync.rs
+
+/root/repo/target/debug/deps/ablation_sync-8608d1be26f0ed65: crates/bench/src/bin/ablation_sync.rs
+
+crates/bench/src/bin/ablation_sync.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algorithm_invariants-a03a11b497cd36dc.d: tests/algorithm_invariants.rs
+
+/root/repo/target/debug/deps/algorithm_invariants-a03a11b497cd36dc: tests/algorithm_invariants.rs
+
+tests/algorithm_invariants.rs:

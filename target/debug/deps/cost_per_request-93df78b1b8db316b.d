@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cost_per_request-93df78b1b8db316b.d: crates/bench/src/bin/cost_per_request.rs
+
+/root/repo/target/debug/deps/cost_per_request-93df78b1b8db316b: crates/bench/src/bin/cost_per_request.rs
+
+crates/bench/src/bin/cost_per_request.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/discovery_overlap-524f7f8d03ded85c.d: crates/bench/src/bin/discovery_overlap.rs
+
+/root/repo/target/debug/deps/discovery_overlap-524f7f8d03ded85c: crates/bench/src/bin/discovery_overlap.rs
+
+crates/bench/src/bin/discovery_overlap.rs:

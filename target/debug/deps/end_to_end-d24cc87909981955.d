@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d24cc87909981955.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d24cc87909981955: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_utxo_growth-86cd3fe68b5930be.d: crates/bench/src/bin/fig5_utxo_growth.rs
+
+/root/repo/target/debug/deps/fig5_utxo_growth-86cd3fe68b5930be: crates/bench/src/bin/fig5_utxo_growth.rs
+
+crates/bench/src/bin/fig5_utxo_growth.rs:

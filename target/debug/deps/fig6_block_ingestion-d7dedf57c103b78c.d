@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_block_ingestion-d7dedf57c103b78c.d: crates/bench/src/bin/fig6_block_ingestion.rs
+
+/root/repo/target/debug/deps/fig6_block_ingestion-d7dedf57c103b78c: crates/bench/src/bin/fig6_block_ingestion.rs
+
+crates/bench/src/bin/fig6_block_ingestion.rs:

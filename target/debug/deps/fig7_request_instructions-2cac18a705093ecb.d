@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_request_instructions-2cac18a705093ecb.d: crates/bench/src/bin/fig7_request_instructions.rs
+
+/root/repo/target/debug/deps/fig7_request_instructions-2cac18a705093ecb: crates/bench/src/bin/fig7_request_instructions.rs
+
+crates/bench/src/bin/fig7_request_instructions.rs:

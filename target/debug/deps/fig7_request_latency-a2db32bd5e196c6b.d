@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_request_latency-a2db32bd5e196c6b.d: crates/bench/src/bin/fig7_request_latency.rs
+
+/root/repo/target/debug/deps/fig7_request_latency-a2db32bd5e196c6b: crates/bench/src/bin/fig7_request_latency.rs
+
+crates/bench/src/bin/fig7_request_latency.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/icbtc-8562ebe92751408d.d: src/lib.rs src/contracts.rs src/system.rs
+
+/root/repo/target/debug/deps/icbtc-8562ebe92751408d: src/lib.rs src/contracts.rs src/system.rs
+
+src/lib.rs:
+src/contracts.rs:
+src/system.rs:

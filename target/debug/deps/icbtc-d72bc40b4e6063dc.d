@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/icbtc-d72bc40b4e6063dc.d: src/lib.rs src/contracts.rs src/system.rs
+
+/root/repo/target/debug/deps/libicbtc-d72bc40b4e6063dc.rlib: src/lib.rs src/contracts.rs src/system.rs
+
+/root/repo/target/debug/deps/libicbtc-d72bc40b4e6063dc.rmeta: src/lib.rs src/contracts.rs src/system.rs
+
+src/lib.rs:
+src/contracts.rs:
+src/system.rs:

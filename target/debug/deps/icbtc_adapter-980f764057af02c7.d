@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/icbtc_adapter-980f764057af02c7.d: crates/adapter/src/lib.rs crates/adapter/src/adapter.rs crates/adapter/src/discovery.rs crates/adapter/src/txcache.rs
+
+/root/repo/target/debug/deps/icbtc_adapter-980f764057af02c7: crates/adapter/src/lib.rs crates/adapter/src/adapter.rs crates/adapter/src/discovery.rs crates/adapter/src/txcache.rs
+
+crates/adapter/src/lib.rs:
+crates/adapter/src/adapter.rs:
+crates/adapter/src/discovery.rs:
+crates/adapter/src/txcache.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/icbtc_adapter-c3b39f8f7182f3a3.d: crates/adapter/src/lib.rs crates/adapter/src/adapter.rs crates/adapter/src/discovery.rs crates/adapter/src/txcache.rs
+
+/root/repo/target/debug/deps/libicbtc_adapter-c3b39f8f7182f3a3.rlib: crates/adapter/src/lib.rs crates/adapter/src/adapter.rs crates/adapter/src/discovery.rs crates/adapter/src/txcache.rs
+
+/root/repo/target/debug/deps/libicbtc_adapter-c3b39f8f7182f3a3.rmeta: crates/adapter/src/lib.rs crates/adapter/src/adapter.rs crates/adapter/src/discovery.rs crates/adapter/src/txcache.rs
+
+crates/adapter/src/lib.rs:
+crates/adapter/src/adapter.rs:
+crates/adapter/src/discovery.rs:
+crates/adapter/src/txcache.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/icbtc_bench-91de5e3bf44cc0a2.d: crates/bench/src/lib.rs crates/bench/src/chaingen.rs crates/bench/src/report.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libicbtc_bench-91de5e3bf44cc0a2.rlib: crates/bench/src/lib.rs crates/bench/src/chaingen.rs crates/bench/src/report.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libicbtc_bench-91de5e3bf44cc0a2.rmeta: crates/bench/src/lib.rs crates/bench/src/chaingen.rs crates/bench/src/report.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chaingen.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/icbtc_bench-dae8f240342e5b22.d: crates/bench/src/lib.rs crates/bench/src/chaingen.rs crates/bench/src/report.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/icbtc_bench-dae8f240342e5b22: crates/bench/src/lib.rs crates/bench/src/chaingen.rs crates/bench/src/report.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chaingen.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/icbtc_bitcoin-aa581da6f666e6c1.d: crates/bitcoin/src/lib.rs crates/bitcoin/src/address.rs crates/bitcoin/src/block.rs crates/bitcoin/src/builder.rs crates/bitcoin/src/encode.rs crates/bitcoin/src/hash.rs crates/bitcoin/src/network.rs crates/bitcoin/src/pow.rs crates/bitcoin/src/script.rs crates/bitcoin/src/tx.rs crates/bitcoin/src/u256.rs
+
+/root/repo/target/debug/deps/icbtc_bitcoin-aa581da6f666e6c1: crates/bitcoin/src/lib.rs crates/bitcoin/src/address.rs crates/bitcoin/src/block.rs crates/bitcoin/src/builder.rs crates/bitcoin/src/encode.rs crates/bitcoin/src/hash.rs crates/bitcoin/src/network.rs crates/bitcoin/src/pow.rs crates/bitcoin/src/script.rs crates/bitcoin/src/tx.rs crates/bitcoin/src/u256.rs
+
+crates/bitcoin/src/lib.rs:
+crates/bitcoin/src/address.rs:
+crates/bitcoin/src/block.rs:
+crates/bitcoin/src/builder.rs:
+crates/bitcoin/src/encode.rs:
+crates/bitcoin/src/hash.rs:
+crates/bitcoin/src/network.rs:
+crates/bitcoin/src/pow.rs:
+crates/bitcoin/src/script.rs:
+crates/bitcoin/src/tx.rs:
+crates/bitcoin/src/u256.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/icbtc_btcnet-6c4e5f2fe029badf.d: crates/btcnet/src/lib.rs crates/btcnet/src/adversary.rs crates/btcnet/src/chain.rs crates/btcnet/src/messages.rs crates/btcnet/src/miner.rs crates/btcnet/src/network.rs crates/btcnet/src/node.rs
+
+/root/repo/target/debug/deps/icbtc_btcnet-6c4e5f2fe029badf: crates/btcnet/src/lib.rs crates/btcnet/src/adversary.rs crates/btcnet/src/chain.rs crates/btcnet/src/messages.rs crates/btcnet/src/miner.rs crates/btcnet/src/network.rs crates/btcnet/src/node.rs
+
+crates/btcnet/src/lib.rs:
+crates/btcnet/src/adversary.rs:
+crates/btcnet/src/chain.rs:
+crates/btcnet/src/messages.rs:
+crates/btcnet/src/miner.rs:
+crates/btcnet/src/network.rs:
+crates/btcnet/src/node.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/icbtc_btcnet-b5be7527d8f5583b.d: crates/btcnet/src/lib.rs crates/btcnet/src/adversary.rs crates/btcnet/src/chain.rs crates/btcnet/src/messages.rs crates/btcnet/src/miner.rs crates/btcnet/src/network.rs crates/btcnet/src/node.rs
+
+/root/repo/target/debug/deps/libicbtc_btcnet-b5be7527d8f5583b.rlib: crates/btcnet/src/lib.rs crates/btcnet/src/adversary.rs crates/btcnet/src/chain.rs crates/btcnet/src/messages.rs crates/btcnet/src/miner.rs crates/btcnet/src/network.rs crates/btcnet/src/node.rs
+
+/root/repo/target/debug/deps/libicbtc_btcnet-b5be7527d8f5583b.rmeta: crates/btcnet/src/lib.rs crates/btcnet/src/adversary.rs crates/btcnet/src/chain.rs crates/btcnet/src/messages.rs crates/btcnet/src/miner.rs crates/btcnet/src/network.rs crates/btcnet/src/node.rs
+
+crates/btcnet/src/lib.rs:
+crates/btcnet/src/adversary.rs:
+crates/btcnet/src/chain.rs:
+crates/btcnet/src/messages.rs:
+crates/btcnet/src/miner.rs:
+crates/btcnet/src/network.rs:
+crates/btcnet/src/node.rs:

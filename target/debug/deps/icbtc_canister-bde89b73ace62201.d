@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/icbtc_canister-bde89b73ace62201.d: crates/canister/src/lib.rs crates/canister/src/api.rs crates/canister/src/canister.rs crates/canister/src/metering.rs crates/canister/src/state.rs crates/canister/src/utxoset.rs
+
+/root/repo/target/debug/deps/icbtc_canister-bde89b73ace62201: crates/canister/src/lib.rs crates/canister/src/api.rs crates/canister/src/canister.rs crates/canister/src/metering.rs crates/canister/src/state.rs crates/canister/src/utxoset.rs
+
+crates/canister/src/lib.rs:
+crates/canister/src/api.rs:
+crates/canister/src/canister.rs:
+crates/canister/src/metering.rs:
+crates/canister/src/state.rs:
+crates/canister/src/utxoset.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/icbtc_canister-e5a85455d8f10730.d: crates/canister/src/lib.rs crates/canister/src/api.rs crates/canister/src/canister.rs crates/canister/src/metering.rs crates/canister/src/state.rs crates/canister/src/utxoset.rs
+
+/root/repo/target/debug/deps/libicbtc_canister-e5a85455d8f10730.rlib: crates/canister/src/lib.rs crates/canister/src/api.rs crates/canister/src/canister.rs crates/canister/src/metering.rs crates/canister/src/state.rs crates/canister/src/utxoset.rs
+
+/root/repo/target/debug/deps/libicbtc_canister-e5a85455d8f10730.rmeta: crates/canister/src/lib.rs crates/canister/src/api.rs crates/canister/src/canister.rs crates/canister/src/metering.rs crates/canister/src/state.rs crates/canister/src/utxoset.rs
+
+crates/canister/src/lib.rs:
+crates/canister/src/api.rs:
+crates/canister/src/canister.rs:
+crates/canister/src/metering.rs:
+crates/canister/src/state.rs:
+crates/canister/src/utxoset.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/icbtc_core-6a62b2e106494bb8.d: crates/core/src/lib.rs crates/core/src/protocol.rs crates/core/src/stability.rs
+
+/root/repo/target/debug/deps/icbtc_core-6a62b2e106494bb8: crates/core/src/lib.rs crates/core/src/protocol.rs crates/core/src/stability.rs
+
+crates/core/src/lib.rs:
+crates/core/src/protocol.rs:
+crates/core/src/stability.rs:

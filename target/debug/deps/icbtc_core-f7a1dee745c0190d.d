@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/icbtc_core-f7a1dee745c0190d.d: crates/core/src/lib.rs crates/core/src/protocol.rs crates/core/src/stability.rs
+
+/root/repo/target/debug/deps/libicbtc_core-f7a1dee745c0190d.rlib: crates/core/src/lib.rs crates/core/src/protocol.rs crates/core/src/stability.rs
+
+/root/repo/target/debug/deps/libicbtc_core-f7a1dee745c0190d.rmeta: crates/core/src/lib.rs crates/core/src/protocol.rs crates/core/src/stability.rs
+
+crates/core/src/lib.rs:
+crates/core/src/protocol.rs:
+crates/core/src/stability.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/icbtc_ic-0eb867b26dd40b56.d: crates/ic/src/lib.rs crates/ic/src/consensus.rs crates/ic/src/cycles.rs crates/ic/src/ingress.rs crates/ic/src/meter.rs crates/ic/src/subnet.rs
+
+/root/repo/target/debug/deps/icbtc_ic-0eb867b26dd40b56: crates/ic/src/lib.rs crates/ic/src/consensus.rs crates/ic/src/cycles.rs crates/ic/src/ingress.rs crates/ic/src/meter.rs crates/ic/src/subnet.rs
+
+crates/ic/src/lib.rs:
+crates/ic/src/consensus.rs:
+crates/ic/src/cycles.rs:
+crates/ic/src/ingress.rs:
+crates/ic/src/meter.rs:
+crates/ic/src/subnet.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/icbtc_ic-40b3a7519e16d065.d: crates/ic/src/lib.rs crates/ic/src/consensus.rs crates/ic/src/cycles.rs crates/ic/src/ingress.rs crates/ic/src/meter.rs crates/ic/src/subnet.rs
+
+/root/repo/target/debug/deps/libicbtc_ic-40b3a7519e16d065.rlib: crates/ic/src/lib.rs crates/ic/src/consensus.rs crates/ic/src/cycles.rs crates/ic/src/ingress.rs crates/ic/src/meter.rs crates/ic/src/subnet.rs
+
+/root/repo/target/debug/deps/libicbtc_ic-40b3a7519e16d065.rmeta: crates/ic/src/lib.rs crates/ic/src/consensus.rs crates/ic/src/cycles.rs crates/ic/src/ingress.rs crates/ic/src/meter.rs crates/ic/src/subnet.rs
+
+crates/ic/src/lib.rs:
+crates/ic/src/consensus.rs:
+crates/ic/src/cycles.rs:
+crates/ic/src/ingress.rs:
+crates/ic/src/meter.rs:
+crates/ic/src/subnet.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/icbtc_sim-6ff0e1255cee97ed.d: crates/sim/src/lib.rs crates/sim/src/metrics.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/testkit.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/icbtc_sim-6ff0e1255cee97ed: crates/sim/src/lib.rs crates/sim/src/metrics.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/testkit.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/testkit.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/icbtc_sim-ba019ccb3058c1af.d: crates/sim/src/lib.rs crates/sim/src/metrics.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/testkit.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libicbtc_sim-ba019ccb3058c1af.rlib: crates/sim/src/lib.rs crates/sim/src/metrics.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/testkit.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libicbtc_sim-ba019ccb3058c1af.rmeta: crates/sim/src/lib.rs crates/sim/src/metrics.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/testkit.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/testkit.rs:
+crates/sim/src/time.rs:

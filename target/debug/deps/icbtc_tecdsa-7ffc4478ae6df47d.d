@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/icbtc_tecdsa-7ffc4478ae6df47d.d: crates/tecdsa/src/lib.rs crates/tecdsa/src/curve.rs crates/tecdsa/src/ecdsa.rs crates/tecdsa/src/field.rs crates/tecdsa/src/modular.rs crates/tecdsa/src/protocol.rs crates/tecdsa/src/scalar.rs crates/tecdsa/src/schnorr.rs crates/tecdsa/src/shamir.rs
+
+/root/repo/target/debug/deps/icbtc_tecdsa-7ffc4478ae6df47d: crates/tecdsa/src/lib.rs crates/tecdsa/src/curve.rs crates/tecdsa/src/ecdsa.rs crates/tecdsa/src/field.rs crates/tecdsa/src/modular.rs crates/tecdsa/src/protocol.rs crates/tecdsa/src/scalar.rs crates/tecdsa/src/schnorr.rs crates/tecdsa/src/shamir.rs
+
+crates/tecdsa/src/lib.rs:
+crates/tecdsa/src/curve.rs:
+crates/tecdsa/src/ecdsa.rs:
+crates/tecdsa/src/field.rs:
+crates/tecdsa/src/modular.rs:
+crates/tecdsa/src/protocol.rs:
+crates/tecdsa/src/scalar.rs:
+crates/tecdsa/src/schnorr.rs:
+crates/tecdsa/src/shamir.rs:

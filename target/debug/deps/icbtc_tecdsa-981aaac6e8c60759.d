@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/icbtc_tecdsa-981aaac6e8c60759.d: crates/tecdsa/src/lib.rs crates/tecdsa/src/curve.rs crates/tecdsa/src/ecdsa.rs crates/tecdsa/src/field.rs crates/tecdsa/src/modular.rs crates/tecdsa/src/protocol.rs crates/tecdsa/src/scalar.rs crates/tecdsa/src/schnorr.rs crates/tecdsa/src/shamir.rs
+
+/root/repo/target/debug/deps/libicbtc_tecdsa-981aaac6e8c60759.rlib: crates/tecdsa/src/lib.rs crates/tecdsa/src/curve.rs crates/tecdsa/src/ecdsa.rs crates/tecdsa/src/field.rs crates/tecdsa/src/modular.rs crates/tecdsa/src/protocol.rs crates/tecdsa/src/scalar.rs crates/tecdsa/src/schnorr.rs crates/tecdsa/src/shamir.rs
+
+/root/repo/target/debug/deps/libicbtc_tecdsa-981aaac6e8c60759.rmeta: crates/tecdsa/src/lib.rs crates/tecdsa/src/curve.rs crates/tecdsa/src/ecdsa.rs crates/tecdsa/src/field.rs crates/tecdsa/src/modular.rs crates/tecdsa/src/protocol.rs crates/tecdsa/src/scalar.rs crates/tecdsa/src/schnorr.rs crates/tecdsa/src/shamir.rs
+
+crates/tecdsa/src/lib.rs:
+crates/tecdsa/src/curve.rs:
+crates/tecdsa/src/ecdsa.rs:
+crates/tecdsa/src/field.rs:
+crates/tecdsa/src/modular.rs:
+crates/tecdsa/src/protocol.rs:
+crates/tecdsa/src/scalar.rs:
+crates/tecdsa/src/schnorr.rs:
+crates/tecdsa/src/shamir.rs:

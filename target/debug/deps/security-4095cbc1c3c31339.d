@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security-4095cbc1c3c31339.d: tests/security.rs
+
+/root/repo/target/debug/deps/security-4095cbc1c3c31339: tests/security.rs
+
+tests/security.rs:

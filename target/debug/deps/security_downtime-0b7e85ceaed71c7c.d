@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_downtime-0b7e85ceaed71c7c.d: crates/bench/src/bin/security_downtime.rs
+
+/root/repo/target/debug/deps/security_downtime-0b7e85ceaed71c7c: crates/bench/src/bin/security_downtime.rs
+
+crates/bench/src/bin/security_downtime.rs:

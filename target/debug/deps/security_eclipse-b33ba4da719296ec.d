@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_eclipse-b33ba4da719296ec.d: crates/bench/src/bin/security_eclipse.rs
+
+/root/repo/target/debug/deps/security_eclipse-b33ba4da719296ec: crates/bench/src/bin/security_eclipse.rs
+
+crates/bench/src/bin/security_eclipse.rs:

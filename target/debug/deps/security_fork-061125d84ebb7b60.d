@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security_fork-061125d84ebb7b60.d: crates/bench/src/bin/security_fork.rs
+
+/root/repo/target/debug/deps/security_fork-061125d84ebb7b60: crates/bench/src/bin/security_fork.rs
+
+crates/bench/src/bin/security_fork.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stability_and_protocol-e1c41167d50020dd.d: tests/stability_and_protocol.rs
+
+/root/repo/target/debug/deps/stability_and_protocol-e1c41167d50020dd: tests/stability_and_protocol.rs
+
+tests/stability_and_protocol.rs:

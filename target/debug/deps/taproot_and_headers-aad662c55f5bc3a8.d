@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/taproot_and_headers-aad662c55f5bc3a8.d: tests/taproot_and_headers.rs
+
+/root/repo/target/debug/deps/taproot_and_headers-aad662c55f5bc3a8: tests/taproot_and_headers.rs
+
+tests/taproot_and_headers.rs:

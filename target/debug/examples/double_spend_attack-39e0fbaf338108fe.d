@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/double_spend_attack-39e0fbaf338108fe.d: examples/double_spend_attack.rs
+
+/root/repo/target/debug/examples/double_spend_attack-39e0fbaf338108fe: examples/double_spend_attack.rs
+
+examples/double_spend_attack.rs:

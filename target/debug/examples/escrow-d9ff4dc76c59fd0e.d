@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/escrow-d9ff4dc76c59fd0e.d: examples/escrow.rs
+
+/root/repo/target/debug/examples/escrow-d9ff4dc76c59fd0e: examples/escrow.rs
+
+examples/escrow.rs:

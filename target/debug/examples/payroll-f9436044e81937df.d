@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/payroll-f9436044e81937df.d: examples/payroll.rs
+
+/root/repo/target/debug/examples/payroll-f9436044e81937df: examples/payroll.rs
+
+examples/payroll.rs:

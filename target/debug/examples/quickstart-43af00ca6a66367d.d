@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-43af00ca6a66367d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-43af00ca6a66367d: examples/quickstart.rs
+
+examples/quickstart.rs:

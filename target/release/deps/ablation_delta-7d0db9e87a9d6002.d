@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_delta-7d0db9e87a9d6002.d: crates/bench/src/bin/ablation_delta.rs
+
+/root/repo/target/release/deps/ablation_delta-7d0db9e87a9d6002: crates/bench/src/bin/ablation_delta.rs
+
+crates/bench/src/bin/ablation_delta.rs:

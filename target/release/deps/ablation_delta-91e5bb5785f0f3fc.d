@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_delta-91e5bb5785f0f3fc.d: crates/bench/src/bin/ablation_delta.rs
+
+/root/repo/target/release/deps/ablation_delta-91e5bb5785f0f3fc: crates/bench/src/bin/ablation_delta.rs
+
+crates/bench/src/bin/ablation_delta.rs:

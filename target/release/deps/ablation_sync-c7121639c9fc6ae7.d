@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_sync-c7121639c9fc6ae7.d: crates/bench/src/bin/ablation_sync.rs
+
+/root/repo/target/release/deps/ablation_sync-c7121639c9fc6ae7: crates/bench/src/bin/ablation_sync.rs
+
+crates/bench/src/bin/ablation_sync.rs:

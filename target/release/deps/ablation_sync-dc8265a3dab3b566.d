@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_sync-dc8265a3dab3b566.d: crates/bench/src/bin/ablation_sync.rs
+
+/root/repo/target/release/deps/ablation_sync-dc8265a3dab3b566: crates/bench/src/bin/ablation_sync.rs
+
+crates/bench/src/bin/ablation_sync.rs:

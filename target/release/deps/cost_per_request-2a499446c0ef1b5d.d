@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cost_per_request-2a499446c0ef1b5d.d: crates/bench/src/bin/cost_per_request.rs
+
+/root/repo/target/release/deps/cost_per_request-2a499446c0ef1b5d: crates/bench/src/bin/cost_per_request.rs
+
+crates/bench/src/bin/cost_per_request.rs:

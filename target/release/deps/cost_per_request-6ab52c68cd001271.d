@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cost_per_request-6ab52c68cd001271.d: crates/bench/src/bin/cost_per_request.rs
+
+/root/repo/target/release/deps/cost_per_request-6ab52c68cd001271: crates/bench/src/bin/cost_per_request.rs
+
+crates/bench/src/bin/cost_per_request.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/discovery_overlap-c202d624f2656060.d: crates/bench/src/bin/discovery_overlap.rs
+
+/root/repo/target/release/deps/discovery_overlap-c202d624f2656060: crates/bench/src/bin/discovery_overlap.rs
+
+crates/bench/src/bin/discovery_overlap.rs:

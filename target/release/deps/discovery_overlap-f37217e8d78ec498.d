@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/discovery_overlap-f37217e8d78ec498.d: crates/bench/src/bin/discovery_overlap.rs
+
+/root/repo/target/release/deps/discovery_overlap-f37217e8d78ec498: crates/bench/src/bin/discovery_overlap.rs
+
+crates/bench/src/bin/discovery_overlap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_utxo_growth-2de897fd2ef54f5d.d: crates/bench/src/bin/fig5_utxo_growth.rs
+
+/root/repo/target/release/deps/fig5_utxo_growth-2de897fd2ef54f5d: crates/bench/src/bin/fig5_utxo_growth.rs
+
+crates/bench/src/bin/fig5_utxo_growth.rs:

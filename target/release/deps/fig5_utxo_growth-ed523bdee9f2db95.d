@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_utxo_growth-ed523bdee9f2db95.d: crates/bench/src/bin/fig5_utxo_growth.rs
+
+/root/repo/target/release/deps/fig5_utxo_growth-ed523bdee9f2db95: crates/bench/src/bin/fig5_utxo_growth.rs
+
+crates/bench/src/bin/fig5_utxo_growth.rs:

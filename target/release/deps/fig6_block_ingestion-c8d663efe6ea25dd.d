@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_block_ingestion-c8d663efe6ea25dd.d: crates/bench/src/bin/fig6_block_ingestion.rs
+
+/root/repo/target/release/deps/fig6_block_ingestion-c8d663efe6ea25dd: crates/bench/src/bin/fig6_block_ingestion.rs
+
+crates/bench/src/bin/fig6_block_ingestion.rs:

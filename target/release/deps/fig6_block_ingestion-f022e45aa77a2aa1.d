@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_block_ingestion-f022e45aa77a2aa1.d: crates/bench/src/bin/fig6_block_ingestion.rs
+
+/root/repo/target/release/deps/fig6_block_ingestion-f022e45aa77a2aa1: crates/bench/src/bin/fig6_block_ingestion.rs
+
+crates/bench/src/bin/fig6_block_ingestion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_request_instructions-5e34a41d05997a04.d: crates/bench/src/bin/fig7_request_instructions.rs
+
+/root/repo/target/release/deps/fig7_request_instructions-5e34a41d05997a04: crates/bench/src/bin/fig7_request_instructions.rs
+
+crates/bench/src/bin/fig7_request_instructions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_request_instructions-c425c3b9d93552a9.d: crates/bench/src/bin/fig7_request_instructions.rs
+
+/root/repo/target/release/deps/fig7_request_instructions-c425c3b9d93552a9: crates/bench/src/bin/fig7_request_instructions.rs
+
+crates/bench/src/bin/fig7_request_instructions.rs:

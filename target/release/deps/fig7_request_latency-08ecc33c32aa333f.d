@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_request_latency-08ecc33c32aa333f.d: crates/bench/src/bin/fig7_request_latency.rs
+
+/root/repo/target/release/deps/fig7_request_latency-08ecc33c32aa333f: crates/bench/src/bin/fig7_request_latency.rs
+
+crates/bench/src/bin/fig7_request_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_request_latency-16ceb0feab2e08b0.d: crates/bench/src/bin/fig7_request_latency.rs
+
+/root/repo/target/release/deps/fig7_request_latency-16ceb0feab2e08b0: crates/bench/src/bin/fig7_request_latency.rs
+
+crates/bench/src/bin/fig7_request_latency.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/icbtc-5cb89572527631b4.d: src/lib.rs src/contracts.rs src/system.rs
+
+/root/repo/target/release/deps/icbtc-5cb89572527631b4: src/lib.rs src/contracts.rs src/system.rs
+
+src/lib.rs:
+src/contracts.rs:
+src/system.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/icbtc-605ce3b51f97fb92.d: src/lib.rs src/contracts.rs src/system.rs
+
+/root/repo/target/release/deps/libicbtc-605ce3b51f97fb92.rlib: src/lib.rs src/contracts.rs src/system.rs
+
+/root/repo/target/release/deps/libicbtc-605ce3b51f97fb92.rmeta: src/lib.rs src/contracts.rs src/system.rs
+
+src/lib.rs:
+src/contracts.rs:
+src/system.rs:

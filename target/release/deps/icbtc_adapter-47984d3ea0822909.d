@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/icbtc_adapter-47984d3ea0822909.d: crates/adapter/src/lib.rs crates/adapter/src/adapter.rs crates/adapter/src/discovery.rs crates/adapter/src/txcache.rs
+
+/root/repo/target/release/deps/libicbtc_adapter-47984d3ea0822909.rlib: crates/adapter/src/lib.rs crates/adapter/src/adapter.rs crates/adapter/src/discovery.rs crates/adapter/src/txcache.rs
+
+/root/repo/target/release/deps/libicbtc_adapter-47984d3ea0822909.rmeta: crates/adapter/src/lib.rs crates/adapter/src/adapter.rs crates/adapter/src/discovery.rs crates/adapter/src/txcache.rs
+
+crates/adapter/src/lib.rs:
+crates/adapter/src/adapter.rs:
+crates/adapter/src/discovery.rs:
+crates/adapter/src/txcache.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/icbtc_bench-420deb60f137d698.d: crates/bench/src/lib.rs crates/bench/src/chaingen.rs crates/bench/src/report.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/libicbtc_bench-420deb60f137d698.rlib: crates/bench/src/lib.rs crates/bench/src/chaingen.rs crates/bench/src/report.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/libicbtc_bench-420deb60f137d698.rmeta: crates/bench/src/lib.rs crates/bench/src/chaingen.rs crates/bench/src/report.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chaingen.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workload.rs:

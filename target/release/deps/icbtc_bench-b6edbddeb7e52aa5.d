@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/icbtc_bench-b6edbddeb7e52aa5.d: crates/bench/src/lib.rs crates/bench/src/chaingen.rs crates/bench/src/report.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/icbtc_bench-b6edbddeb7e52aa5: crates/bench/src/lib.rs crates/bench/src/chaingen.rs crates/bench/src/report.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/chaingen.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workload.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/icbtc_bitcoin-8a0490a5873e5757.d: crates/bitcoin/src/lib.rs crates/bitcoin/src/address.rs crates/bitcoin/src/block.rs crates/bitcoin/src/builder.rs crates/bitcoin/src/encode.rs crates/bitcoin/src/hash.rs crates/bitcoin/src/network.rs crates/bitcoin/src/pow.rs crates/bitcoin/src/script.rs crates/bitcoin/src/tx.rs crates/bitcoin/src/u256.rs
+
+/root/repo/target/release/deps/libicbtc_bitcoin-8a0490a5873e5757.rlib: crates/bitcoin/src/lib.rs crates/bitcoin/src/address.rs crates/bitcoin/src/block.rs crates/bitcoin/src/builder.rs crates/bitcoin/src/encode.rs crates/bitcoin/src/hash.rs crates/bitcoin/src/network.rs crates/bitcoin/src/pow.rs crates/bitcoin/src/script.rs crates/bitcoin/src/tx.rs crates/bitcoin/src/u256.rs
+
+/root/repo/target/release/deps/libicbtc_bitcoin-8a0490a5873e5757.rmeta: crates/bitcoin/src/lib.rs crates/bitcoin/src/address.rs crates/bitcoin/src/block.rs crates/bitcoin/src/builder.rs crates/bitcoin/src/encode.rs crates/bitcoin/src/hash.rs crates/bitcoin/src/network.rs crates/bitcoin/src/pow.rs crates/bitcoin/src/script.rs crates/bitcoin/src/tx.rs crates/bitcoin/src/u256.rs
+
+crates/bitcoin/src/lib.rs:
+crates/bitcoin/src/address.rs:
+crates/bitcoin/src/block.rs:
+crates/bitcoin/src/builder.rs:
+crates/bitcoin/src/encode.rs:
+crates/bitcoin/src/hash.rs:
+crates/bitcoin/src/network.rs:
+crates/bitcoin/src/pow.rs:
+crates/bitcoin/src/script.rs:
+crates/bitcoin/src/tx.rs:
+crates/bitcoin/src/u256.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/icbtc_btcnet-73d14d005a1c14f7.d: crates/btcnet/src/lib.rs crates/btcnet/src/adversary.rs crates/btcnet/src/chain.rs crates/btcnet/src/messages.rs crates/btcnet/src/miner.rs crates/btcnet/src/network.rs crates/btcnet/src/node.rs
+
+/root/repo/target/release/deps/libicbtc_btcnet-73d14d005a1c14f7.rlib: crates/btcnet/src/lib.rs crates/btcnet/src/adversary.rs crates/btcnet/src/chain.rs crates/btcnet/src/messages.rs crates/btcnet/src/miner.rs crates/btcnet/src/network.rs crates/btcnet/src/node.rs
+
+/root/repo/target/release/deps/libicbtc_btcnet-73d14d005a1c14f7.rmeta: crates/btcnet/src/lib.rs crates/btcnet/src/adversary.rs crates/btcnet/src/chain.rs crates/btcnet/src/messages.rs crates/btcnet/src/miner.rs crates/btcnet/src/network.rs crates/btcnet/src/node.rs
+
+crates/btcnet/src/lib.rs:
+crates/btcnet/src/adversary.rs:
+crates/btcnet/src/chain.rs:
+crates/btcnet/src/messages.rs:
+crates/btcnet/src/miner.rs:
+crates/btcnet/src/network.rs:
+crates/btcnet/src/node.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/icbtc_canister-cdbc97076b0ca73f.d: crates/canister/src/lib.rs crates/canister/src/api.rs crates/canister/src/canister.rs crates/canister/src/metering.rs crates/canister/src/state.rs crates/canister/src/utxoset.rs
+
+/root/repo/target/release/deps/libicbtc_canister-cdbc97076b0ca73f.rlib: crates/canister/src/lib.rs crates/canister/src/api.rs crates/canister/src/canister.rs crates/canister/src/metering.rs crates/canister/src/state.rs crates/canister/src/utxoset.rs
+
+/root/repo/target/release/deps/libicbtc_canister-cdbc97076b0ca73f.rmeta: crates/canister/src/lib.rs crates/canister/src/api.rs crates/canister/src/canister.rs crates/canister/src/metering.rs crates/canister/src/state.rs crates/canister/src/utxoset.rs
+
+crates/canister/src/lib.rs:
+crates/canister/src/api.rs:
+crates/canister/src/canister.rs:
+crates/canister/src/metering.rs:
+crates/canister/src/state.rs:
+crates/canister/src/utxoset.rs:

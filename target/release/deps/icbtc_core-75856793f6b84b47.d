@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/icbtc_core-75856793f6b84b47.d: crates/core/src/lib.rs crates/core/src/protocol.rs crates/core/src/stability.rs
+
+/root/repo/target/release/deps/libicbtc_core-75856793f6b84b47.rlib: crates/core/src/lib.rs crates/core/src/protocol.rs crates/core/src/stability.rs
+
+/root/repo/target/release/deps/libicbtc_core-75856793f6b84b47.rmeta: crates/core/src/lib.rs crates/core/src/protocol.rs crates/core/src/stability.rs
+
+crates/core/src/lib.rs:
+crates/core/src/protocol.rs:
+crates/core/src/stability.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/icbtc_ic-b24a73cd8e3e9972.d: crates/ic/src/lib.rs crates/ic/src/consensus.rs crates/ic/src/cycles.rs crates/ic/src/ingress.rs crates/ic/src/meter.rs crates/ic/src/subnet.rs
+
+/root/repo/target/release/deps/libicbtc_ic-b24a73cd8e3e9972.rlib: crates/ic/src/lib.rs crates/ic/src/consensus.rs crates/ic/src/cycles.rs crates/ic/src/ingress.rs crates/ic/src/meter.rs crates/ic/src/subnet.rs
+
+/root/repo/target/release/deps/libicbtc_ic-b24a73cd8e3e9972.rmeta: crates/ic/src/lib.rs crates/ic/src/consensus.rs crates/ic/src/cycles.rs crates/ic/src/ingress.rs crates/ic/src/meter.rs crates/ic/src/subnet.rs
+
+crates/ic/src/lib.rs:
+crates/ic/src/consensus.rs:
+crates/ic/src/cycles.rs:
+crates/ic/src/ingress.rs:
+crates/ic/src/meter.rs:
+crates/ic/src/subnet.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/icbtc_sim-36615e6d93e67844.d: crates/sim/src/lib.rs crates/sim/src/metrics.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/testkit.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libicbtc_sim-36615e6d93e67844.rlib: crates/sim/src/lib.rs crates/sim/src/metrics.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/testkit.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libicbtc_sim-36615e6d93e67844.rmeta: crates/sim/src/lib.rs crates/sim/src/metrics.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/testkit.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/testkit.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/icbtc_tecdsa-9511ee6f757ca0f3.d: crates/tecdsa/src/lib.rs crates/tecdsa/src/curve.rs crates/tecdsa/src/ecdsa.rs crates/tecdsa/src/field.rs crates/tecdsa/src/modular.rs crates/tecdsa/src/protocol.rs crates/tecdsa/src/scalar.rs crates/tecdsa/src/schnorr.rs crates/tecdsa/src/shamir.rs
+
+/root/repo/target/release/deps/libicbtc_tecdsa-9511ee6f757ca0f3.rlib: crates/tecdsa/src/lib.rs crates/tecdsa/src/curve.rs crates/tecdsa/src/ecdsa.rs crates/tecdsa/src/field.rs crates/tecdsa/src/modular.rs crates/tecdsa/src/protocol.rs crates/tecdsa/src/scalar.rs crates/tecdsa/src/schnorr.rs crates/tecdsa/src/shamir.rs
+
+/root/repo/target/release/deps/libicbtc_tecdsa-9511ee6f757ca0f3.rmeta: crates/tecdsa/src/lib.rs crates/tecdsa/src/curve.rs crates/tecdsa/src/ecdsa.rs crates/tecdsa/src/field.rs crates/tecdsa/src/modular.rs crates/tecdsa/src/protocol.rs crates/tecdsa/src/scalar.rs crates/tecdsa/src/schnorr.rs crates/tecdsa/src/shamir.rs
+
+crates/tecdsa/src/lib.rs:
+crates/tecdsa/src/curve.rs:
+crates/tecdsa/src/ecdsa.rs:
+crates/tecdsa/src/field.rs:
+crates/tecdsa/src/modular.rs:
+crates/tecdsa/src/protocol.rs:
+crates/tecdsa/src/scalar.rs:
+crates/tecdsa/src/schnorr.rs:
+crates/tecdsa/src/shamir.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-9bf5581af3c0d65e.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-9bf5581af3c0d65e: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/security_downtime-9dd4a57b8d1bf4cc.d: crates/bench/src/bin/security_downtime.rs
+
+/root/repo/target/release/deps/security_downtime-9dd4a57b8d1bf4cc: crates/bench/src/bin/security_downtime.rs
+
+crates/bench/src/bin/security_downtime.rs:

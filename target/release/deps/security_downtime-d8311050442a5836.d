@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/security_downtime-d8311050442a5836.d: crates/bench/src/bin/security_downtime.rs
+
+/root/repo/target/release/deps/security_downtime-d8311050442a5836: crates/bench/src/bin/security_downtime.rs
+
+crates/bench/src/bin/security_downtime.rs:

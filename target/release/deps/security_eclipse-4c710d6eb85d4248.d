@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/security_eclipse-4c710d6eb85d4248.d: crates/bench/src/bin/security_eclipse.rs
+
+/root/repo/target/release/deps/security_eclipse-4c710d6eb85d4248: crates/bench/src/bin/security_eclipse.rs
+
+crates/bench/src/bin/security_eclipse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/security_eclipse-eaa27682c8a10241.d: crates/bench/src/bin/security_eclipse.rs
+
+/root/repo/target/release/deps/security_eclipse-eaa27682c8a10241: crates/bench/src/bin/security_eclipse.rs
+
+crates/bench/src/bin/security_eclipse.rs:

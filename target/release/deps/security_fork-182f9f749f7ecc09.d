@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/security_fork-182f9f749f7ecc09.d: crates/bench/src/bin/security_fork.rs
+
+/root/repo/target/release/deps/security_fork-182f9f749f7ecc09: crates/bench/src/bin/security_fork.rs
+
+crates/bench/src/bin/security_fork.rs:

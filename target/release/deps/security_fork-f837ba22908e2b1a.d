@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/security_fork-f837ba22908e2b1a.d: crates/bench/src/bin/security_fork.rs
+
+/root/repo/target/release/deps/security_fork-f837ba22908e2b1a: crates/bench/src/bin/security_fork.rs
+
+crates/bench/src/bin/security_fork.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/double_spend_attack-1e2e22a5f04f2164.d: examples/double_spend_attack.rs
+
+/root/repo/target/release/examples/double_spend_attack-1e2e22a5f04f2164: examples/double_spend_attack.rs
+
+examples/double_spend_attack.rs:

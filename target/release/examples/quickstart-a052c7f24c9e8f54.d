@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-a052c7f24c9e8f54.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-a052c7f24c9e8f54: examples/quickstart.rs
+
+examples/quickstart.rs:
