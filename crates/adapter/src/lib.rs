@@ -14,6 +14,9 @@
 //! * [`BitcoinAdapter`] — header sync, block fetching, and **Algorithm 1**
 //!   ([`BitcoinAdapter::handle_request`]).
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 pub mod adapter;
 pub mod discovery;
 pub mod txcache;

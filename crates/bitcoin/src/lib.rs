@@ -35,6 +35,9 @@
 //! assert!(addr.to_string().starts_with("bc1q"));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 pub mod address;
 pub mod block;
 pub mod builder;

@@ -67,7 +67,7 @@ impl CompactTarget {
         if target.is_zero() {
             return CompactTarget(0);
         }
-        let mut exponent = (target.bits() as usize + 7) / 8;
+        let mut exponent = (target.bits() as usize).div_ceil(8);
         let mut mantissa = if exponent <= 3 {
             (target.limbs()[0] << (8 * (3 - exponent))) as u32
         } else {
@@ -130,12 +130,12 @@ impl Work {
     }
 
     /// Returns the work as an `f64` (lossy; for ratios and reporting).
-    pub fn as_f64(self) -> f64 {
+    pub fn as_f64(self) -> f64 { // icbtc-lint: allow(float) -- documented lossy reporting view; ordering uses exact u256 Work
         let limbs = self.0.limbs();
         limbs
             .iter()
             .enumerate()
-            .map(|(i, &l)| l as f64 * 2f64.powi(64 * i as i32))
+            .map(|(i, &l)| l as f64 * 2f64.powi(64 * i as i32)) // icbtc-lint: allow(float) -- lossy by design, reporting only
             .sum()
     }
 
@@ -145,7 +145,7 @@ impl Work {
     /// # Panics
     ///
     /// Panics if `other` is zero.
-    pub fn ratio(self, other: Work) -> f64 {
+    pub fn ratio(self, other: Work) -> f64 { // icbtc-lint: allow(float) -- relative-stability reporting ratio (EXPERIMENTS.md), not a consensus decision
         assert!(!other.0.is_zero(), "work ratio divided by zero");
         self.as_f64() / other.as_f64()
     }
@@ -280,7 +280,7 @@ mod tests {
     #[test]
     fn work_sums() {
         let w = CompactTarget::from_consensus(0x207fffff).work();
-        let total: Work = std::iter::repeat(w).take(3).sum();
+        let total: Work = std::iter::repeat_n(w, 3).sum();
         assert!((total.as_f64() / (3.0 * w.as_f64()) - 1.0).abs() < 1e-9);
     }
 

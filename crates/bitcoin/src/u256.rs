@@ -123,10 +123,10 @@ impl U256 {
     pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
         let mut limbs = [0u64; 4];
         let mut carry = false;
-        for i in 0..4 {
+        for (i, limb) in limbs.iter_mut().enumerate() {
             let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
             let (s2, c2) = s1.overflowing_add(carry as u64);
-            limbs[i] = s2;
+            *limb = s2;
             carry = c1 || c2;
         }
         (U256(limbs), carry)
@@ -149,10 +149,10 @@ impl U256 {
     pub fn wrapping_sub(self, rhs: U256) -> U256 {
         let mut limbs = [0u64; 4];
         let mut borrow = false;
-        for i in 0..4 {
+        for (i, limb) in limbs.iter_mut().enumerate() {
             let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
             let (d2, b2) = d1.overflowing_sub(borrow as u64);
-            limbs[i] = d2;
+            *limb = d2;
             borrow = b1 || b2;
         }
         U256(limbs)
@@ -271,10 +271,10 @@ impl Shr<usize> for U256 {
         }
         let (words, bits) = (shift / 64, shift % 64);
         let mut limbs = [0u64; 4];
-        for i in 0..(4 - words) {
-            limbs[i] = self.0[i + words] >> bits;
+        for (i, limb) in limbs.iter_mut().enumerate().take(4 - words) {
+            *limb = self.0[i + words] >> bits;
             if bits > 0 && i + words + 1 < 4 {
-                limbs[i] |= self.0[i + words + 1] << (64 - bits);
+                *limb |= self.0[i + words + 1] << (64 - bits);
             }
         }
         U256(limbs)

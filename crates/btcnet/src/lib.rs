@@ -28,6 +28,9 @@
 //! println!("{} blocks in the first simulated hour", net.blocks_mined());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 pub mod adversary;
 pub mod chain;
 pub mod messages;

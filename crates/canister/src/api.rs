@@ -285,7 +285,13 @@ impl BitcoinCanisterState {
         let mut headers = Vec::with_capacity((end_height - start_height + 1) as usize);
         for height in start_height..=end_height {
             meter.charge(metering::VALIDATE_HEADER);
-            headers.push(self.header_at_height(height).expect("height within tip"));
+            // The range is clamped to the tip, so a miss can only mean an
+            // internal inconsistency — answer with an error rather than
+            // trapping the canister mid-query.
+            let Some(header) = self.header_at_height(height) else {
+                return Err(ApiError::MalformedPage);
+            };
+            headers.push(header);
         }
         Ok(GetBlockHeadersResponse { headers, tip_height })
     }

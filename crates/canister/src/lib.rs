@@ -16,6 +16,9 @@
 //!   charges.
 //! * [`metering`] — the calibrated instruction-cost model (Figures 6–7).
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 pub mod api;
 pub mod canister;
 pub mod metering;

@@ -91,7 +91,7 @@ mod tests {
         let large = QUERY_BASE + 10_500 * STABLE_UTXO_FETCH;
         assert!((4.0e8..6.0e8).contains(&(large as f64)));
         // The unstable path is several times cheaper per UTXO.
-        assert!(STABLE_UTXO_FETCH / UNSTABLE_UTXO_FETCH >= 3);
+        const { assert!(STABLE_UTXO_FETCH / UNSTABLE_UTXO_FETCH >= 3) };
     }
 
     #[test]

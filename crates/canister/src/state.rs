@@ -8,7 +8,7 @@
 //! advance the anchor whenever a child becomes δ-stable, and track
 //! syncedness against the τ lag bound.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use icbtc_bitcoin::pow::{median_time_past, retarget};
 use icbtc_bitcoin::{Block, BlockHash, BlockHeader, Transaction, Txid};
@@ -77,7 +77,7 @@ pub struct BitcoinCanisterState {
     /// headers).
     tree: HeaderTree,
     /// Bodies of unstable blocks, keyed by header hash.
-    blocks: HashMap<BlockHash, Block>,
+    blocks: BTreeMap<BlockHash, Block>,
     /// Outbound transactions awaiting the next adapter request.
     outbound: Vec<Transaction>,
     synced: bool,
@@ -101,7 +101,7 @@ impl BitcoinCanisterState {
             utxos,
             stable_headers: vec![genesis.header],
             tree: HeaderTree::new(genesis.header),
-            blocks: HashMap::new(),
+            blocks: BTreeMap::new(),
             outbound: Vec::new(),
             synced: true,
             ingestion_breakdown: breakdown,
@@ -116,7 +116,7 @@ impl BitcoinCanisterState {
 
     /// The anchor header `β*` — the newest stable header.
     pub fn anchor(&self) -> BlockHeader {
-        *self.stable_headers.last().expect("genesis always present")
+        *self.stable_headers.last().expect("genesis always present") // icbtc-lint: allow(no-panic) -- invariant: `new` seeds stable_headers with genesis and nothing pops it
     }
 
     /// Height of the anchor.
@@ -206,7 +206,7 @@ impl BitcoinCanisterState {
     /// The tip of the current best chain (the chain maximizing `d_w`).
     pub fn best_tip(&self) -> (BlockHash, u64) {
         let best = self.tree.best_chain();
-        let tip = *best.last().expect("anchor always present");
+        let tip = *best.last().expect("anchor always present"); // icbtc-lint: allow(no-panic) -- invariant: best_chain always contains at least the tree root (the anchor)
         (tip, self.anchor_height() + best.len() as u64 - 1)
     }
 
@@ -260,7 +260,7 @@ impl BitcoinCanisterState {
         let mut cursor = *hash;
         while rev.len() < count {
             if let Some(header) = self.tree.header(&cursor) {
-                let height = self.tree.height(&cursor).expect("header in tree");
+                let height = self.tree.height(&cursor).expect("header in tree"); // icbtc-lint: allow(no-panic) -- invariant: cursor was just returned by tree.header on the line above
                 rev.push(header);
                 if height == 0 {
                     break;
@@ -285,14 +285,14 @@ impl BitcoinCanisterState {
 
     fn expected_bits(&self, prev: &BlockHash) -> icbtc_bitcoin::CompactTarget {
         let params = self.params.network.params();
-        let prev_header = self.tree.header(prev).expect("validated parent");
-        let prev_height = self.tree.height(prev).expect("validated parent");
+        let prev_header = self.tree.header(prev).expect("validated parent"); // icbtc-lint: allow(no-panic) -- invariant: caller checked tree.contains(prev) in validate_header
+        let prev_height = self.tree.height(prev).expect("validated parent"); // icbtc-lint: allow(no-panic) -- invariant: same containment check as prev_header above
         let next_height = prev_height + 1;
-        if next_height % params.retarget_interval as u64 != 0 {
+        if !next_height.is_multiple_of(params.retarget_interval as u64) {
             return prev_header.bits;
         }
         let span = self.ancestor_headers(prev, params.retarget_interval as usize);
-        let first = span.first().expect("non-empty ancestry");
+        let first = span.first().expect("non-empty ancestry"); // icbtc-lint: allow(no-panic) -- invariant: ancestor_headers always returns at least `prev` itself
         let actual = prev_header.time.saturating_sub(first.time) as u64;
         retarget(prev_header.bits, actual.max(1), params.expected_timespan_secs(), params.pow_limit)
     }
@@ -376,7 +376,7 @@ impl BitcoinCanisterState {
     fn advance_anchor(&mut self, report: &mut IngestReport, meter: &mut Meter) {
         loop {
             let anchor_hash = self.tree.root();
-            let anchor_work = self.tree.header(&anchor_hash).expect("anchor in tree").work();
+            let anchor_work = self.tree.header(&anchor_hash).expect("anchor in tree").work(); // icbtc-lint: allow(no-panic) -- invariant: the root hash is by construction a member of the tree
             // Among children with available bodies, the d_w-maximal one.
             let candidate = self
                 .tree
@@ -384,8 +384,8 @@ impl BitcoinCanisterState {
                 .iter()
                 .filter(|h| self.blocks.contains_key(h))
                 .max_by(|a, b| {
-                    let da = self.tree.depth_work(a).expect("in tree");
-                    let db = self.tree.depth_work(b).expect("in tree");
+                    let da = self.tree.depth_work(a).expect("in tree"); // icbtc-lint: allow(no-panic) -- invariant: children() only yields members of the tree
+                    let db = self.tree.depth_work(b).expect("in tree"); // icbtc-lint: allow(no-panic) -- invariant: children() only yields members of the tree
                     da.cmp(&db)
                 })
                 .copied();
@@ -396,7 +396,7 @@ impl BitcoinCanisterState {
             }
             // Fold the stabilized block into the UTXO set and discard its
             // body; keep exactly its header at this height.
-            let block = self.blocks.remove(&next_hash).expect("candidate has body");
+            let block = self.blocks.remove(&next_hash).expect("candidate has body"); // icbtc-lint: allow(no-panic) -- invariant: candidate was filtered on blocks.contains_key four lines up
             let mut breakdown = MeterBreakdown::new();
             let height = self.anchor_height() + 1;
             self.utxos.ingest_block(&block.txdata, height, meter, &mut breakdown);
@@ -456,7 +456,7 @@ impl BitcoinCanisterState {
                 "stable headers must chain"
             );
         }
-        let anchor = *stable_headers.last().expect("non-empty");
+        let anchor = *stable_headers.last().expect("non-empty"); // icbtc-lint: allow(no-panic) -- guarded by the is_empty assert above; panics are this API's documented contract
         let anchor_height = stable_headers.len() as u64 - 1;
         self.utxos = utxos;
         self.stable_headers = stable_headers;

@@ -6,7 +6,7 @@
 //! what keeps the state ≈ 100 GiB instead of several hundred (Figure 5).
 
 use std::collections::btree_map::Entry;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use icbtc_bitcoin::{Address, Amount, Network, OutPoint, Transaction, TxOut};
 use icbtc_ic::{Meter, MeterBreakdown};
@@ -48,7 +48,7 @@ struct AddressIndexKey {
 #[derive(Debug, Clone)]
 pub struct UtxoSet {
     network: Network,
-    by_outpoint: HashMap<OutPoint, (TxOut, u64)>,
+    by_outpoint: BTreeMap<OutPoint, (TxOut, u64)>,
     by_address: BTreeMap<Address, BTreeSet<AddressIndexKey>>,
     next_height: u64,
 }
@@ -59,7 +59,7 @@ impl UtxoSet {
     pub fn new(network: Network) -> UtxoSet {
         UtxoSet {
             network,
-            by_outpoint: HashMap::new(),
+            by_outpoint: BTreeMap::new(),
             by_address: BTreeMap::new(),
             next_height: 0,
         }
@@ -241,7 +241,7 @@ mod tests {
     fn ingest_coinbase_creates_utxos() {
         let (mut set, mut meter, mut breakdown) = fresh();
         let coinbase = pay_tx(None, &[(1, 5000)]);
-        set.ingest_block(&[coinbase.clone()], 0, &mut meter, &mut breakdown);
+        set.ingest_block(std::slice::from_ref(&coinbase), 0, &mut meter, &mut breakdown);
         assert_eq!(set.len(), 1);
         assert_eq!(set.next_height(), 1);
         assert_eq!(set.balance(&addr(1), &mut Meter::new()), Amount::from_sat(5000));
@@ -257,7 +257,7 @@ mod tests {
     fn spend_moves_value_between_addresses() {
         let (mut set, mut meter, mut breakdown) = fresh();
         let coinbase = pay_tx(None, &[(1, 5000)]);
-        set.ingest_block(&[coinbase.clone()], 0, &mut meter, &mut breakdown);
+        set.ingest_block(std::slice::from_ref(&coinbase), 0, &mut meter, &mut breakdown);
         let spend = pay_tx(Some(OutPoint::new(coinbase.txid(), 0)), &[(2, 3000), (1, 1900)]);
         set.ingest_block(&[spend], 1, &mut meter, &mut breakdown);
         assert_eq!(set.len(), 2);

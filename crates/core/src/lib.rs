@@ -28,6 +28,9 @@
 //! assert_eq!(tree.confirmation_stability(&tree.root()), Some(1));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 pub mod protocol;
 pub mod stability;
 

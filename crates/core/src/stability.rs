@@ -15,7 +15,7 @@
 //! which the Bitcoin canister uses to advance its anchor, normalized by
 //! the work `w(b*)` of a reference block).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use icbtc_bitcoin::{BlockHash, BlockHeader, Work};
 
@@ -42,9 +42,9 @@ struct TreeNode {
 /// ```
 #[derive(Clone, Debug)]
 pub struct HeaderTree {
-    nodes: HashMap<BlockHash, TreeNode>,
-    children: HashMap<BlockHash, Vec<BlockHash>>,
-    by_height: HashMap<u64, Vec<BlockHash>>,
+    nodes: BTreeMap<BlockHash, TreeNode>,
+    children: BTreeMap<BlockHash, Vec<BlockHash>>,
+    by_height: BTreeMap<u64, Vec<BlockHash>>,
     root: BlockHash,
     root_height: u64,
 }
@@ -59,11 +59,11 @@ impl HeaderTree {
     /// canister's anchor is rarely genesis).
     pub fn with_root_height(root: BlockHeader, height: u64) -> HeaderTree {
         let hash = root.block_hash();
-        let mut nodes = HashMap::new();
+        let mut nodes = BTreeMap::new();
         nodes.insert(hash, TreeNode { header: root, height });
-        let mut by_height = HashMap::new();
+        let mut by_height = BTreeMap::new();
         by_height.insert(height, vec![hash]);
-        HeaderTree { nodes, children: HashMap::new(), by_height, root: hash, root_height: height }
+        HeaderTree { nodes, children: BTreeMap::new(), by_height, root: hash, root_height: height }
     }
 
     /// The root hash.
@@ -143,6 +143,7 @@ impl HeaderTree {
 
     /// Generic depth (maximum cumulative cost from `hash` to any reachable
     /// tip), per the definition in §II-B.
+    // icbtc-lint: allow(float) -- scaled-difficulty work fits f64 integers (< 2^53) exactly; anchor advance compares integer Work via depth_work, not this path
     fn depth_with<C: Fn(&BlockHeader) -> f64>(&self, hash: &BlockHash, cost: &C) -> Option<f64> {
         let node = self.nodes.get(hash)?;
         let own = cost(&node.header);
@@ -153,14 +154,14 @@ impl HeaderTree {
         let best_child = children
             .iter()
             .filter_map(|c| self.depth_with(c, cost))
-            .fold(f64::NEG_INFINITY, f64::max);
+            .fold(f64::NEG_INFINITY, f64::max); // icbtc-lint: allow(float) -- max-fold over exact integer-valued depths
         Some(own + best_child)
     }
 
     /// `d_c(b)`: depth counting each block once — the basis of
     /// confirmation-based stability. A tip has `d_c = 1`.
     pub fn depth_count(&self, hash: &BlockHash) -> Option<u64> {
-        self.depth_with(hash, &|_| 1.0).map(|d| d as u64)
+        self.depth_with(hash, &|_| 1.0).map(|d| d as u64) // icbtc-lint: allow(float) -- unit cost: every partial sum is an exact small integer
     }
 
     /// `d_w(b)`: depth accumulating hash work — the basis of
@@ -215,6 +216,7 @@ impl HeaderTree {
     /// # Panics
     ///
     /// Panics if `reference_work` is zero.
+    // icbtc-lint: allow(float) -- reporting-grade ratio per the paper's d_w/w(b*); see is_difficulty_stable for the guarded use
     pub fn difficulty_stability(&self, hash: &BlockHash, reference_work: Work) -> Option<f64> {
         assert!(reference_work > Work::ZERO, "reference work must be positive");
         let node = self.nodes.get(hash)?;
@@ -240,7 +242,7 @@ impl HeaderTree {
     ) -> bool {
         assert!(delta > 0, "delta-stability requires delta > 0");
         self.difficulty_stability(hash, reference_work)
-            .map(|s| s >= delta as f64)
+            .map(|s| s >= delta as f64) // icbtc-lint: allow(float) -- margins and delta are exact in f64 at simulation difficulty scale
             .unwrap_or(false)
     }
 
@@ -282,7 +284,7 @@ impl HeaderTree {
                 stack.push(*child);
             }
         }
-        let keep_set: std::collections::HashSet<BlockHash> = keep.into_iter().collect();
+        let keep_set: std::collections::BTreeSet<BlockHash> = keep.into_iter().collect();
         let removed: Vec<BlockHash> =
             self.nodes.keys().filter(|h| !keep_set.contains(h)).copied().collect();
         for hash in &removed {

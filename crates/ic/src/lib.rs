@@ -25,6 +25,9 @@
 //! assert!(!info.maker_is_byzantine);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 pub mod consensus;
 pub mod cycles;
 pub mod ingress;

@@ -1,0 +1,251 @@
+//! Per-file analysis: lex, locate test regions, run the scoped rules,
+//! then filter findings through the suppression directives.
+
+use crate::lexer::{lex, Token};
+use crate::rules::{check_crate_root, scan, Finding, Rule};
+use crate::suppress;
+
+/// Where a file sits in the workspace — decides which rules run and how.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Crate name without the `icbtc-` prefix (`"canister"`, `"core"`…).
+    pub crate_name: String,
+    /// `src/lib.rs` or `src/main.rs` of a crate.
+    pub is_crate_root: bool,
+    /// Integration tests, benches, examples, and `src/bin/*` binaries:
+    /// these are seeded entry points, exempt from the non-test-only rules.
+    pub is_entry_or_test: bool,
+}
+
+/// A finding that survived suppression filtering.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: Rule,
+    pub line: u32,
+    pub message: String,
+}
+
+/// A finding that was waived, kept for reporting (`--json` includes them
+/// so CI dashboards can audit the suppression debt).
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    pub rule: Rule,
+    pub line: u32,
+    pub reason: String,
+}
+
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub violations: Vec<Violation>,
+    pub suppressed: Vec<Suppressed>,
+}
+
+/// Finds `(start_line, end_line)` ranges covered by `#[cfg(test)]` or
+/// `#[test]` items, by brace matching from the attribute. An attribute
+/// whose item has no body (`#[cfg(test)] use …;`) covers nothing.
+pub fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_test_attr(tokens, i) {
+            let start_line = tokens[i].line;
+            // Walk to the item's opening brace, stopping at `;` (bodiless
+            // item) — but skip over any further attribute lists first.
+            let mut j = i;
+            let mut body_start = None;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('{') {
+                    body_start = Some(j);
+                    break;
+                }
+                if t.is_punct(';') {
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(open) = body_start {
+                let mut depth = 0usize;
+                let mut k = open;
+                while k < tokens.len() {
+                    if tokens[k].is_punct('{') {
+                        depth += 1;
+                    } else if tokens[k].is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                let end_line = tokens.get(k).map(|t| t.line).unwrap_or(u32::MAX);
+                regions.push((start_line, end_line));
+                i = k + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// `# [ cfg ( test ) ]` or `# [ test ]` (also matches within
+/// `cfg(all(test, …))`-style lists by looking for the `test` ident
+/// anywhere inside the attribute brackets).
+fn is_test_attr(tokens: &[Token], i: usize) -> bool {
+    if !(tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+        return false;
+    }
+    // Scan the bracketed attribute body for a bare `test`/`cfg(test…)`.
+    let mut depth = 0usize;
+    let mut saw_test = false;
+    let mut relevant = false;
+    for t in &tokens[i + 1..] {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.is_ident("test") {
+            saw_test = true;
+        } else if t.is_ident("cfg") {
+            relevant = true;
+        } else if t.is_ident("not") {
+            // `#[cfg(not(test))]` guards *non*-test code.
+            return false;
+        }
+    }
+    // `#[test]` is exactly one ident; `#[cfg(test)]` needs both.
+    saw_test && (relevant || tokens.get(i + 2).is_some_and(|t| t.is_ident("test")))
+}
+
+/// Analyzes one file's source under the given context and active rules.
+///
+/// `active` is the scope-resolved rule list for this crate (see
+/// [`crate::workspace::rules_for`]); test-region and entry-point
+/// exemptions are applied here on top of it.
+pub fn analyze_source(source: &str, ctx: &FileContext, active: &[Rule]) -> FileReport {
+    let tokens = lex(source);
+    let regions = test_regions(&tokens);
+    let in_tests = |line: u32| regions.iter().any(|&(s, e)| s <= line && line <= e);
+
+    let mut findings: Vec<Finding> = Vec::new();
+    // Token-level rules.
+    let scannable: Vec<Rule> = active
+        .iter()
+        .copied()
+        .filter(|r| !matches!(r, Rule::ForbidUnsafe | Rule::SuppressionReason))
+        .filter(|r| !ctx.is_entry_or_test || r.applies_in_tests())
+        .collect();
+    for f in scan(&tokens, &scannable) {
+        if !f.rule.applies_in_tests() && in_tests(f.line) {
+            continue;
+        }
+        findings.push(f);
+    }
+    // Crate-root structural rule.
+    if ctx.is_crate_root && active.contains(&Rule::ForbidUnsafe) {
+        if let Some(f) = check_crate_root(&tokens) {
+            findings.push(f);
+        }
+    }
+
+    // Suppressions.
+    let (sups, bad) = suppress::parse(source);
+    let mut report = FileReport::default();
+    for b in bad {
+        report.violations.push(Violation {
+            rule: Rule::SuppressionReason,
+            line: b.line,
+            message: b.message,
+        });
+    }
+    for s in &sups {
+        for r in &s.rules {
+            if Rule::from_name(r).is_none() {
+                report.violations.push(Violation {
+                    rule: Rule::SuppressionReason,
+                    line: s.line,
+                    message: format!("unknown rule `{r}` in suppression"),
+                });
+            }
+        }
+    }
+    for f in findings {
+        match sups.iter().find(|s| s.covers(f.rule.name(), f.line)) {
+            Some(s) => report.suppressed.push(Suppressed {
+                rule: f.rule,
+                line: f.line,
+                reason: s.reason.clone(),
+            }),
+            None => {
+                report.violations.push(Violation { rule: f.rule, line: f.line, message: f.message })
+            }
+        }
+    }
+    report.violations.sort_by_key(|v| (v.line, v.rule.id()));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_ctx() -> FileContext {
+        FileContext {
+            crate_name: "canister".into(),
+            is_crate_root: false,
+            is_entry_or_test: false,
+        }
+    }
+
+    #[test]
+    fn test_module_is_exempt_from_non_test_rules() {
+        let src = "\
+#![forbid(unsafe_code)]
+fn hot(x: Option<u32>) -> u32 { x.unwrap() }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ok() { Some(1).unwrap(); }
+}
+";
+        let r = analyze_source(src, &lib_ctx(), &[Rule::NoPanic]);
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert_eq!(r.violations[0].line, 2);
+    }
+
+    #[test]
+    fn wall_clock_applies_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests { use std::time::Instant; }\n";
+        let r = analyze_source(src, &lib_ctx(), &[Rule::WallClock]);
+        assert_eq!(r.violations.len(), 1);
+    }
+
+    #[test]
+    fn suppression_moves_finding_to_suppressed() {
+        let src = "// icbtc-lint: allow(no-panic) -- invariant: always Some\nx.unwrap();\n";
+        let r = analyze_source(src, &lib_ctx(), &[Rule::NoPanic]);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.suppressed[0].reason, "invariant: always Some");
+    }
+
+    #[test]
+    fn reasonless_suppression_is_a_violation() {
+        let src = "// icbtc-lint: allow(no-panic)\nx.unwrap();\n";
+        let r = analyze_source(src, &lib_ctx(), &[Rule::NoPanic]);
+        // The unwrap still fires AND the bad suppression fires.
+        assert_eq!(r.violations.len(), 2);
+    }
+
+    #[test]
+    fn bodiless_cfg_test_item_covers_nothing() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn hot() { x.unwrap(); }\n";
+        let r = analyze_source(src, &lib_ctx(), &[Rule::NoPanic]);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].line, 3);
+    }
+}

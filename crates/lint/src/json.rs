@@ -1,0 +1,56 @@
+//! A minimal JSON string builder — the workspace is hermetic (no serde),
+//! and the linter's output schema is small and flat enough to emit by
+//! hand. The schema is documented in DESIGN.md §"Static analysis" and is
+//! versioned via the top-level `schema_version` field.
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds a JSON object from pre-rendered `"key": value` fragments.
+pub fn object(fields: &[(&str, String)]) -> String {
+    let body = fields
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{}", escape(k), v))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{{body}}}")
+}
+
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+pub fn array(items: Vec<String>) -> String {
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn object_shape() {
+        let o = object(&[("a", "1".into()), ("b", string("x\"y"))]);
+        assert_eq!(o, "{\"a\":1,\"b\":\"x\\\"y\"}");
+    }
+}

@@ -1,0 +1,431 @@
+//! A lightweight Rust lexer: just enough token structure for rule matching.
+//!
+//! The goal is *not* a conforming Rust grammar — it is to make lint rules
+//! match tokens instead of raw text, so that `"std::time"` inside a string
+//! literal, `HashMap` inside a doc comment, or `'a` lifetime ticks never
+//! produce false positives. The tricky cases the lexer must get right:
+//!
+//! * line comments (`//`) and *nested* block comments (`/* /* */ */`);
+//! * string, byte-string and char literals with escapes;
+//! * raw strings with arbitrary hash fences (`r##"…"##`, `br#"…"#`);
+//! * lifetime ticks (`'a`) versus char literals (`'a'`, `'\n'`);
+//! * numeric literals, classified as integer or float (`1e8`, `2f64`,
+//!   `1.5` are floats; `0x1f`, `1_000`, `1..2` range endpoints are not).
+
+/// The coarse classification a lint rule can match on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`std`, `fn`, `HashMap`).
+    Ident,
+    /// A lifetime tick such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// A char literal such as `'x'` or `'\n'`.
+    Char,
+    /// A string or byte-string literal (cooked, with escapes).
+    Str,
+    /// A raw string literal (`r"…"`, `r#"…"#`, `br##"…"##`).
+    RawStr,
+    /// An integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// A floating-point literal (`1.5`, `1e8`, `2f64`).
+    Float,
+    /// Any other single punctuation character (`:`, `!`, `{`, …).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// Lexes `source` into a token stream, dropping comments and whitespace.
+///
+/// The lexer never fails: unterminated literals or comments simply consume
+/// the rest of the input. (The compiler proper reports those; the linter
+/// runs on code that already builds.)
+pub fn lex(source: &str) -> Vec<Token> {
+    lex_with_comments(source).0
+}
+
+/// Like [`lex`], but also returns every `//` line comment as
+/// `(line, text-after-the-slashes)`. Because this goes through the real
+/// lexer, a `"// …"` sequence inside a string or raw-string literal is
+/// *not* a comment — which is what makes suppression parsing sound.
+pub fn lex_with_comments(source: &str) -> (Vec<Token>, Vec<(u32, String)>) {
+    let mut lexer = Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+        comments: Vec::new(),
+    };
+    let tokens = lexer.run();
+    (tokens, lexer.comments)
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+    comments: Vec<(u32, String)>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(ch) = c {
+            self.pos += 1;
+            if ch == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(&mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(line),
+                '\'' => self.tick(line),
+                'r' | 'b' if self.raw_or_byte_prefix() => {}
+                _ if c == '_' || c.is_alphabetic() => self.ident(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        std::mem::take(&mut self.out)
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump(); // '/'
+        self.bump(); // '/'
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.comments.push((line, text));
+    }
+
+    fn block_comment(&mut self) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `rb…` is not Rust.
+    /// Returns true if it consumed a literal; false if the leading `r`/`b`
+    /// is just the start of an identifier.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let line = self.line;
+        let c0 = self.peek(0).unwrap();
+        // b"…"  (cooked byte string)
+        if c0 == 'b' && self.peek(1) == Some('"') {
+            self.bump();
+            self.string_literal(line);
+            return true;
+        }
+        // b'…'  (byte char)
+        if c0 == 'b' && self.peek(1) == Some('\'') {
+            self.bump();
+            self.char_literal(line);
+            return true;
+        }
+        // r"…" / r#…  or  br"…" / br#…
+        let hash_start = match (c0, self.peek(1)) {
+            ('r', Some('"')) | ('r', Some('#')) => 1,
+            ('b', Some('r')) if matches!(self.peek(2), Some('"') | Some('#')) => 2,
+            _ => return false,
+        };
+        // Count the hash fence.
+        let mut hashes = 0usize;
+        while self.peek(hash_start + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(hash_start + hashes) != Some('"') {
+            return false; // e.g. the identifier `r#try` (raw identifier)
+        }
+        for _ in 0..hash_start + hashes + 1 {
+            self.bump();
+        }
+        // Scan until `"` followed by `hashes` hashes.
+        let mut text = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        text.push(c);
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+        }
+        self.push(TokenKind::RawStr, text, line);
+        true
+    }
+
+    fn string_literal(&mut self, line: u32) {
+        self.bump(); // opening '"'
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push('\\');
+                        text.push(esc);
+                    }
+                }
+                '"' => break,
+                _ => text.push(c),
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// Disambiguates lifetimes (`'a`) from char literals (`'a'`, `'\n'`).
+    fn tick(&mut self, line: u32) {
+        // A char literal is 'X' or '\…'; a lifetime is '<ident> with no
+        // closing quote. `'a'` → char; `'a` followed by anything but `'`
+        // → lifetime.
+        match self.peek(1) {
+            Some('\\') => self.char_literal(line),
+            Some(c) if c == '_' || c.is_alphabetic() => {
+                if self.peek(2) == Some('\'') {
+                    self.char_literal(line);
+                } else {
+                    self.bump(); // tick
+                    let mut name = String::from("'");
+                    while let Some(c) = self.peek(0) {
+                        if c == '_' || c.is_alphanumeric() {
+                            name.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokenKind::Lifetime, name, line);
+                }
+            }
+            _ => self.char_literal(line),
+        }
+    }
+
+    fn char_literal(&mut self, line: u32) {
+        self.bump(); // opening tick
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push('\\');
+                        text.push(esc);
+                    }
+                }
+                '\'' => break,
+                _ => text.push(c),
+            }
+        }
+        self.push(TokenKind::Char, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut is_float = false;
+        // Radix prefixes never contain floats.
+        let hex_like = self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x') | Some('o') | Some('b') | Some('X'));
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() || c == '_' || (hex_like && c.is_ascii_hexdigit()) {
+                text.push(c);
+                self.bump();
+            } else if !hex_like && c == '.' {
+                // `1.5` is a float; `1..2` and `1.method()` are not.
+                match self.peek(1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        is_float = true;
+                        text.push(c);
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else if !hex_like && (c == 'e' || c == 'E') {
+                // Exponent: `1e8`, `1E-4`. Only if followed by digit or
+                // sign+digit — otherwise it is a suffix/ident boundary.
+                let next = self.peek(1);
+                let nextnext = self.peek(2);
+                let exp = match next {
+                    Some(d) if d.is_ascii_digit() => true,
+                    Some('+') | Some('-') => matches!(nextnext, Some(d) if d.is_ascii_digit()),
+                    _ => false,
+                };
+                if exp {
+                    is_float = true;
+                    text.push(c);
+                    self.bump();
+                    if matches!(self.peek(0), Some('+') | Some('-')) {
+                        text.push(self.bump().unwrap());
+                    }
+                } else {
+                    break;
+                }
+            } else if c == 'x' || c == 'o' || c == 'X' {
+                // part of 0x / 0o prefix
+                if hex_like && text.len() == 1 {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            } else if c == '_' || c.is_alphanumeric() {
+                // Suffix: u64, i32, f64, usize…
+                let mut suffix = String::new();
+                while let Some(s) = self.peek(0) {
+                    if s == '_' || s.is_alphanumeric() {
+                        suffix.push(s);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if suffix == "f32" || suffix == "f64" {
+                    is_float = true;
+                }
+                text.push_str(&suffix);
+                break;
+            } else {
+                break;
+            }
+        }
+        let kind = if is_float { TokenKind::Float } else { TokenKind::Int };
+        self.push(kind, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("use std::time::Instant;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "use".into()),
+                (TokenKind::Ident, "std".into()),
+                (TokenKind::Punct, ":".into()),
+                (TokenKind::Punct, ":".into()),
+                (TokenKind::Ident, "time".into()),
+                (TokenKind::Punct, ":".into()),
+                (TokenKind::Punct, ":".into()),
+                (TokenKind::Ident, "Instant".into()),
+                (TokenKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn comments_are_dropped() {
+        assert_eq!(kinds("a // HashMap\nb"), kinds("a\nb"));
+        assert_eq!(kinds("a /* HashMap */ b"), kinds("a b"));
+    }
+
+    #[test]
+    fn floats_vs_ints() {
+        assert_eq!(kinds("1.5")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1e8")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1E-4")[0].0, TokenKind::Float);
+        assert_eq!(kinds("2f64")[0].0, TokenKind::Float);
+        assert_eq!(kinds("3f32")[0].0, TokenKind::Float);
+        assert_eq!(kinds("42")[0].0, TokenKind::Int);
+        assert_eq!(kinds("0xff")[0].0, TokenKind::Int);
+        assert_eq!(kinds("1_000u64")[0].0, TokenKind::Int);
+        // Range endpoints are two ints, not a float.
+        let r = kinds("1..2");
+        assert_eq!(r[0].0, TokenKind::Int);
+        assert_eq!(r[3].0, TokenKind::Int);
+    }
+}

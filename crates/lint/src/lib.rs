@@ -1,0 +1,36 @@
+//! `icbtc-lint` — in-repo determinism & safety static analysis.
+//!
+//! The paper's correctness story rests on the adapter and canister being
+//! *deterministic replicated state machines* (§II-A): δ-stability
+//! (Definition II.1) and Algorithms 1–2 are only sound if every replica
+//! computes bit-identical state. A single `HashMap` iteration in
+//! replicated code, a wall-clock read, or target-dependent float rounding
+//! silently invalidates every security lemma the harness reproduces.
+//!
+//! The workspace is hermetic (no registry dependencies since PR 1), so
+//! clippy plugins and `syn` are unavailable; this crate is the in-repo
+//! substrate that enforces those invariants instead, and is wired into
+//! tier-1 verification (`scripts/verify.sh`).
+//!
+//! * [`lexer`] — a lightweight Rust lexer so rules match tokens, not raw
+//!   text (comments, strings, raw strings, lifetimes are handled).
+//! * [`rules`] — the rule set with stable IDs (`ICL001`–`ICL009`).
+//! * [`suppress`] — `// icbtc-lint: allow(<rule>) -- <reason>` inline
+//!   suppressions; the reason is mandatory.
+//! * [`engine`] — per-file analysis with `#[cfg(test)]` region exemption.
+//! * [`workspace`] — crate discovery and the rule scope matrix.
+//! * [`json`] — the machine-readable output encoder.
+//!
+//! See DESIGN.md §"Static analysis & determinism invariants" for the rule
+//! catalogue and the rationale tying each rule to the paper section it
+//! protects.
+
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
+pub mod engine;
+pub mod json;
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+pub mod workspace;

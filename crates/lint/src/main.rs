@@ -1,0 +1,166 @@
+//! The `icbtc-lint` binary: walks the workspace, runs the scoped rule
+//! set on every source file, and reports violations.
+//!
+//! ```text
+//! icbtc-lint [--root DIR] [--json] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` unsuppressed violations found, `2` usage or
+//! I/O error. The `--json` schema is documented in DESIGN.md and carries
+//! `schema_version: 1`.
+
+#![forbid(unsafe_code)]
+
+use icbtc_lint::engine::{analyze_source, FileReport};
+use icbtc_lint::json;
+use icbtc_lint::rules::ALL_RULES;
+use icbtc_lint::workspace::{discover, rules_for};
+use std::path::PathBuf;
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut root = PathBuf::from(".");
+    let mut emit_json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => emit_json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root requires a directory"),
+            },
+            "--list-rules" => {
+                for r in ALL_RULES {
+                    println!("{}  {:<22}  {}", r.id(), r.name(), r.short_description());
+                }
+                return 0;
+            }
+            "--help" | "-h" => {
+                println!("usage: icbtc-lint [--root DIR] [--json] [--list-rules]");
+                return 0;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    // Default root: walk up from CWD to the workspace root (the directory
+    // holding Cargo.toml + crates/), so the binary works from any subdir.
+    if root.as_os_str() == "." {
+        let mut cur = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        loop {
+            if cur.join("crates").is_dir() && cur.join("Cargo.toml").is_file() {
+                root = cur;
+                break;
+            }
+            if !cur.pop() {
+                break;
+            }
+        }
+    }
+
+    let files = match discover(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("icbtc-lint: cannot walk {}: {e}", root.display());
+            return 2;
+        }
+    };
+    if files.is_empty() {
+        eprintln!("icbtc-lint: no source files under {}", root.display());
+        return 2;
+    }
+
+    let mut reports: Vec<(String, FileReport)> = Vec::new();
+    let mut total_violations = 0usize;
+    let mut total_suppressed = 0usize;
+    for file in &files {
+        let source = match std::fs::read_to_string(&file.abs_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("icbtc-lint: cannot read {}: {e}", file.rel_path);
+                return 2;
+            }
+        };
+        let active = rules_for(&file.ctx.crate_name);
+        let report = analyze_source(&source, &file.ctx, &active);
+        total_violations += report.violations.len();
+        total_suppressed += report.suppressed.len();
+        reports.push((file.rel_path.clone(), report));
+    }
+
+    if emit_json {
+        print_json(&root.display().to_string(), files.len(), &reports);
+    } else {
+        print_human(files.len(), total_suppressed, &reports);
+    }
+    if total_violations > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+fn usage(msg: &str) -> i32 {
+    eprintln!("icbtc-lint: {msg}\nusage: icbtc-lint [--root DIR] [--json] [--list-rules]");
+    2
+}
+
+fn print_human(n_files: usize, n_suppressed: usize, reports: &[(String, FileReport)]) {
+    let mut n_violations = 0usize;
+    for (path, report) in reports {
+        for v in &report.violations {
+            n_violations += 1;
+            println!("{path}:{}: [{} {}] {}", v.line, v.rule.id(), v.rule.name(), v.message);
+        }
+    }
+    if n_violations == 0 {
+        println!(
+            "icbtc-lint: OK — {n_files} files clean ({n_suppressed} finding(s) suppressed with reasons)"
+        );
+    } else {
+        println!(
+            "icbtc-lint: FAIL — {n_violations} violation(s) across {n_files} files ({n_suppressed} suppressed)"
+        );
+        println!(
+            "  suppress only with: // icbtc-lint: allow(<rule>) -- <reason>   (see DESIGN.md)"
+        );
+    }
+}
+
+fn print_json(root: &str, n_files: usize, reports: &[(String, FileReport)]) {
+    let mut violations = Vec::new();
+    let mut suppressed = Vec::new();
+    for (path, report) in reports {
+        for v in &report.violations {
+            violations.push(json::object(&[
+                ("rule_id", json::string(v.rule.id())),
+                ("rule", json::string(v.rule.name())),
+                ("file", json::string(path)),
+                ("line", v.line.to_string()),
+                ("message", json::string(&v.message)),
+            ]));
+        }
+        for s in &report.suppressed {
+            suppressed.push(json::object(&[
+                ("rule_id", json::string(s.rule.id())),
+                ("rule", json::string(s.rule.name())),
+                ("file", json::string(path)),
+                ("line", s.line.to_string()),
+                ("reason", json::string(&s.reason)),
+            ]));
+        }
+    }
+    let n_violations = violations.len();
+    let doc = json::object(&[
+        ("schema_version", "1".to_string()),
+        ("tool", json::string("icbtc-lint")),
+        ("root", json::string(root)),
+        ("files_checked", n_files.to_string()),
+        ("violation_count", n_violations.to_string()),
+        ("violations", json::array(violations)),
+        ("suppressed", json::array(suppressed)),
+    ]);
+    println!("{doc}");
+}

@@ -1,0 +1,166 @@
+//! Inline suppression comments.
+//!
+//! A violation can be waived only with an explicit, *reasoned* comment:
+//!
+//! ```text
+//! // icbtc-lint: allow(float) -- display-only USD conversion, not consensus
+//! // icbtc-lint: allow(no-panic, float) -- invariant: genesis always present
+//! // icbtc-lint: allow-file(float) -- whole file is reporting-only
+//! ```
+//!
+//! `allow(...)` waives the named rules on the comment's own line and the
+//! line immediately below it (so it can trail the offending expression or
+//! sit on its own line above it). `allow-file(...)` waives the rules for
+//! the entire file and must appear within the first 40 lines.
+//!
+//! The ` -- <reason>` clause is mandatory: a suppression without a reason
+//! is itself reported as a violation (`suppression-reason`, ICL009), as is
+//! one naming an unknown rule. Suppressions are parsed from the raw source
+//! (they live in comments, which the lexer drops).
+
+/// One parsed suppression directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Rule *names* (e.g. `"float"`), not IDs.
+    pub rules: Vec<String>,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Whether this is `allow-file` (whole file) or `allow` (line + next).
+    pub file_wide: bool,
+    pub reason: String,
+}
+
+/// A malformed suppression (missing reason, empty rule list, bad syntax).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadSuppression {
+    pub line: u32,
+    pub message: String,
+}
+
+const MARKER: &str = "icbtc-lint:";
+const FILE_WIDE_WINDOW: u32 = 40;
+
+/// Scans `source` for suppression directives.
+///
+/// Comments are extracted through the lexer
+/// ([`crate::lexer::lex_with_comments`]), so a `"// icbtc-lint: …"`
+/// sequence inside a string literal can never suppress anything. The
+/// directive must be the first thing in its comment (doc-comment markers
+/// and whitespace aside); prose that merely *mentions* the marker
+/// mid-sentence is ignored.
+pub fn parse(source: &str) -> (Vec<Suppression>, Vec<BadSuppression>) {
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for (line, text) in crate::lexer::lex_with_comments(source).1 {
+        // `line_comment` strips the leading `//`; also strip the third
+        // doc-comment char (`/` or `!`) and leading whitespace.
+        let text = text.strip_prefix(['/', '!']).unwrap_or(&text);
+        let Some(rest) = text.trim_start().strip_prefix(MARKER) else { continue };
+        let rest = rest.trim_start();
+        let (file_wide, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
+            (true, r)
+        } else if let Some(r) = rest.strip_prefix("allow") {
+            (false, r)
+        } else {
+            bad.push(BadSuppression {
+                line,
+                message: format!("unknown directive after `{MARKER}` (expected `allow(…)` or `allow-file(…)`)"),
+            });
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(close) = rest.find(')') else {
+            bad.push(BadSuppression { line, message: "missing `(` `)` rule list".into() });
+            continue;
+        };
+        let Some(inner) = rest[..close].strip_prefix('(') else {
+            bad.push(BadSuppression { line, message: "missing `(` before rule list".into() });
+            continue;
+        };
+        let rules: Vec<String> =
+            inner.split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect();
+        if rules.is_empty() {
+            bad.push(BadSuppression { line, message: "empty rule list".into() });
+            continue;
+        }
+        let tail = rest[close + 1..].trim_start();
+        let reason = tail.strip_prefix("--").map(|r| r.trim()).unwrap_or("");
+        if reason.is_empty() {
+            bad.push(BadSuppression {
+                line,
+                message: "suppression requires a reason: `-- <why this is sound>`".into(),
+            });
+            continue;
+        }
+        if file_wide && line > FILE_WIDE_WINDOW {
+            bad.push(BadSuppression {
+                line,
+                message: format!("`allow-file` must appear in the first {FILE_WIDE_WINDOW} lines"),
+            });
+            continue;
+        }
+        ok.push(Suppression { rules, line, file_wide, reason: reason.to_string() });
+    }
+    (ok, bad)
+}
+
+impl Suppression {
+    /// Does this directive waive `rule` at `line`?
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        if !self.rules.iter().any(|r| r == rule) {
+            return false;
+        }
+        self.file_wide || line == self.line || line == self.line + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_line_and_file_directives() {
+        let src = "\
+let x = 1.0; // icbtc-lint: allow(float) -- reporting only
+// icbtc-lint: allow-file(no-panic) -- fixture
+";
+        let (ok, bad) = parse(src);
+        assert!(bad.is_empty());
+        assert_eq!(ok.len(), 2);
+        assert!(!ok[0].file_wide);
+        assert_eq!(ok[0].rules, vec!["float"]);
+        assert_eq!(ok[0].reason, "reporting only");
+        assert!(ok[1].file_wide);
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let (ok, bad) = parse("// icbtc-lint: allow(float)\n");
+        assert!(ok.is_empty());
+        assert_eq!(bad.len(), 1);
+        let (ok, bad) = parse("// icbtc-lint: allow(float) -- \n");
+        assert!(ok.is_empty());
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn marker_inside_string_is_ignored() {
+        let (ok, bad) = parse("let s = \"icbtc-lint: allow(float) -- nope\";\n");
+        assert!(ok.is_empty());
+        assert!(bad.is_empty());
+    }
+
+    #[test]
+    fn coverage_window() {
+        let s = Suppression {
+            rules: vec!["float".into()],
+            line: 10,
+            file_wide: false,
+            reason: "r".into(),
+        };
+        assert!(s.covers("float", 10));
+        assert!(s.covers("float", 11));
+        assert!(!s.covers("float", 12));
+        assert!(!s.covers("no-panic", 10));
+    }
+}

@@ -1,0 +1,156 @@
+//! Workspace discovery and the per-crate rule scope matrix.
+//!
+//! Which rules guard which crate follows the paper's architecture:
+//!
+//! * **Consensus-critical** (`bitcoin`, `canister`, `ic`, `core`): code
+//!   that executes inside (or feeds values into) the replicated state
+//!   machine. Gets the determinism rules: `wall-clock`, `thread`,
+//!   `process-env`, `float`.
+//! * **Replicated-state** (`canister`, `core`, `ic`): code whose data
+//!   structures *are* the replicated state. Additionally gets
+//!   `unordered-collections`.
+//! * **Hot-path** (`adapter`, `canister`): Algorithm 1 and Algorithm 2
+//!   request handling. Additionally gets `no-panic`.
+//! * Every crate gets `rng-seed`, `forbid-unsafe` and
+//!   `suppression-reason`.
+
+use crate::engine::FileContext;
+use crate::rules::Rule;
+use std::path::{Path, PathBuf};
+
+pub const CONSENSUS_CRITICAL: &[&str] = &["bitcoin", "canister", "ic", "core"];
+pub const REPLICATED_STATE: &[&str] = &["canister", "core", "ic"];
+pub const HOT_PATH: &[&str] = &["adapter", "canister"];
+
+/// Resolves the active rule list for a crate (name without `icbtc-`
+/// prefix; the umbrella crate is `"icbtc"`).
+pub fn rules_for(crate_name: &str) -> Vec<Rule> {
+    let mut rules = vec![Rule::RngSeed, Rule::ForbidUnsafe, Rule::SuppressionReason];
+    if CONSENSUS_CRITICAL.contains(&crate_name) {
+        rules.extend([Rule::WallClock, Rule::Thread, Rule::ProcessEnv, Rule::Float]);
+    }
+    if REPLICATED_STATE.contains(&crate_name) {
+        rules.push(Rule::UnorderedCollections);
+    }
+    if HOT_PATH.contains(&crate_name) {
+        rules.push(Rule::NoPanic);
+    }
+    rules
+}
+
+/// One source file queued for analysis.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    pub abs_path: PathBuf,
+    pub ctx: FileContext,
+}
+
+/// Discovers every lintable `.rs` file under the workspace root:
+/// `crates/*/{src,tests,benches}` plus the umbrella crate's `src/`,
+/// `tests/` and `examples/`. Lint fixtures (any path containing a
+/// `fixtures` component) are skipped — they intentionally contain
+/// violations. The result is sorted by path so runs are deterministic.
+pub fn discover(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+
+    // Member crates.
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in read_dir_sorted(&crates_dir)? {
+            if !entry.is_dir() {
+                continue;
+            }
+            let crate_name =
+                entry.file_name().and_then(|n| n.to_str()).unwrap_or_default().to_string();
+            for sub in ["src", "tests", "benches", "examples"] {
+                collect(root, &entry.join(sub), &crate_name, sub != "src", &mut files)?;
+            }
+        }
+    }
+    // Umbrella crate.
+    collect(root, &root.join("src"), "icbtc", false, &mut files)?;
+    collect(root, &root.join("tests"), "icbtc", true, &mut files)?;
+    collect(root, &root.join("examples"), "icbtc", true, &mut files)?;
+
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(files)
+}
+
+fn read_dir_sorted(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    Ok(entries)
+}
+
+fn collect(
+    root: &Path,
+    dir: &Path,
+    crate_name: &str,
+    entry_or_test: bool,
+    out: &mut Vec<SourceFile>,
+) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for path in read_dir_sorted(dir)? {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+            if name == "fixtures" {
+                continue;
+            }
+            // `src/bin/*` are seeded entry points.
+            let sub_entry = entry_or_test || name == "bin";
+            collect(root, &path, crate_name, sub_entry, out)?;
+            continue;
+        }
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let file_name = path.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+        let is_crate_root = !entry_or_test
+            && (rel.ends_with("src/lib.rs") || rel.ends_with("src/main.rs") || rel == "src/lib.rs");
+        out.push(SourceFile {
+            rel_path: rel,
+            abs_path: path.clone(),
+            ctx: FileContext {
+                crate_name: crate_name.to_string(),
+                is_crate_root,
+                is_entry_or_test: entry_or_test || file_name == "build.rs",
+            },
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_matrix() {
+        let canister = rules_for("canister");
+        assert!(canister.contains(&Rule::Float));
+        assert!(canister.contains(&Rule::UnorderedCollections));
+        assert!(canister.contains(&Rule::NoPanic));
+        let adapter = rules_for("adapter");
+        assert!(adapter.contains(&Rule::NoPanic));
+        assert!(!adapter.contains(&Rule::Float));
+        assert!(!adapter.contains(&Rule::UnorderedCollections));
+        let sim = rules_for("sim");
+        assert_eq!(sim, vec![Rule::RngSeed, Rule::ForbidUnsafe, Rule::SuppressionReason]);
+        // Every crate carries the structural rules.
+        for c in ["bitcoin", "btcnet", "tecdsa", "bench", "lint", "icbtc"] {
+            assert!(rules_for(c).contains(&Rule::ForbidUnsafe), "{c}");
+        }
+    }
+}

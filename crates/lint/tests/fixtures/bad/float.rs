@@ -1,0 +1,4 @@
+// BAD: floating-point arithmetic in consensus-critical code (ICL004).
+pub fn stability(work: u64, reference: u64) -> f64 {
+    work as f64 / reference as f64
+}

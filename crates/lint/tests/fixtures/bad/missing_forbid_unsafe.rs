@@ -1,0 +1,2 @@
+// BAD: a crate root without #![forbid(unsafe_code)] (ICL008).
+pub mod something;

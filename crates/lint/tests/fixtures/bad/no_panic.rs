@@ -1,0 +1,7 @@
+// BAD: panic paths in an adapter/canister hot path (ICL006).
+pub fn anchor(headers: &[u64]) -> u64 {
+    if headers.is_empty() {
+        panic!("no headers");
+    }
+    *headers.last().unwrap()
+}

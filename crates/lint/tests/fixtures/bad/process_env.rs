@@ -1,0 +1,4 @@
+// BAD: environment access in consensus-critical code (ICL003).
+pub fn delta() -> u64 {
+    std::env::var("DELTA").unwrap_or_default().parse().unwrap_or(144)
+}

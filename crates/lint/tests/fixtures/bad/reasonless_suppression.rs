@@ -1,0 +1,6 @@
+// BAD: suppression without the mandatory reason clause (ICL009),
+// and the unsuppressed finding still fires.
+pub fn anchor(headers: &[u64]) -> u64 {
+    // icbtc-lint: allow(no-panic)
+    *headers.last().unwrap()
+}

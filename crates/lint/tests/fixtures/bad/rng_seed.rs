@@ -1,0 +1,5 @@
+// BAD: hard-coded RNG seed in library code (ICL007).
+pub fn jitter() -> u64 {
+    let mut rng = SimRng::seed_from(42);
+    rng.next_u64()
+}

@@ -1,0 +1,4 @@
+// BAD: OS threading in consensus-critical code (ICL002).
+pub fn fanout() {
+    std::thread::spawn(|| {});
+}

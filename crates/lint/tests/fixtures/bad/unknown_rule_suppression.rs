@@ -1,0 +1,3 @@
+// BAD: suppression naming a rule that does not exist (ICL009).
+// icbtc-lint: allow(no-such-rule) -- typo in the rule name
+pub fn f() {}

@@ -1,0 +1,5 @@
+// BAD: randomized-iteration-order collection in replicated state (ICL005).
+use std::collections::HashMap;
+pub struct Utxos {
+    by_height: HashMap<u64, Vec<u8>>,
+}

@@ -1,0 +1,5 @@
+// BAD: reads the host clock in consensus-critical code (ICL001).
+pub fn elapsed() -> u64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,8 @@
+// GOOD: a file-wide waiver covers every float below.
+// icbtc-lint: allow-file(float) -- whole module is reporting-only output
+pub fn ratio(a: u64, b: u64) -> f64 {
+    a as f64 / b as f64
+}
+pub fn percent(a: u64, b: u64) -> f64 {
+    100.0 * ratio(a, b)
+}

@@ -1,0 +1,6 @@
+// GOOD: deterministic-iteration collections in replicated state.
+use std::collections::{BTreeMap, BTreeSet};
+pub struct Utxos {
+    by_height: BTreeMap<u64, Vec<u8>>,
+    seen: BTreeSet<u64>,
+}

@@ -1,0 +1,3 @@
+//! GOOD: a crate root carrying the required attribute.
+#![forbid(unsafe_code)]
+pub mod something {}

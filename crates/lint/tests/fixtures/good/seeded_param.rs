@@ -1,0 +1,12 @@
+// GOOD: the seed is threaded in from the entry point, not hard-coded.
+pub struct Component {
+    rng: SimRng,
+}
+impl Component {
+    pub fn new(seed: u64) -> Self {
+        Component { rng: SimRng::seed_from(seed) }
+    }
+    pub fn child(&mut self) -> SimRng {
+        self.rng.fork()
+    }
+}

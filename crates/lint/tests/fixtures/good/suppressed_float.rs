@@ -1,0 +1,6 @@
+// GOOD: each float is waived with a reasoned line suppression, either on
+// the line above or trailing the offending expression.
+// icbtc-lint: allow(float) -- display-only conversion, not replicated state
+pub fn to_btc(sats: u64) -> f64 {
+    sats as f64 / 100_000_000.0 // icbtc-lint: allow(float) -- display-only conversion
+}

@@ -1,0 +1,12 @@
+// GOOD: banned names appearing only in comments, strings, raw strings
+// and char-adjacent positions must not fire: HashMap, Instant, panic!.
+/* nested /* block comment: std::thread::spawn HashMap */ still comment */
+pub fn tricky<'a>(s: &'a str) -> String {
+    let cooked = "HashMap // std::time::Instant \" escaped";
+    let raw = r#"SimRng::seed_from(42) "quoted" HashSet"#;
+    let hashy = r##"raw with "# inside"##;
+    let tick: char = 'x';
+    let newline = '\n';
+    let _lifetime_user: &'a str = s;
+    format!("{cooked}{raw}{hashy}{tick}{newline}")
+}

@@ -1,0 +1,110 @@
+//! Lexer edge cases that, mishandled, would turn the linter into a
+//! false-positive machine: raw strings with hash fences, nested block
+//! comments, comment markers inside string literals, and the `'a`
+//! lifetime-versus-`'a'` char-literal ambiguity.
+
+use icbtc_lint::lexer::{lex, lex_with_comments, Token, TokenKind};
+
+fn idents(tokens: &[Token]) -> Vec<&str> {
+    tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect()
+}
+
+#[test]
+fn raw_string_with_hashes() {
+    let toks = lex(r####"let x = r##"contains "# and HashMap"##;"####);
+    let raws: Vec<&Token> = toks.iter().filter(|t| t.kind == TokenKind::RawStr).collect();
+    assert_eq!(raws.len(), 1);
+    assert_eq!(raws[0].text, r##"contains "# and HashMap"##);
+    // The HashMap inside the raw string must not surface as an ident.
+    assert_eq!(idents(&toks), vec!["let", "x"]);
+}
+
+#[test]
+fn raw_string_fence_mismatch_keeps_scanning() {
+    // A `"` followed by too few hashes does not close the literal.
+    let toks = lex(r###"r##"a "# b"## c"###);
+    let raw = toks.iter().find(|t| t.kind == TokenKind::RawStr).unwrap();
+    assert_eq!(raw.text, r##"a "# b"##);
+    assert!(toks.iter().any(|t| t.is_ident("c")));
+}
+
+#[test]
+fn byte_and_raw_byte_strings() {
+    let toks = lex(r##"let a = b"bytes"; let b = br#"raw HashSet"#;"##);
+    assert!(toks.iter().any(|t| t.kind == TokenKind::Str && t.text == "bytes"));
+    assert!(toks.iter().any(|t| t.kind == TokenKind::RawStr && t.text == "raw HashSet"));
+    assert!(!idents(&toks).contains(&"HashSet"));
+}
+
+#[test]
+fn nested_block_comments() {
+    let toks = lex("a /* outer /* inner HashMap */ still outer */ b");
+    assert_eq!(idents(&toks), vec!["a", "b"]);
+}
+
+#[test]
+fn unterminated_block_comment_consumes_rest() {
+    let toks = lex("a /* never closed HashMap");
+    assert_eq!(idents(&toks), vec!["a"]);
+}
+
+#[test]
+fn line_comment_marker_inside_string_literal() {
+    let (toks, comments) = lex_with_comments("let s = \"// not a comment\"; real();");
+    // The string is one Str token, the call after it is still lexed…
+    assert!(toks.iter().any(|t| t.kind == TokenKind::Str && t.text == "// not a comment"));
+    assert!(toks.iter().any(|t| t.is_ident("real")));
+    // …and no comment was recorded.
+    assert!(comments.is_empty());
+}
+
+#[test]
+fn escaped_quote_does_not_end_string() {
+    let toks = lex(r#"let s = "a\"b // still string \" c"; d"#);
+    let strs: Vec<&Token> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+    assert_eq!(strs.len(), 1);
+    assert!(toks.iter().any(|t| t.is_ident("d")));
+}
+
+#[test]
+fn lifetime_tick_vs_char_literal() {
+    // `'a` in a generic position is a lifetime; `'a'` is a char.
+    let toks = lex("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; let q = '\\''; }");
+    let lifetimes: Vec<&Token> = toks.iter().filter(|t| t.kind == TokenKind::Lifetime).collect();
+    let chars: Vec<&Token> = toks.iter().filter(|t| t.kind == TokenKind::Char).collect();
+    assert_eq!(lifetimes.len(), 2);
+    assert!(lifetimes.iter().all(|t| t.text == "'a"));
+    assert_eq!(chars.len(), 3);
+    assert_eq!(chars[0].text, "a");
+    assert_eq!(chars[1].text, "\\n");
+    assert_eq!(chars[2].text, "\\'");
+}
+
+#[test]
+fn static_lifetime_and_underscore_lifetime() {
+    let toks = lex("let x: &'static str = y; let z: &'_ u8 = w;");
+    let lifetimes: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, vec!["'static", "'_"]);
+}
+
+#[test]
+fn comment_text_and_lines_are_preserved() {
+    let (_, comments) = lex_with_comments("a();\n// one\nb(); // two\n");
+    assert_eq!(comments, vec![(2, " one".to_string()), (3, " two".to_string())]);
+}
+
+#[test]
+fn doc_comments_are_line_comments_too() {
+    let (_, comments) = lex_with_comments("/// docs\n//! inner docs\n");
+    assert_eq!(comments.len(), 2);
+    assert_eq!(comments[0], (1, "/ docs".to_string()));
+    assert_eq!(comments[1], (2, "! inner docs".to_string()));
+}

@@ -31,6 +31,9 @@
 //! assert!(t1 < t2);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 pub mod metrics;
 mod queue;
 mod rng;

@@ -32,6 +32,9 @@
 //! assert!(pk.verify(&digest, &sig));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 use std::sync::LazyLock;
 
 use icbtc_bitcoin::U256;

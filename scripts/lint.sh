@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Run the in-repo static analyzer (icbtc-lint) over the workspace.
+#
+#   scripts/lint.sh            human-readable report
+#   scripts/lint.sh --json     machine-readable report (schema_version 1,
+#                              documented in DESIGN.md §"Static analysis")
+#   scripts/lint.sh --list-rules
+#
+# Exit codes: 0 clean, 1 unsuppressed violations, 2 usage/IO error.
+# All flags are forwarded to the binary unchanged.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+exec cargo run -q --release --offline -p icbtc-lint --bin icbtc-lint -- --root . "$@"

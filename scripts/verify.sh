@@ -12,8 +12,18 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
-echo "==> cargo test -q --offline"
-cargo test -q --offline
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> icbtc-lint (determinism / replicated-state static analysis)"
+cargo run -q --release --offline -p icbtc-lint --bin icbtc-lint -- --root .
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
+    cargo clippy -q --offline --workspace --all-targets -- -D warnings
+else
+    echo "WARNING: clippy not installed in this toolchain; skipping clippy gate" >&2
+fi
 
 echo "==> verifying the dependency tree is workspace-only"
 if cargo tree --offline --prefix none | grep -v '^icbtc' | grep -q '[^[:space:]]'; then
@@ -22,4 +32,4 @@ if cargo tree --offline --prefix none | grep -v '^icbtc' | grep -q '[^[:space:]]
     exit 1
 fi
 
-echo "OK: hermetic build + tests passed"
+echo "OK: hermetic build + tests + lint passed"

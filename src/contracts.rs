@@ -215,7 +215,7 @@ impl Wallet {
     ) -> Result<Transaction, WalletError> {
         let own_address = self.address(system);
         let mut utxos = self.utxos(system)?;
-        utxos.sort_by(|a, b| b.value.cmp(&a.value));
+        utxos.sort_by_key(|u| std::cmp::Reverse(u.value));
 
         let amount: Amount = payments.iter().map(|(_, v)| *v).sum();
         let required = amount
@@ -344,7 +344,7 @@ impl TaprootWallet {
             CanisterReply::Utxos(r) => r.utxos,
             _ => unreachable!("utxos call returns utxos"),
         };
-        utxos.sort_by(|a, b| b.value.cmp(&a.value));
+        utxos.sort_by_key(|u| std::cmp::Reverse(u.value));
 
         let required = amount
             .checked_add(fee)

@@ -43,6 +43,9 @@
 //! | [`crate::system`] | §III-A | the integrated system |
 //! | [`crate::contracts`] | §I | canister-held Bitcoin wallets |
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+
 pub mod contracts;
 pub mod system;
 

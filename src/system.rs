@@ -304,7 +304,7 @@ impl System {
     pub fn query(&mut self, call: CanisterCall) -> QueryOutcome {
         let (outcome, instructions, latency) = self.subnet.query(
             |canister, meter| canister.query(&call, meter),
-            |outcome| estimate_response_bytes(outcome),
+            estimate_response_bytes,
         );
         QueryOutcome { outcome, latency, instructions }
     }
