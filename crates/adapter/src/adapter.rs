@@ -16,6 +16,7 @@ use icbtc_core::{
     GetSuccessorsRequest, GetSuccessorsResponse, IntegrationParams, MAX_NEXT_HEADERS,
     MAX_RESPONSE_BLOCK_BYTES,
 };
+use icbtc_sim::obs::{FieldValue, Obs};
 use icbtc_sim::{SimDuration, SimRng, SimTime};
 
 use crate::discovery::ConnectionManager;
@@ -59,6 +60,8 @@ pub struct BitcoinAdapter {
     last_getheaders: SimTime,
     /// Peers' inventory announcements we have already chased.
     seen_inv: HashSet<BlockHash>,
+    /// Observability endpoint (metrics + trace), component `"adapter"`.
+    obs: Obs,
 }
 
 /// How long a block fetch may be outstanding before re-requesting.
@@ -79,7 +82,18 @@ impl BitcoinAdapter {
             inflight_blocks: HashMap::new(),
             last_getheaders: SimTime::ZERO,
             seen_inv: HashSet::new(),
+            obs: Obs::new("adapter"),
         }
+    }
+
+    /// Read access to the adapter's observability endpoint.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Mutable access to the adapter's observability endpoint.
+    pub fn obs_mut(&mut self) -> &mut Obs {
+        &mut self.obs
     }
 
     /// The integration parameters in force.
@@ -131,6 +145,7 @@ impl BitcoinAdapter {
                     conn,
                     Message::GetHeaders { locator: locator.clone(), stop: BlockHash::ZERO },
                 );
+                self.obs.metrics.inc("adapter_getheaders_sent_total");
             }
         }
 
@@ -143,6 +158,7 @@ impl BitcoinAdapter {
             .collect();
         for hash in stale {
             self.inflight_blocks.remove(&hash);
+            self.obs.metrics.inc("adapter_block_refetch_total");
             self.request_block(net, hash);
         }
 
@@ -174,17 +190,34 @@ impl BitcoinAdapter {
                 self.handle_network_message(net, conn, msg);
             }
         }
+
+        // Refresh the state gauges once per upkeep pass.
+        let m = &mut self.obs.metrics;
+        m.set_gauge("adapter_connections", self.manager.connections().len() as i64);
+        m.set_gauge("adapter_known_addresses", self.manager.addresses().len() as i64);
+        m.set_gauge("adapter_headers", self.store.header_count() as i64);
+        m.set_gauge("adapter_tip_height", self.store.tip_height() as i64);
+        m.set_gauge("adapter_tx_cache_size", self.txcache.len() as i64);
+        m.set_gauge("adapter_inflight_blocks", self.inflight_blocks.len() as i64);
     }
 
     fn handle_network_message(&mut self, net: &mut BtcNetwork, conn: ConnId, msg: Message) {
         let now_unix = net.unix_time(net.now());
+        self.obs.metrics.inc_with("adapter_messages_received_total", &[("type", msg.kind())]);
         match msg {
-            Message::Addr(addrs) => self.manager.learn_addresses(&addrs),
+            Message::Addr(addrs) => {
+                self.obs.metrics.add("adapter_addresses_learned_total", addrs.len() as u64);
+                self.manager.learn_addresses(&addrs);
+            }
             Message::Headers(headers) => {
                 // Validate each header exactly as §III-B prescribes; store
                 // every valid one, forks included, no resolution.
+                self.obs.metrics.add("adapter_headers_received_total", headers.len() as u64);
                 for header in headers {
-                    let _ = self.store.accept_header(header, now_unix);
+                    match self.store.accept_header(header, now_unix) {
+                        Ok(_) => self.obs.metrics.inc("adapter_headers_accepted_total"),
+                        Err(_) => self.obs.metrics.inc("adapter_headers_rejected_total"),
+                    }
                 }
             }
             Message::Inv(items) => {
@@ -203,6 +236,11 @@ impl BitcoinAdapter {
                     }
                 }
                 if !wanted.is_empty() {
+                    self.obs.metrics.add_with(
+                        "adapter_getdata_sent_total",
+                        &[("item", "block")],
+                        wanted.len() as u64,
+                    );
                     net.send_external(conn, Message::GetData(wanted));
                 }
             }
@@ -211,16 +249,24 @@ impl BitcoinAdapter {
                 self.inflight_blocks.remove(&hash);
                 // Header-first: a block whose header does not validate is
                 // discarded together with its body.
-                let _ = self.store.accept_block(*block, now_unix);
+                match self.store.accept_block(*block, now_unix) {
+                    Ok(_) => self.obs.metrics.inc("adapter_blocks_received_total"),
+                    Err(_) => self.obs.metrics.inc("adapter_blocks_rejected_total"),
+                }
             }
             Message::GetData(items) => {
-                // Peers fetch transactions we advertised.
+                // Peers fetch transactions we advertised: cache hits are
+                // served, misses are recorded (the tx expired or was never
+                // ours).
                 let total = self.manager.connections().len();
                 for item in items {
                     if let Inventory::Transaction(txid) = item {
                         if let Some(tx) = self.txcache.get(&txid).cloned() {
+                            self.obs.metrics.inc("adapter_txcache_hits_total");
                             net.send_external(conn, Message::TxMsg(tx));
                             self.txcache.mark_delivered(&txid, conn.0, total);
+                        } else {
+                            self.obs.metrics.inc("adapter_txcache_misses_total");
                         }
                     }
                 }
@@ -240,6 +286,7 @@ impl BitcoinAdapter {
             return;
         }
         let conn = *self.rng.choose(&conns);
+        self.obs.metrics.inc_with("adapter_getdata_sent_total", &[("item", "block")]);
         net.send_external(conn, Message::GetData(vec![Inventory::Block(hash)]));
         self.inflight_blocks.insert(hash, net.now());
     }
@@ -259,9 +306,20 @@ impl BitcoinAdapter {
         request: &GetSuccessorsRequest,
     ) -> GetSuccessorsResponse {
         let now = net.now();
+        let span = self.obs.trace.span_start(
+            "adapter.get_successors",
+            now,
+            &[
+                ("anchor_height", FieldValue::U64(request.anchor_height)),
+                ("processed", FieldValue::U64(request.processed.len() as u64)),
+                ("transactions", FieldValue::U64(request.transactions.len() as u64)),
+            ],
+        );
+        self.obs.metrics.inc("adapter_requests_total");
         // Lines 1–3: cache and advertise outbound transactions.
         for tx in &request.transactions {
             let txid = self.txcache.insert(tx.clone(), now);
+            self.obs.metrics.inc("adapter_txs_advertised_total");
             for conn in self.manager.connection_ids() {
                 net.send_external(conn, Message::Inv(vec![Inventory::Transaction(txid)]));
             }
@@ -328,6 +386,19 @@ impl BitcoinAdapter {
         for hash in to_fetch {
             self.request_block(net, hash);
         }
+        let m = &mut self.obs.metrics;
+        m.add("adapter_response_blocks_total", blocks.len() as u64);
+        m.add("adapter_response_bytes_total", response_bytes as u64);
+        m.observe("adapter_response_bytes", response_bytes as u64);
+        self.obs.trace.span_end(
+            span,
+            net.now(),
+            &[
+                ("blocks", FieldValue::U64(blocks.len() as u64)),
+                ("next", FieldValue::U64(next.len() as u64)),
+                ("bytes", FieldValue::U64(response_bytes as u64)),
+            ],
+        );
         GetSuccessorsResponse { blocks, next }
     }
 

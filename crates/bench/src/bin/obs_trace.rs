@@ -1,0 +1,91 @@
+//! Dump the deterministic observability layer for a full-system run.
+//!
+//! ```text
+//! cargo run --release -p icbtc-bench --bin obs_trace -- \
+//!     [--seed N] [--rounds N] [--json] [--trace-out PATH]
+//! ```
+//!
+//! Boots the integrated system (simulated Bitcoin network + 13-replica
+//! subnet + Bitcoin canister), runs it for `--rounds` consensus rounds,
+//! then emits the merged metrics registry (text tables by default,
+//! `snapshot_json()` with `--json`) on stdout and, with `--trace-out`,
+//! the concatenated JSONL trace of all four layers to a file.
+//!
+//! Everything printed is a pure function of the seed: `scripts/verify.sh`
+//! runs this binary twice with the same seed and `diff`s both outputs as
+//! the observability determinism gate.
+
+use icbtc::system::{System, SystemConfig};
+use icbtc::sim::SimTime;
+
+struct Args {
+    seed: u64,
+    rounds: usize,
+    json: bool,
+    trace_out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { seed: 42, rounds: 200, json: false, trace_out: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
+                args.seed = v.parse().unwrap_or_else(|_| usage("--seed must be a u64"));
+            }
+            "--rounds" => {
+                let v = it.next().unwrap_or_else(|| usage("--rounds needs a value"));
+                args.rounds = v.parse().unwrap_or_else(|_| usage("--rounds must be a usize"));
+            }
+            "--json" => args.json = true,
+            "--trace-out" => {
+                args.trace_out = Some(it.next().unwrap_or_else(|| usage("--trace-out needs a path")));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    args
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: obs_trace [--seed N] [--rounds N] [--json] [--trace-out PATH]\n\
+         \n\
+         --seed N        simulation seed (default 42)\n\
+         --rounds N      consensus rounds to execute (default 200)\n\
+         --json          print the merged metrics snapshot as JSON (default: text tables)\n\
+         --trace-out P   write the JSONL trace of all layers to P"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn main() {
+    let args = parse_args();
+
+    let mut system = System::new(SystemConfig::regtest(args.seed));
+    // Give the Bitcoin network a head start so ingestion has blocks to
+    // pull: one simulated hour of Poisson mining before the subnet runs.
+    system.btc_mut().run_until(SimTime::from_secs(3600));
+    system.run_rounds(args.rounds);
+
+    let metrics = system.merged_metrics();
+    if args.json {
+        println!("{}", metrics.snapshot_json());
+    } else {
+        println!("# obs_trace: seed={} rounds={}", args.seed, args.rounds);
+        println!("{}", metrics.snapshot_text());
+    }
+
+    if let Some(path) = args.trace_out {
+        let trace = system.trace_jsonl();
+        if let Err(e) = std::fs::write(&path, trace) {
+            eprintln!("error: cannot write trace to {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -8,52 +8,114 @@
 //! nodes and the corrupted fraction φ ≪ n^{-1/ℓ}, every adapter reaches a
 //! correct node with overwhelming probability. The harness sweeps φ, ℓ
 //! and n, comparing the closed form `1 − (1 − φ^ℓ)^n` against Monte-Carlo
-//! sampling of the actual discovery selection.
+//! sampling of the actual discovery selection. Trial tallies go through
+//! the deterministic metrics registry (`icbtc_sim::obs`) rather than
+//! hand-rolled counters, so the sweep's bookkeeping uses the same
+//! instrument as the runtime layers.
 
 use icbtc::adapter::eclipse_probability;
 use icbtc::sim::metrics::Table;
+use icbtc::sim::obs::MetricsRegistry;
 use icbtc::sim::SimRng;
 use icbtc_bench::report::banner;
 
-fn monte_carlo(phi: f64, l: usize, n: usize, trials: usize, rng: &mut SimRng) -> f64 {
+/// Runs one sweep cell, tallying into `registry` under the given labels:
+/// `eclipse_trials_total` counts trials, `eclipse_eclipsed_total` counts
+/// trials in which at least one adapter drew only corrupted peers.
+fn monte_carlo(
+    phi: f64,
+    l: usize,
+    n: usize,
+    trials: usize,
+    rng: &mut SimRng,
+    registry: &mut MetricsRegistry,
+    labels: &[(&'static str, &'static str)],
+) {
     let pool = 10_000usize;
     let corrupted = (pool as f64 * phi) as usize;
-    let mut eclipsed = 0usize;
     for _ in 0..trials {
-        let mut any_adapter_eclipsed = false;
+        registry.inc_with("eclipse_trials_total", labels);
         for _ in 0..n {
             let picks = rng.sample_indices(pool, l);
             if picks.iter().all(|&p| p < corrupted) {
-                any_adapter_eclipsed = true;
+                registry.inc_with("eclipse_eclipsed_total", labels);
                 break;
             }
         }
-        if any_adapter_eclipsed {
-            eclipsed += 1;
-        }
     }
-    eclipsed as f64 / trials as f64
 }
+
+/// The (n, ℓ, φ) sweep grid with the static label sets the registry
+/// requires: every cell is a distinct labelled series of the same two
+/// counters.
+const GRID: &[(usize, &str, usize, &str, f64, &str)] = &[
+    (13, "13", 3, "3", 0.1, "0.1"),
+    (13, "13", 3, "3", 0.3, "0.3"),
+    (13, "13", 3, "3", 0.5, "0.5"),
+    (13, "13", 3, "3", 0.6, "0.6"),
+    (13, "13", 3, "3", 0.8, "0.8"),
+    (13, "13", 5, "5", 0.1, "0.1"),
+    (13, "13", 5, "5", 0.3, "0.3"),
+    (13, "13", 5, "5", 0.5, "0.5"),
+    (13, "13", 5, "5", 0.6, "0.6"),
+    (13, "13", 5, "5", 0.8, "0.8"),
+    (13, "13", 8, "8", 0.1, "0.1"),
+    (13, "13", 8, "8", 0.3, "0.3"),
+    (13, "13", 8, "8", 0.5, "0.5"),
+    (13, "13", 8, "8", 0.6, "0.6"),
+    (13, "13", 8, "8", 0.8, "0.8"),
+    (40, "40", 3, "3", 0.1, "0.1"),
+    (40, "40", 3, "3", 0.3, "0.3"),
+    (40, "40", 3, "3", 0.5, "0.5"),
+    (40, "40", 3, "3", 0.6, "0.6"),
+    (40, "40", 3, "3", 0.8, "0.8"),
+    (40, "40", 5, "5", 0.1, "0.1"),
+    (40, "40", 5, "5", 0.3, "0.3"),
+    (40, "40", 5, "5", 0.5, "0.5"),
+    (40, "40", 5, "5", 0.6, "0.6"),
+    (40, "40", 5, "5", 0.8, "0.8"),
+    (40, "40", 8, "8", 0.1, "0.1"),
+    (40, "40", 8, "8", 0.3, "0.3"),
+    (40, "40", 8, "8", 0.5, "0.5"),
+    (40, "40", 8, "8", 0.6, "0.6"),
+    (40, "40", 8, "8", 0.8, "0.8"),
+];
+
+const TRIALS: usize = 20_000;
 
 fn main() {
     banner("security_eclipse", "Lemma IV.1 (eclipse probability vs φ, ℓ, n)");
     let mut rng = SimRng::seed_from(42);
+    let mut registry = MetricsRegistry::new();
     let mut table = Table::new(vec!["n", "l", "phi", "closed form", "monte carlo (20k trials)"]);
-    for &n in &[13usize, 40] {
-        for &l in &[3usize, 5, 8] {
-            for &phi in &[0.1f64, 0.3, 0.5, 0.6, 0.8] {
-                let closed = eclipse_probability(phi, l, n);
-                let measured = monte_carlo(phi, l, n, 20_000, &mut rng);
-                table.row(vec![
-                    n.to_string(),
-                    l.to_string(),
-                    format!("{phi:.1}"),
-                    format!("{closed:.5}"),
-                    format!("{measured:.5}"),
-                ]);
-            }
-        }
+
+    for &(n, n_label, l, l_label, phi, phi_label) in GRID {
+        let labels: &[(&'static str, &'static str)] =
+            &[("l", l_label), ("n", n_label), ("phi", phi_label)];
+        monte_carlo(phi, l, n, TRIALS, &mut rng, &mut registry, labels);
+
+        let trials = registry.counter_with("eclipse_trials_total", labels);
+        let eclipsed = registry.counter_with("eclipse_eclipsed_total", labels);
+        assert_eq!(trials as usize, TRIALS, "every trial must be tallied");
+        let closed = eclipse_probability(phi, l, n);
+        let measured = eclipsed as f64 / trials as f64;
+        table.row(vec![
+            n.to_string(),
+            l.to_string(),
+            format!("{phi:.1}"),
+            format!("{closed:.5}"),
+            format!("{measured:.5}"),
+        ]);
     }
+
+    // Cross-check: the unlabelled totals across all cells must equal the
+    // grid volume — the registry lost nothing.
+    assert_eq!(
+        registry.counter_total("eclipse_trials_total") as usize,
+        GRID.len() * TRIALS,
+        "per-cell tallies must sum to the sweep volume"
+    );
+
     println!("\n{table}");
     println!(
         "paper: for n = 13, ℓ = 5 the requirement is φ ≪ 0.6 — the closed form\n\

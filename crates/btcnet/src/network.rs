@@ -7,6 +7,7 @@
 use std::collections::HashMap;
 
 use icbtc_bitcoin::{Network, Script, Transaction};
+use icbtc_sim::obs::{FieldValue, Obs};
 use icbtc_sim::{EventQueue, SimDuration, SimRng, SimTime};
 
 use crate::messages::{ConnId, Message, NodeId, PeerRef};
@@ -89,6 +90,8 @@ pub struct BtcNetwork {
     genesis_unix: u32,
     blocks_mined: u64,
     messages_delivered: u64,
+    /// Observability endpoint (metrics + trace), component `"btcnet"`.
+    obs: Obs,
 }
 
 impl BtcNetwork {
@@ -144,9 +147,20 @@ impl BtcNetwork {
             genesis_unix,
             blocks_mined: 0,
             messages_delivered: 0,
+            obs: Obs::new("btcnet"),
         };
         net.schedule_next_block();
         net
+    }
+
+    /// Read access to the network's observability endpoint.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Mutable access to the network's observability endpoint.
+    pub fn obs_mut(&mut self) -> &mut Obs {
+        &mut self.obs
     }
 
     fn schedule_next_block(&mut self) {
@@ -235,7 +249,14 @@ impl BtcNetwork {
         // The node treats the external link as a peer: it relays inv
         // announcements to it, exactly as Bitcoin nodes serve SPV peers.
         self.nodes[target.0 as usize].add_peer(PeerRef::External(conn));
+        self.obs.metrics.inc("btcnet_external_connects_total");
+        self.refresh_external_gauge();
         conn
+    }
+
+    fn refresh_external_gauge(&mut self) {
+        let open = self.external.values().filter(|c| c.open).count();
+        self.obs.metrics.set_gauge("btcnet_external_connections", open as i64);
     }
 
     /// Closes an external connection; any in-flight messages are dropped
@@ -243,7 +264,10 @@ impl BtcNetwork {
     pub fn disconnect_external(&mut self, conn: ConnId) {
         if let Some(c) = self.external.get_mut(&conn) {
             c.open = false;
-            self.nodes[c.target.0 as usize].remove_peer(PeerRef::External(conn));
+            let target = c.target;
+            self.nodes[target.0 as usize].remove_peer(PeerRef::External(conn));
+            self.obs.metrics.inc("btcnet_external_disconnects_total");
+            self.refresh_external_gauge();
         }
     }
 
@@ -277,6 +301,7 @@ impl BtcNetwork {
     /// Injects a transaction directly into a node's mempool (a local
     /// wallet submitting), relaying per protocol.
     pub fn submit_transaction(&mut self, node: NodeId, tx: Transaction) {
+        self.obs.metrics.inc("btcnet_local_txs_total");
         let outgoing = self.nodes[node.0 as usize].accept_transaction(tx, None);
         self.route_all(PeerRef::Node(node), outgoing);
     }
@@ -285,6 +310,21 @@ impl BtcNetwork {
     /// fork delivery), relaying per protocol.
     pub fn submit_block(&mut self, node: NodeId, block: icbtc_bitcoin::Block) {
         let now_unix = self.unix_time(self.now);
+        // Out-of-band injection is the adversary's tool; a block that does
+        // not extend the node's current tip opens (or extends) a fork.
+        let is_fork = block.header.prev_blockhash != self.nodes[node.0 as usize].chain().tip_hash();
+        self.obs.metrics.inc("btcnet_adversary_blocks_total");
+        if is_fork {
+            self.obs.metrics.inc("btcnet_forks_observed_total");
+        }
+        self.obs.trace.event(
+            "btcnet.adversary_block",
+            self.now,
+            &[
+                ("node", FieldValue::U64(node.0 as u64)),
+                ("fork", FieldValue::U64(is_fork as u64)),
+            ],
+        );
         let outgoing = self.nodes[node.0 as usize].accept_local_block(block, now_unix);
         self.route_all(PeerRef::Node(node), outgoing);
     }
@@ -313,6 +353,7 @@ impl BtcNetwork {
                 }
                 NetEvent::Deliver { to, from, msg } => {
                     self.messages_delivered += 1;
+                    self.obs.metrics.inc_with("btcnet_messages_total", &[("type", msg.kind())]);
                     match to {
                         PeerRef::Node(id) => {
                             let now_unix = self.unix_time(self.now);
@@ -368,8 +409,23 @@ impl BtcNetwork {
             (hash, outgoing)
         };
         self.blocks_mined += 1;
+        self.record_block_mined(node);
         self.route_all(PeerRef::Node(node), outgoing);
         hash
+    }
+
+    fn record_block_mined(&mut self, miner: NodeId) {
+        let height = self.nodes[miner.0 as usize].chain().tip_height();
+        self.obs.metrics.inc("btcnet_blocks_mined_total");
+        self.obs.metrics.set_gauge("btcnet_best_height", self.best_height() as i64);
+        self.obs.trace.event(
+            "btcnet.block_mined",
+            self.now,
+            &[
+                ("miner", FieldValue::U64(miner.0 as u64)),
+                ("height", FieldValue::U64(height)),
+            ],
+        );
     }
 
     fn mine_one_block(&mut self) {
@@ -398,6 +454,7 @@ impl BtcNetwork {
         };
         let _ = block;
         self.blocks_mined += 1;
+        self.record_block_mined(winner);
         self.route_all(PeerRef::Node(winner), outgoing);
     }
 }

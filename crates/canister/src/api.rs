@@ -58,6 +58,29 @@ pub struct GetBlockHeadersResponse {
     pub tip_height: u64,
 }
 
+/// Response of `get_metrics` — the observability endpoint, mirroring the
+/// counters the production canister publishes over its `/metrics` HTTP
+/// query (block height, UTXO count, instruction and cycle totals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GetMetricsResponse {
+    /// Height of the current best (main chain) tip.
+    pub main_chain_height: u64,
+    /// Height of the stable anchor `β*`.
+    pub anchor_height: u64,
+    /// Entries in the stable UTXO set.
+    pub utxo_count: u64,
+    /// Unstable block bodies currently held.
+    pub unstable_blocks: u64,
+    /// Blocks ever folded into the stable set (including genesis).
+    pub blocks_ingested: u64,
+    /// Whether the canister is within τ of the known headers.
+    pub is_synced: bool,
+    /// Instructions metered across all replicated calls and ingestion.
+    pub instructions_total: u64,
+    /// Cycles burned by replicated calls per the fee schedule.
+    pub cycles_burned: u128,
+}
+
 /// Errors returned by the canister API.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ApiError {

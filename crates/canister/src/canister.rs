@@ -5,12 +5,15 @@
 //! charges per the fee schedule (§IV-B).
 
 use icbtc_bitcoin::Address;
+use icbtc_core::GetSuccessorsResponse;
 use icbtc_ic::cycles::{Cycles, FeeSchedule};
 use icbtc_ic::subnet::{ExecutionContext, StateMachine};
 use icbtc_ic::Meter;
+use icbtc_sim::obs::{FieldValue, Obs, INSTRUCTION_BOUNDS};
 
-use crate::api::{ApiError, GetBalanceResponse, GetUtxosResponse, UtxosFilter};
-use crate::state::BitcoinCanisterState;
+use crate::api::{ApiError, GetBalanceResponse, GetMetricsResponse, GetUtxosResponse, UtxosFilter};
+use crate::metering;
+use crate::state::{BitcoinCanisterState, IngestReport};
 
 /// A call into the Bitcoin canister's API.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +46,23 @@ pub enum CanisterCall {
         /// Last height requested (inclusive; clamped to the tip).
         end_height: u64,
     },
+    /// `get_metrics()` — the observability endpoint, mirroring the
+    /// production canister's `/metrics` HTTP query.
+    GetMetrics,
+}
+
+impl CanisterCall {
+    /// The API method name, used as the `method` metric label.
+    pub fn method(&self) -> &'static str {
+        match self {
+            CanisterCall::GetUtxos { .. } => "get_utxos",
+            CanisterCall::GetBalance { .. } => "get_balance",
+            CanisterCall::SendTransaction { .. } => "send_transaction",
+            CanisterCall::GetFeePercentiles => "get_current_fee_percentiles",
+            CanisterCall::GetBlockHeaders { .. } => "get_block_headers",
+            CanisterCall::GetMetrics => "get_metrics",
+        }
+    }
 }
 
 /// A successful reply from the canister.
@@ -58,6 +78,8 @@ pub enum CanisterReply {
     FeePercentiles(Vec<u64>),
     /// Reply to [`CanisterCall::GetBlockHeaders`].
     BlockHeaders(crate::api::GetBlockHeadersResponse),
+    /// Reply to [`CanisterCall::GetMetrics`].
+    Metrics(GetMetricsResponse),
 }
 
 /// The outcome of one canister call: the reply (or API error) plus the
@@ -92,17 +114,39 @@ pub struct CallOutcome {
 pub struct BitcoinCanister {
     state: BitcoinCanisterState,
     fees: FeeSchedule,
+    /// Total cycles burned by replicated calls since genesis.
+    cycles_burned: Cycles,
+    /// Observability endpoint (metrics + trace), component `"canister"`.
+    obs: Obs,
 }
 
 impl BitcoinCanister {
     /// Creates a canister for the given integration parameters.
     pub fn new(params: icbtc_core::IntegrationParams) -> BitcoinCanister {
-        BitcoinCanister { state: BitcoinCanisterState::new(params), fees: FeeSchedule::default() }
+        BitcoinCanister::from_state(BitcoinCanisterState::new(params))
     }
 
     /// Wraps an existing (e.g. snapshot-installed) state as a canister.
     pub fn from_state(state: BitcoinCanisterState) -> BitcoinCanister {
-        BitcoinCanister { state, fees: FeeSchedule::default() }
+        let mut obs = Obs::new("canister");
+        obs.metrics.register_histogram("canister_call_instructions", INSTRUCTION_BOUNDS);
+        obs.metrics.register_histogram("canister_ingest_instructions", INSTRUCTION_BOUNDS);
+        BitcoinCanister { state, fees: FeeSchedule::default(), cycles_burned: 0, obs }
+    }
+
+    /// Read access to the canister's observability endpoint.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Mutable access to the canister's observability endpoint.
+    pub fn obs_mut(&mut self) -> &mut Obs {
+        &mut self.obs
+    }
+
+    /// Total cycles burned by replicated calls since genesis.
+    pub fn cycles_burned(&self) -> Cycles {
+        self.cycles_burned
     }
 
     /// Read access to the replicated state.
@@ -118,6 +162,73 @@ impl BitcoinCanister {
     /// The fee schedule in force.
     pub fn fee_schedule(&self) -> &FeeSchedule {
         &self.fees
+    }
+
+    /// Builds the observability reply: the canister-side counters the
+    /// production canister's `/metrics` endpoint exposes.
+    pub fn get_metrics(&self) -> GetMetricsResponse {
+        let (_, tip_height) = self.state.best_tip();
+        GetMetricsResponse {
+            main_chain_height: tip_height,
+            anchor_height: self.state.anchor_height(),
+            utxo_count: self.state.utxos().len() as u64,
+            unstable_blocks: self.state.unstable_block_count() as u64,
+            blocks_ingested: self.state.blocks_stabilized(),
+            is_synced: self.state.is_synced(),
+            instructions_total: self.obs.metrics.counter("canister_instructions_total"),
+            cycles_burned: self.cycles_burned,
+        }
+    }
+
+    /// Ingests one adapter response (Algorithm 2) with full observability:
+    /// records blocks/headers accepted, stabilizations, instruction costs,
+    /// and refreshed state gauges, wrapped in a `canister.ingest` span.
+    pub fn ingest_response(
+        &mut self,
+        response: GetSuccessorsResponse,
+        now_unix: u32,
+        ctx: &mut ExecutionContext<'_>,
+    ) -> IngestReport {
+        let span = self.obs.trace.span_start(
+            "canister.ingest",
+            ctx.now,
+            &[
+                ("blocks", FieldValue::U64(response.blocks.len() as u64)),
+                ("next", FieldValue::U64(response.next.len() as u64)),
+            ],
+        );
+        let before = ctx.meter.instructions();
+        let report = self.state.process_response(response, now_unix, ctx.meter);
+        let spent = ctx.meter.instructions().saturating_sub(before);
+
+        let m = &mut self.obs.metrics;
+        m.add("canister_blocks_ingested_total", report.blocks_accepted as u64);
+        m.add("canister_headers_ingested_total", report.headers_accepted as u64);
+        m.add("canister_ingest_rejected_total", report.rejected.len() as u64);
+        m.add("canister_blocks_stabilized_total", report.stabilized.len() as u64);
+        m.add("canister_instructions_total", spent);
+        m.observe("canister_ingest_instructions", spent);
+        self.refresh_state_gauges();
+        self.obs.trace.span_end(
+            span,
+            ctx.now,
+            &[
+                ("accepted", FieldValue::U64(report.blocks_accepted as u64)),
+                ("stabilized", FieldValue::U64(report.stabilized.len() as u64)),
+                ("instructions", FieldValue::U64(spent)),
+            ],
+        );
+        report
+    }
+
+    fn refresh_state_gauges(&mut self) {
+        let (_, tip_height) = self.state.best_tip();
+        let m = &mut self.obs.metrics;
+        m.set_gauge("canister_main_chain_height", tip_height as i64);
+        m.set_gauge("canister_anchor_height", self.state.anchor_height() as i64);
+        m.set_gauge("canister_utxo_count", self.state.utxos().len() as i64);
+        m.set_gauge("canister_unstable_blocks", self.state.unstable_block_count() as i64);
+        m.set_gauge("canister_is_synced", self.state.is_synced() as i64);
     }
 
     fn dispatch(&mut self, call: CanisterCall, meter: &mut Meter) -> CallOutcome {
@@ -155,6 +266,16 @@ impl BitcoinCanister {
                     .get_block_headers(start_height, end_height, meter)
                     .map(CanisterReply::BlockHeaders);
                 CallOutcome { reply, cycles_charged: self.fees.get_balance_fee(meter.instructions()) }
+            }
+            CanisterCall::GetMetrics => {
+                // Mirrors the production canister's metrics endpoint: an
+                // unpaid read (served over HTTP query there), so no cycles
+                // are charged.
+                meter.charge(metering::QUERY_BASE);
+                CallOutcome {
+                    reply: Ok(CanisterReply::Metrics(self.get_metrics())),
+                    cycles_charged: 0,
+                }
             }
         }
     }
@@ -197,6 +318,13 @@ impl BitcoinCanister {
                     .map(CanisterReply::BlockHeaders);
                 CallOutcome { reply, cycles_charged: self.fees.get_balance_fee(meter.instructions()) }
             }
+            CanisterCall::GetMetrics => {
+                meter.charge(metering::QUERY_BASE);
+                CallOutcome {
+                    reply: Ok(CanisterReply::Metrics(self.get_metrics())),
+                    cycles_charged: 0,
+                }
+            }
         }
     }
 }
@@ -206,7 +334,36 @@ impl StateMachine for BitcoinCanister {
     type Output = CallOutcome;
 
     fn execute(&mut self, input: CanisterCall, ctx: &mut ExecutionContext<'_>) -> CallOutcome {
-        self.dispatch(input, ctx.meter)
+        // Replicated calls are recorded into the canister's metrics; query
+        // calls deliberately are not — queries run on a single replica, and
+        // mutating replicated metrics from them would diverge the replicas.
+        let method = input.method();
+        let before = ctx.meter.instructions();
+        let outcome = self.dispatch(input, ctx.meter);
+        let spent = ctx.meter.instructions().saturating_sub(before);
+        let failed = outcome.reply.is_err();
+        self.cycles_burned = self.cycles_burned.saturating_add(outcome.cycles_charged);
+        let m = &mut self.obs.metrics;
+        m.inc_with("canister_calls_total", &[("method", method)]);
+        if failed {
+            m.inc_with("canister_call_errors_total", &[("method", method)]);
+        }
+        m.add("canister_instructions_total", spent);
+        m.observe_with("canister_call_instructions", &[("method", method)], spent);
+        m.add(
+            "canister_cycles_burned_total",
+            u64::try_from(outcome.cycles_charged).unwrap_or(u64::MAX),
+        );
+        self.obs.trace.event(
+            "canister.call",
+            ctx.now,
+            &[
+                ("method", FieldValue::Str(method)),
+                ("instructions", FieldValue::U64(spent)),
+                ("error", FieldValue::U64(failed as u64)),
+            ],
+        );
+        outcome
     }
 }
 

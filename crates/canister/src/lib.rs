@@ -26,8 +26,8 @@ pub mod state;
 pub mod utxoset;
 
 pub use api::{
-    ApiError, GetBalanceResponse, GetBlockHeadersResponse, GetUtxosResponse, UtxosFilter,
-    MAX_UTXOS_PER_PAGE,
+    ApiError, GetBalanceResponse, GetBlockHeadersResponse, GetMetricsResponse, GetUtxosResponse,
+    UtxosFilter, MAX_UTXOS_PER_PAGE,
 };
 pub use canister::{BitcoinCanister, CallOutcome, CanisterCall, CanisterReply};
 pub use state::{BitcoinCanisterState, IngestReport, RejectReason};

@@ -8,6 +8,7 @@
 //! response) is finalized, and execution applies it deterministically
 //! under instruction metering.
 
+use icbtc_sim::obs::{FieldValue, Obs, INSTRUCTION_BOUNDS};
 use icbtc_sim::{SimRng, SimTime};
 
 use crate::consensus::{ConsensusConfig, ConsensusEngine, RoundInfo};
@@ -108,11 +109,15 @@ pub struct Subnet<S: StateMachine> {
     rng: SimRng,
     total_instructions: u64,
     completed_calls: u64,
+    /// Observability endpoint (metrics + trace), component `"ic"`.
+    obs: Obs,
 }
 
 impl<S: StateMachine> Subnet<S> {
     /// Creates a subnet around an initial application state.
     pub fn new(state: S, config: ConsensusConfig, seed: u64) -> Subnet<S> {
+        let mut obs = Obs::new("ic");
+        obs.metrics.register_histogram("ic_message_instructions", INSTRUCTION_BOUNDS);
         Subnet {
             state,
             engine: ConsensusEngine::new(config, seed),
@@ -121,7 +126,18 @@ impl<S: StateMachine> Subnet<S> {
             rng: SimRng::seed_from(seed.wrapping_add(0x1c)),
             total_instructions: 0,
             completed_calls: 0,
+            obs,
         }
+    }
+
+    /// Read access to the subnet's observability endpoint.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Mutable access to the subnet's observability endpoint.
+    pub fn obs_mut(&mut self) -> &mut Obs {
+        &mut self.obs
     }
 
     /// Replaces the latency model (calibration experiments).
@@ -176,6 +192,7 @@ impl<S: StateMachine> Subnet<S> {
     /// Submits with an explicit submission timestamp (driver-controlled
     /// workloads).
     pub fn submit_at(&mut self, at: SimTime, input: S::Input) -> IngressId {
+        self.obs.metrics.inc("ic_ingress_submitted_total");
         let routing = self.latency.sample_ingress_routing(&mut self.rng);
         self.pool.submit(at, at + routing, input)
     }
@@ -204,12 +221,27 @@ impl<S: StateMachine> Subnet<S> {
         payload: impl FnOnce(&mut S, &mut ExecutionContext<'_>, RoundInfo),
     ) -> RoundReport<S::Output> {
         let info = self.engine.next_round();
+        let span = self.obs.trace.span_start(
+            "ic.round",
+            info.finalized_at,
+            &[
+                ("round", FieldValue::U64(info.round)),
+                ("maker", FieldValue::U64(info.block_maker.0 as u64)),
+                ("byzantine_maker", FieldValue::U64(info.maker_is_byzantine as u64)),
+            ],
+        );
+        self.obs.metrics.inc("ic_rounds_total");
+        if info.maker_is_byzantine {
+            self.obs.metrics.inc("ic_byzantine_maker_rounds_total");
+        }
 
         let mut meter = Meter::new();
         let mut ctx = ExecutionContext { meter: &mut meter, now: info.finalized_at, round: info.round };
         payload(&mut self.state, &mut ctx, info);
         let payload_instructions = meter.take();
         self.total_instructions += payload_instructions;
+        self.obs.metrics.add("ic_payload_instructions_total", payload_instructions);
+        self.obs.metrics.add("ic_instructions_total", payload_instructions);
 
         let batch = self.pool.take_ready(info.finalized_at);
         let mut results = Vec::with_capacity(batch.len());
@@ -221,6 +253,9 @@ impl<S: StateMachine> Subnet<S> {
             let instructions = meter.take();
             self.total_instructions += instructions;
             self.completed_calls += 1;
+            self.obs.metrics.inc("ic_messages_executed_total");
+            self.obs.metrics.add("ic_instructions_total", instructions);
+            self.obs.metrics.observe("ic_message_instructions", instructions);
             let response_path = self.latency.sample_response_path(&mut self.rng);
             let exec_time = self.latency.execution_time(instructions);
             results.push(CallResult {
@@ -231,6 +266,15 @@ impl<S: StateMachine> Subnet<S> {
                 submitted_at: ready.submitted_at,
             });
         }
+        self.obs.metrics.set_gauge("ic_ingress_queue_depth", self.pool.len() as i64);
+        self.obs.trace.span_end(
+            span,
+            info.finalized_at,
+            &[
+                ("messages", FieldValue::U64(results.len() as u64)),
+                ("payload_instructions", FieldValue::U64(payload_instructions)),
+            ],
+        );
         RoundReport { info, results, payload_instructions }
     }
 

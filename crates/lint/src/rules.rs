@@ -50,6 +50,16 @@ pub enum Rule {
     /// ICL009 — malformed suppression comment (missing reason, unknown
     /// rule name, bad syntax). Emitted by the engine, not token matching.
     SuppressionReason,
+    /// ICL010 — no `println!`/`eprintln!` (or `print!`/`eprint!`) in the
+    /// instrumented runtime crates (`adapter`, `canister`, `ic`,
+    /// `btcnet`). Ad-hoc stdout writes are invisible to the deterministic
+    /// observability layer: they bypass the metrics registry and the
+    /// sim-time-stamped trace, interleave nondeterministically with real
+    /// output, and cannot be byte-compared across same-seed runs. Record
+    /// through `Obs` (counters/gauges/histograms or trace events)
+    /// instead. Bench binaries and tests are seeded entry points and
+    /// remain exempt.
+    PrintOutput,
 }
 
 pub const ALL_RULES: &[Rule] = &[
@@ -62,6 +72,7 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::RngSeed,
     Rule::ForbidUnsafe,
     Rule::SuppressionReason,
+    Rule::PrintOutput,
 ];
 
 impl Rule {
@@ -76,6 +87,7 @@ impl Rule {
             Rule::RngSeed => "ICL007",
             Rule::ForbidUnsafe => "ICL008",
             Rule::SuppressionReason => "ICL009",
+            Rule::PrintOutput => "ICL010",
         }
     }
 
@@ -91,6 +103,7 @@ impl Rule {
             Rule::RngSeed => "rng-seed",
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::SuppressionReason => "suppression-reason",
+            Rule::PrintOutput => "print-output",
         }
     }
 
@@ -117,6 +130,7 @@ impl Rule {
             Rule::RngSeed => "hard-coded RNG seed outside a seeded entry point",
             Rule::ForbidUnsafe => "crate root missing #![forbid(unsafe_code)]",
             Rule::SuppressionReason => "malformed lint suppression",
+            Rule::PrintOutput => "stdout/stderr write bypassing the observability layer",
         }
     }
 }
@@ -219,6 +233,20 @@ pub fn scan(tokens: &[Token], active: &[Rule]) -> Vec<Finding> {
                     message: format!("`{}!` can trap a hot path; return an error instead", t.text),
                 })
             }
+            "println" | "eprintln" | "print" | "eprint"
+                if on(Rule::PrintOutput)
+                    && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                    && !(i > 0 && tokens[i - 1].is_ident("macro_rules")) =>
+            {
+                out.push(Finding {
+                    rule: Rule::PrintOutput,
+                    line: t.line,
+                    message: format!(
+                        "`{}!` bypasses the observability layer; record through `Obs` (metrics or trace) instead",
+                        t.text
+                    ),
+                })
+            }
             "SimRng"
                 if on(Rule::RngSeed)
                     && is_path2(tokens, i, "SimRng", "seed_from")
@@ -301,6 +329,23 @@ mod tests {
         assert_eq!(scan(&toks, &[Rule::RngSeed]).len(), 1);
         let toks = lex("SimRng::seed_from(seed)");
         assert!(scan(&toks, &[Rule::RngSeed]).is_empty());
+    }
+
+    #[test]
+    fn print_macros_require_bang() {
+        let toks = lex("println!(\"tip {}\", h);");
+        assert_eq!(scan(&toks, &[Rule::PrintOutput]).len(), 1);
+        let toks = lex("eprintln!(\"oops\");");
+        assert_eq!(scan(&toks, &[Rule::PrintOutput]).len(), 1);
+        // A function or method named `print` is not a macro invocation.
+        let toks = lex("fn print(&self) {} self.print();");
+        assert!(scan(&toks, &[Rule::PrintOutput]).is_empty());
+        // Doc comments and strings never trigger.
+        let toks = lex("// println!(\"x\")\nlet s = \"println!\";");
+        assert!(scan(&toks, &[Rule::PrintOutput]).is_empty());
+        // Defining a macro named `println` is not an invocation.
+        let toks = lex("macro_rules! println { () => {} }");
+        assert!(scan(&toks, &[Rule::PrintOutput]).is_empty());
     }
 
     #[test]

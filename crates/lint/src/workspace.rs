@@ -11,6 +11,10 @@
 //!   `unordered-collections`.
 //! * **Hot-path** (`adapter`, `canister`): Algorithm 1 and Algorithm 2
 //!   request handling. Additionally gets `no-panic`.
+//! * **Observability-scoped** (`adapter`, `canister`, `ic`, `btcnet`):
+//!   the instrumented runtime layers. Additionally gets `print-output`
+//!   so stdout writes cannot bypass the deterministic metrics/trace
+//!   layer (bench binaries and tests stay exempt).
 //! * Every crate gets `rng-seed`, `forbid-unsafe` and
 //!   `suppression-reason`.
 
@@ -21,6 +25,7 @@ use std::path::{Path, PathBuf};
 pub const CONSENSUS_CRITICAL: &[&str] = &["bitcoin", "canister", "ic", "core"];
 pub const REPLICATED_STATE: &[&str] = &["canister", "core", "ic"];
 pub const HOT_PATH: &[&str] = &["adapter", "canister"];
+pub const OBSERVABILITY_SCOPED: &[&str] = &["adapter", "canister", "ic", "btcnet"];
 
 /// Resolves the active rule list for a crate (name without `icbtc-`
 /// prefix; the umbrella crate is `"icbtc"`).
@@ -34,6 +39,9 @@ pub fn rules_for(crate_name: &str) -> Vec<Rule> {
     }
     if HOT_PATH.contains(&crate_name) {
         rules.push(Rule::NoPanic);
+    }
+    if OBSERVABILITY_SCOPED.contains(&crate_name) {
+        rules.push(Rule::PrintOutput);
     }
     rules
 }
@@ -146,6 +154,13 @@ mod tests {
         assert!(adapter.contains(&Rule::NoPanic));
         assert!(!adapter.contains(&Rule::Float));
         assert!(!adapter.contains(&Rule::UnorderedCollections));
+        // The four instrumented runtime layers get print-output; the
+        // bench and sim crates (seeded entry points / harness) do not.
+        for c in ["adapter", "canister", "ic", "btcnet"] {
+            assert!(rules_for(c).contains(&Rule::PrintOutput), "{c}");
+        }
+        assert!(!rules_for("bench").contains(&Rule::PrintOutput));
+        assert!(!rules_for("sim").contains(&Rule::PrintOutput));
         let sim = rules_for("sim");
         assert_eq!(sim, vec![Rule::RngSeed, Rule::ForbidUnsafe, Rule::SuppressionReason]);
         // Every crate carries the structural rules.

@@ -46,6 +46,7 @@ bad_fixture!(bad_rng_seed, "rng_seed.rs", "ICL007");
 bad_fixture!(bad_missing_forbid_unsafe, "missing_forbid_unsafe.rs", "ICL008");
 bad_fixture!(bad_reasonless_suppression, "reasonless_suppression.rs", "ICL006", "ICL009");
 bad_fixture!(bad_unknown_rule, "unknown_rule_suppression.rs", "ICL009");
+bad_fixture!(bad_print_output, "print_output.rs", "ICL010");
 
 macro_rules! good_fixture {
     ($test:ident, $file:literal) => {
@@ -65,6 +66,7 @@ good_fixture!(good_test_module_unwrap, "test_module_unwrap.rs");
 good_fixture!(good_seeded_param, "seeded_param.rs");
 good_fixture!(good_forbid_unsafe_root, "forbid_unsafe_root.rs");
 good_fixture!(good_tricky_lexing, "tricky_lexing.rs");
+good_fixture!(good_obs_recording, "obs_recording.rs");
 
 #[test]
 fn suppressions_are_reported_not_dropped() {

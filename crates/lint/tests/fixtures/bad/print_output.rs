@@ -1,0 +1,10 @@
+// BAD: ad-hoc stdout/stderr writes in an instrumented runtime crate
+// (ICL010). These bypass the deterministic metrics registry and trace,
+// so same-seed runs are no longer byte-comparable.
+pub fn ingest(height: u64) {
+    println!("ingested block at height {height}");
+}
+
+pub fn warn_reorg(depth: u64) {
+    eprintln!("reorg of depth {depth}");
+}

@@ -1,0 +1,22 @@
+// GOOD: runtime layers report through the observability layer, not
+// stdout. Counters and trace events are deterministic and seed-stable;
+// test modules may still print freely.
+pub struct Layer {
+    ingested: u64,
+}
+
+impl Layer {
+    pub fn ingest(&mut self, _height: u64) {
+        // obs.metrics.inc("canister_blocks_ingested_total") in real code;
+        // modelled here without the dependency so the fixture lexes alone.
+        self.ingested = self.ingested.saturating_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn debug_printing_in_tests_is_exempt() {
+        println!("tests are not replicated execution");
+    }
+}

@@ -13,6 +13,9 @@
 //!   simulations need (exponential inter-arrival times, rough normals, …).
 //! * [`metrics`] — sample histograms, counters and series used by the
 //!   benchmark harness to regenerate the paper's figures.
+//! * [`obs`] — the deterministic observability layer: a labelled metrics
+//!   registry and a sim-time-stamped structured trace, embedded in every
+//!   runtime component and rendered as byte-stable snapshots.
 //! * [`testkit`] — a seeded property-testing harness used by every crate's
 //!   randomized tests, so the whole workspace tests offline with no
 //!   external dependencies.
@@ -35,6 +38,7 @@
 #![deny(unreachable_pub)]
 
 pub mod metrics;
+pub mod obs;
 mod queue;
 mod rng;
 pub mod testkit;

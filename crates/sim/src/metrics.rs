@@ -66,12 +66,18 @@ impl Histogram {
 
     /// Returns the smallest sample, or 0 if empty.
     pub fn min(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY).pipe_finite()
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
     }
 
     /// Returns the largest sample, or 0 if empty.
     pub fn max(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max).pipe_finite()
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Returns the `p`-th percentile (0–100) using nearest-rank, or 0 if
@@ -101,20 +107,6 @@ impl Histogram {
     /// Returns a view of the raw samples (unspecified order).
     pub fn samples(&self) -> &[f64] {
         &self.samples
-    }
-}
-
-trait PipeFinite {
-    fn pipe_finite(self) -> f64;
-}
-
-impl PipeFinite for f64 {
-    fn pipe_finite(self) -> f64 {
-        if self.is_finite() {
-            self
-        } else {
-            0.0
-        }
     }
 }
 
@@ -303,6 +295,55 @@ mod tests {
         assert_eq!(h.min(), 0.0);
         assert_eq!(h.max(), 0.0);
         assert_eq!(h.percentile(90.0), 0.0);
+    }
+
+    #[test]
+    fn single_sample_min_max_agree() {
+        let mut h = Histogram::new();
+        h.record(42.5);
+        assert_eq!(h.min(), 42.5);
+        assert_eq!(h.max(), 42.5);
+        assert_eq!(h.mean(), 42.5);
+    }
+
+    #[test]
+    fn negative_samples_keep_sign() {
+        // The old `pipe_finite` chain would have zeroed nothing here, but
+        // make the contract explicit: min/max pass negative values through.
+        let mut h = Histogram::new();
+        h.record(-3.0);
+        h.record(-1.0);
+        assert_eq!(h.min(), -3.0);
+        assert_eq!(h.max(), -1.0);
+    }
+
+    #[test]
+    fn empty_series_renders_header_only() {
+        let s = Series::new("empty");
+        let text = s.to_string();
+        assert_eq!(text, "# series: empty\n");
+        assert!(s.is_empty());
+        assert_eq!(s.mean_y(), 0.0);
+    }
+
+    #[test]
+    fn series_mean_y_single_point() {
+        let mut s = Series::new("one");
+        s.push(3.0, 7.5);
+        assert_eq!(s.mean_y(), 7.5);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn table_with_zero_rows_renders_header_and_rule() {
+        let t = Table::new(vec!["col_a", "col_b"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("col_a"));
+        assert!(lines[1].chars().all(|c| c == '-'));
     }
 
     #[test]

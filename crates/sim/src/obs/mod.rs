@@ -1,0 +1,110 @@
+//! `icbtc-obs`: deterministic observability for the simulation runtime.
+//!
+//! Two halves, both zero-dependency and fully deterministic:
+//!
+//! * [`MetricsRegistry`] — monotonic counters, gauges, and fixed-bucket
+//!   histograms with static label sets. Storage is `BTreeMap`-backed so a
+//!   snapshot walks metrics in a canonical order: the same seed always
+//!   renders byte-identical text and JSON snapshots.
+//! * [`Trace`] — structured `span_start` / `span_end` / `event` records
+//!   stamped with sim-time (never wall-clock) and a monotonic sequence
+//!   number, held in a ring buffer and dumpable as JSONL.
+//!
+//! Every runtime layer (adapter, canister, IC subnet, btcnet) owns an
+//! [`Obs`] instance; benches and tests read experiment numbers back out of
+//! the registry instead of keeping hand-rolled tallies, so the instrumented
+//! path and the reported path are the same code.
+//!
+//! # Determinism contract
+//!
+//! * Timestamps come from [`SimTime`](crate::SimTime) only.
+//! * Metric values are integers (`u64` counters / histogram buckets, `i64`
+//!   gauges); no float appears in the JSON snapshot, so rendering is exact.
+//! * Iteration order is the `BTreeMap` key order of `(name, sorted labels)`.
+//! * Trace sequence numbers are assigned in call order; a given seed
+//!   produces the identical call order and therefore identical dumps.
+
+mod registry;
+mod trace;
+
+pub use registry::{
+    FixedHistogram, MetricsRegistry, DEFAULT_BOUNDS, INSTRUCTION_BOUNDS, SNAPSHOT_SCHEMA_VERSION,
+};
+pub use trace::{FieldValue, SpanId, Trace, TraceKind, TraceRecord, DEFAULT_TRACE_CAPACITY};
+
+/// One observability endpoint: a metrics registry plus a trace buffer,
+/// tagged with the component (layer) that owns it.
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_sim::obs::Obs;
+/// use icbtc_sim::SimTime;
+///
+/// let mut obs = Obs::new("adapter");
+/// obs.metrics.inc("adapter_blocks_received_total");
+/// obs.trace.event("adapter.block_received", SimTime::from_secs(5), &[]);
+/// assert_eq!(obs.metrics.counter("adapter_blocks_received_total"), 1);
+/// assert_eq!(obs.trace.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Obs {
+    /// Labelled counters, gauges, and fixed-bucket histograms.
+    pub metrics: MetricsRegistry,
+    /// Ring-buffered structured trace.
+    pub trace: Trace,
+}
+
+impl Obs {
+    /// Creates an endpoint with the default trace capacity.
+    pub fn new(component: &'static str) -> Obs {
+        Obs::with_trace_capacity(component, DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Creates an endpoint whose trace ring buffer holds `capacity` records.
+    pub fn with_trace_capacity(component: &'static str, capacity: usize) -> Obs {
+        Obs { metrics: MetricsRegistry::new(), trace: Trace::new(component, capacity) }
+    }
+
+    /// The component tag stamped on every trace record.
+    pub fn component(&self) -> &'static str {
+        self.trace.component()
+    }
+}
+
+/// Appends `s` to `out` as a JSON string literal (with surrounding quotes).
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_covers_control_and_quotes() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn obs_carries_component_tag() {
+        let obs = Obs::new("canister");
+        assert_eq!(obs.component(), "canister");
+    }
+}

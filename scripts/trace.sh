@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Dump the deterministic observability layer for a full-system run:
+# merged metrics tables on stdout, plus the JSONL trace when requested.
+#
+#   scripts/trace.sh [--seed N] [--rounds N] [--json] [--trace-out PATH]
+#
+# Thin wrapper over the obs_trace bench binary; all flags pass through.
+# Same seed => byte-identical output (scripts/verify.sh enforces this).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+exec cargo run -q --release --offline -p icbtc-bench --bin obs_trace -- "$@"

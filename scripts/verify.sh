@@ -25,6 +25,25 @@ else
     echo "WARNING: clippy not installed in this toolchain; skipping clippy gate" >&2
 fi
 
+echo "==> observability determinism gate (same seed => byte-identical output)"
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+for run in 1 2; do
+    cargo run -q --release --offline -p icbtc-bench --bin obs_trace -- \
+        --seed 42 --rounds 120 --json --trace-out "$OBS_TMP/trace$run.jsonl" \
+        > "$OBS_TMP/metrics$run.json"
+done
+if ! diff -q "$OBS_TMP/metrics1.json" "$OBS_TMP/metrics2.json" >/dev/null; then
+    echo "ERROR: same-seed metrics snapshots differ:" >&2
+    diff "$OBS_TMP/metrics1.json" "$OBS_TMP/metrics2.json" >&2 || true
+    exit 1
+fi
+if ! diff -q "$OBS_TMP/trace1.jsonl" "$OBS_TMP/trace2.jsonl" >/dev/null; then
+    echo "ERROR: same-seed traces differ:" >&2
+    diff "$OBS_TMP/trace1.jsonl" "$OBS_TMP/trace2.jsonl" | head -20 >&2 || true
+    exit 1
+fi
+
 echo "==> verifying the dependency tree is workspace-only"
 if cargo tree --offline --prefix none | grep -v '^icbtc' | grep -q '[^[:space:]]'; then
     echo "ERROR: non-workspace dependency detected:" >&2
@@ -32,4 +51,4 @@ if cargo tree --offline --prefix none | grep -v '^icbtc' | grep -q '[^[:space:]]
     exit 1
 fi
 
-echo "OK: hermetic build + tests + lint passed"
+echo "OK: hermetic build + tests + lint + observability determinism passed"

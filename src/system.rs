@@ -193,6 +193,36 @@ impl System {
         self.rounds_executed
     }
 
+    /// Merges every layer's metrics registry — btcnet, all adapters, the
+    /// subnet, and the canister — into one deterministic snapshot. Metric
+    /// names are layer-prefixed, so merging only aggregates the adapters
+    /// (counters add, gauges sum across the replica fleet).
+    pub fn merged_metrics(&self) -> icbtc_sim::obs::MetricsRegistry {
+        let mut merged = icbtc_sim::obs::MetricsRegistry::new();
+        merged.merge_from(&self.btc.obs().metrics);
+        for adapter in &self.adapters {
+            merged.merge_from(&adapter.obs().metrics);
+        }
+        merged.merge_from(&self.subnet.obs().metrics);
+        merged.merge_from(&self.canister().obs().metrics);
+        merged
+    }
+
+    /// Dumps every layer's trace as JSONL: btcnet, adapter 0 (the others
+    /// see statistically identical traffic), the subnet, the canister.
+    /// Each line carries its component tag; within a component, records
+    /// are ordered by sequence number.
+    pub fn trace_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.btc.obs().trace.dump_jsonl());
+        if let Some(adapter) = self.adapters.first() {
+            out.push_str(&adapter.obs().trace.dump_jsonl());
+        }
+        out.push_str(&self.subnet.obs().trace.dump_jsonl());
+        out.push_str(&self.canister().obs().trace.dump_jsonl());
+        out
+    }
+
     /// Arms the Lemma IV.3 downtime attack: while active, Byzantine block
     /// makers feed `attack`'s fork blocks one per round with `N = ∅`;
     /// honest makers keep answering from their adapters.
@@ -250,7 +280,7 @@ impl System {
                 adapters[info.block_maker.0 as usize].handle_request(btc, &request)
             };
             let now_unix = btc.unix_time(ctx.now);
-            canister.state_mut().process_response(response, now_unix, ctx.meter);
+            canister.ingest_response(response, now_unix, ctx);
         });
         self.rounds_executed += 1;
         report
@@ -401,6 +431,7 @@ fn estimate_response_bytes(outcome: &CallOutcome) -> usize {
         Ok(CanisterReply::TransactionSent(_)) => 32,
         Ok(CanisterReply::FeePercentiles(p)) => 8 * p.len(),
         Ok(CanisterReply::BlockHeaders(r)) => 16 + r.headers.len() * 80,
+        Ok(CanisterReply::Metrics(_)) => 72,
         Err(_) => 32,
     }
 }
