@@ -6,9 +6,16 @@
 //! On mainnet `(t_l, t_u, ℓ) = (500, 2000, 5)`. Random selection over a
 //! large pool is what Lemma IV.1's eclipse-resistance argument rests on.
 
+use std::collections::BTreeMap;
+
 use icbtc_btcnet::{BtcNetwork, ConnId, Message, NodeId};
 use icbtc_core::IntegrationParams;
-use icbtc_sim::SimRng;
+use icbtc_sim::{SimDuration, SimRng, SimTime};
+
+/// How long a banned node stays banned. Long enough that a misbehaving
+/// peer is effectively out of the picture for a soak, short enough that
+/// a peer misclassified during an outage eventually serves again.
+pub const BAN_DURATION: SimDuration = SimDuration::from_secs(3600);
 
 /// The discovery state machine and connection pool of one adapter.
 ///
@@ -34,12 +41,21 @@ pub struct ConnectionManager {
     addresses: Vec<NodeId>,
     connections: Vec<(ConnId, NodeId)>,
     discovering: bool,
+    /// Banned nodes and when each ban expires. Ordered for deterministic
+    /// iteration.
+    banned: BTreeMap<NodeId, SimTime>,
 }
 
 impl ConnectionManager {
     /// Creates a manager with an empty address pool (discovery pending).
     pub fn new(params: IntegrationParams) -> ConnectionManager {
-        ConnectionManager { params, addresses: Vec::new(), connections: Vec::new(), discovering: true }
+        ConnectionManager {
+            params,
+            addresses: Vec::new(),
+            connections: Vec::new(),
+            discovering: true,
+            banned: BTreeMap::new(),
+        }
     }
 
     /// The current address pool.
@@ -62,10 +78,62 @@ impl ConnectionManager {
         self.discovering
     }
 
-    /// Ingests addresses learned from `addr` gossip.
+    /// The node behind a live connection, if the connection is ours.
+    pub fn node_for(&self, conn: ConnId) -> Option<NodeId> {
+        self.connections.iter().find(|(c, _)| *c == conn).map(|(_, n)| *n)
+    }
+
+    /// Forces a fresh discovery round: the next maintain passes request
+    /// addresses from every peer until the pool refills. Called by the
+    /// adapter when header sync wedges.
+    pub fn force_discovery(&mut self) {
+        self.discovering = true;
+    }
+
+    /// Whether `node` is currently banned.
+    pub fn is_banned(&self, node: NodeId) -> bool {
+        self.banned.contains_key(&node)
+    }
+
+    /// Currently banned nodes, in id order.
+    pub fn banned_nodes(&self) -> Vec<NodeId> {
+        self.banned.keys().copied().collect()
+    }
+
+    /// Number of currently banned nodes.
+    pub fn banned_len(&self) -> usize {
+        self.banned.len()
+    }
+
+    /// Bans `node` for [`BAN_DURATION`]: severs its connections, purges
+    /// its address from the pool, and leaves the next maintain pass to
+    /// reconnect elsewhere.
+    pub fn ban(&mut self, net: &mut BtcNetwork, node: NodeId, now: SimTime) {
+        self.banned.insert(node, now + BAN_DURATION);
+        self.addresses.retain(|a| *a != node);
+        let severed: Vec<ConnId> =
+            self.connections.iter().filter(|(_, n)| *n == node).map(|(c, _)| *c).collect();
+        for conn in severed {
+            self.drop_connection(net, conn);
+        }
+    }
+
+    /// The pool's size cap: `t_u`, but never below ℓ so the adapter can
+    /// always hold ℓ distinct targets.
+    fn pool_cap(&self) -> usize {
+        self.params.addr_high_watermark.max(self.params.connections)
+    }
+
+    /// Ingests addresses learned from `addr` gossip. Banned nodes are
+    /// ignored and the pool is capped at `max(t_u, ℓ)` so it stays
+    /// bounded no matter how much gossip arrives.
     pub fn learn_addresses(&mut self, addrs: &[NodeId]) {
+        let cap = self.pool_cap();
         for addr in addrs {
-            if !self.addresses.contains(addr) {
+            if self.addresses.len() >= cap {
+                break;
+            }
+            if !self.banned.contains_key(addr) && !self.addresses.contains(addr) {
                 self.addresses.push(*addr);
             }
         }
@@ -83,6 +151,10 @@ impl ConnectionManager {
     ///    from the pool (service continues with ≥ 1 connection even while
     ///    discovery is incomplete, as in the paper).
     pub fn maintain(&mut self, net: &mut BtcNetwork, rng: &mut SimRng) {
+        // Expire bans whose time has come.
+        let now = net.now();
+        self.banned.retain(|_, until| now < *until);
+
         // Drop connections the network closed underneath us.
         self.connections.retain(|(conn, _)| net.external_is_open(*conn));
 
@@ -90,7 +162,9 @@ impl ConnectionManager {
             let seeds = net.dns_seed_sample(self.params.addr_high_watermark.max(8));
             self.learn_addresses(&seeds);
         }
-        if self.addresses.len() < self.params.addr_low_watermark {
+        // Re-enter discovery when the pool drops below `t_l` — or below
+        // ℓ, so a ban-shrunk pool refills enough to reconnect elsewhere.
+        if self.addresses.len() < self.params.addr_low_watermark.max(self.params.connections) {
             self.discovering = true;
         }
         if self.discovering {
@@ -189,6 +263,100 @@ mod tests {
         let (mut net, mut manager, mut rng) = setup(2, 1);
         manager.maintain(&mut net, &mut rng);
         assert_eq!(manager.connections().len(), 1);
+    }
+
+    #[test]
+    fn bans_sever_purge_and_expire() {
+        let (mut net, mut manager, mut rng) = setup(10, 3);
+        manager.maintain(&mut net, &mut rng);
+        let (conn, node) = manager.connections()[0];
+        let now = net.now();
+        manager.ban(&mut net, node, now);
+        assert!(manager.is_banned(node));
+        assert_eq!(manager.banned_len(), 1);
+        assert_eq!(manager.banned_nodes(), vec![node]);
+        assert!(!manager.connection_ids().contains(&conn));
+        assert!(!manager.addresses().contains(&node));
+        assert_eq!(manager.node_for(conn), None);
+        // Gossip cannot smuggle the banned address back in.
+        manager.learn_addresses(&[node]);
+        assert!(!manager.addresses().contains(&node));
+        // The next maintain pass reconnects elsewhere.
+        manager.maintain(&mut net, &mut rng);
+        net.run_until(now + SimDuration::from_secs(5));
+        manager.maintain(&mut net, &mut rng);
+        assert_eq!(manager.connections().len(), 3);
+        assert!(manager.connections().iter().all(|(_, n)| *n != node));
+        // Bans expire.
+        net.run_until(now + BAN_DURATION + SimDuration::from_secs(1));
+        manager.maintain(&mut net, &mut rng);
+        assert!(!manager.is_banned(node));
+        assert_eq!(manager.banned_len(), 0);
+    }
+
+    #[test]
+    fn address_pool_is_bounded() {
+        let mut params = IntegrationParams::for_network(Network::Regtest).with_connections(2);
+        params.addr_high_watermark = 4;
+        let mut manager = ConnectionManager::new(params);
+        let flood: Vec<NodeId> = (0..100).map(NodeId).collect();
+        manager.learn_addresses(&flood);
+        assert_eq!(manager.addresses().len(), 4, "pool capped at max(t_u, ℓ)");
+        assert!(!manager.is_discovering());
+    }
+
+    #[test]
+    fn property_discovery_recovers_under_churn() {
+        use icbtc_sim::{testkit, SimDuration};
+        testkit::check(0xC0FF_EE5E, 24, |rng| {
+            let mut net = BtcNetwork::new(NetworkConfig::regtest(8), rng.next_u64());
+            let mut params = IntegrationParams::for_network(Network::Regtest).with_connections(3);
+            params.addr_low_watermark = 2;
+            params.addr_high_watermark = 4;
+            let cap = params.addr_high_watermark.max(params.connections);
+            let mut mrng = SimRng::seed_from(rng.next_u64());
+            let mut manager = ConnectionManager::new(params);
+            let mut banned_now: Option<NodeId> = None;
+            for round in 0..25u32 {
+                manager.maintain(&mut net, &mut mrng);
+                // Invariant: the pool never exceeds its cap, and never
+                // holds a banned address.
+                assert!(manager.addresses().len() <= cap, "pool exceeded t_u");
+                if let Some(node) = banned_now {
+                    if manager.is_banned(node) {
+                        assert!(!manager.addresses().contains(&node));
+                        assert!(manager.connections().iter().all(|(_, n)| *n != node));
+                    }
+                }
+                // Churn: close a random subset of connections; once in a
+                // while ban a random live peer outright.
+                let closes = testkit::usize_in(rng, 0..3);
+                for _ in 0..closes {
+                    let conns = manager.connection_ids();
+                    if conns.is_empty() {
+                        break;
+                    }
+                    let victim = conns[testkit::usize_in(rng, 0..conns.len())];
+                    manager.drop_connection(&mut net, victim);
+                }
+                if round % 7 == 3 && !manager.connections().is_empty() {
+                    let pick = testkit::usize_in(rng, 0..manager.connections().len());
+                    let (_, node) = manager.connections()[pick];
+                    let now = net.now();
+                    manager.ban(&mut net, node, now);
+                    banned_now = Some(node);
+                }
+                net.run_until(net.now() + SimDuration::from_secs(30));
+            }
+            // Recovery: with churn stopped, the pool and the connection
+            // set climb back to target.
+            for _ in 0..6 {
+                manager.maintain(&mut net, &mut mrng);
+                net.run_until(net.now() + SimDuration::from_secs(30));
+            }
+            assert_eq!(manager.connections().len(), 3, "pool did not recover to ℓ");
+            assert!(manager.addresses().len() <= cap);
+        });
     }
 
     #[test]

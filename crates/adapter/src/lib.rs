@@ -9,9 +9,12 @@
 //! δ-stability logic.
 //!
 //! * [`discovery`] — DNS-seeded address collection with the `t_l`/`t_u`
-//!   watermarks and ℓ uniformly random connections (Lemma IV.1).
+//!   watermarks, ℓ uniformly random connections (Lemma IV.1), and
+//!   time-limited peer bans.
+//! * [`peers`] — per-node misbehaviour scoring feeding the ban logic.
 //! * [`txcache`] — the 10-minute outbound transaction cache.
-//! * [`BitcoinAdapter`] — header sync, block fetching, and **Algorithm 1**
+//! * [`BitcoinAdapter`] — header sync, block fetching with per-peer
+//!   backoff and rotation, stall detection, and **Algorithm 1**
 //!   ([`BitcoinAdapter::handle_request`]).
 
 #![forbid(unsafe_code)]
@@ -19,8 +22,10 @@
 
 pub mod adapter;
 pub mod discovery;
+pub mod peers;
 pub mod txcache;
 
 pub use adapter::BitcoinAdapter;
-pub use discovery::{eclipse_probability, ConnectionManager};
+pub use discovery::{eclipse_probability, ConnectionManager, BAN_DURATION};
+pub use peers::{Offence, PeerScorer, BAN_SCORE};
 pub use txcache::TransactionCache;

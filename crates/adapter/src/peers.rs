@@ -1,0 +1,168 @@
+//! Per-peer misbehaviour scoring (mirrors the production
+//! bitcoin-adapter's peer management).
+//!
+//! Every hard protocol violation a peer commits — invalid headers,
+//! invalid or truncated blocks, oversized messages, stalled
+//! connections — adds a weighted offence to that *node's* score (scores
+//! follow the node, not the connection, so reconnecting does not launder
+//! a bad reputation). Reaching [`BAN_SCORE`] gets the node banned: its
+//! connections are severed, its address is purged from the pool, and the
+//! connection manager reconnects elsewhere. Bans expire after
+//! `discovery::BAN_DURATION` so a peer misclassified during an outage
+//! can eventually serve again.
+//!
+//! Benign conditions are deliberately *not* scored: orphan headers
+//! (out-of-order delivery), `notfound` replies (inventory races), and
+//! slow block fetches (the backoff path handles those) are everyday
+//! behaviour of honest peers on a degraded network.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use icbtc_btcnet::NodeId;
+
+/// Score at which a peer is banned.
+pub const BAN_SCORE: u32 = 100;
+
+/// A hard protocol violation attributable to a peer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Offence {
+    /// A header that fails stateless/contextual validation for a reason
+    /// other than a missing parent (bad PoW, wrong bits, bad timestamp).
+    InvalidHeader,
+    /// A block whose header or body is invalid (bad PoW, malformed).
+    InvalidBlock,
+    /// A message exceeding the protocol's size caps.
+    Oversized,
+    /// A connection that went silent while other peers kept talking.
+    Stall,
+}
+
+impl Offence {
+    /// The score this offence adds.
+    pub fn weight(self) -> u32 {
+        match self {
+            Offence::InvalidHeader => 20,
+            Offence::InvalidBlock => 34,
+            Offence::Oversized => 50,
+            Offence::Stall => 34,
+        }
+    }
+
+    /// Static label for metrics.
+    pub fn kind(self) -> &'static str {
+        match self {
+            Offence::InvalidHeader => "invalid-header",
+            Offence::InvalidBlock => "invalid-block",
+            Offence::Oversized => "oversized",
+            Offence::Stall => "stall",
+        }
+    }
+
+    /// All offence variants (for tests and docs).
+    pub fn all() -> &'static [Offence] {
+        &[Offence::InvalidHeader, Offence::InvalidBlock, Offence::Oversized, Offence::Stall]
+    }
+}
+
+/// Accumulated misbehaviour scores, keyed by node so they survive
+/// reconnects.
+#[derive(Debug, Default)]
+pub struct PeerScorer {
+    scores: BTreeMap<NodeId, u32>,
+}
+
+impl PeerScorer {
+    /// A scorer with no history.
+    pub fn new() -> PeerScorer {
+        PeerScorer::default()
+    }
+
+    /// Records an offence and returns the node's new score.
+    pub fn record(&mut self, node: NodeId, offence: Offence) -> u32 {
+        let score = self.scores.entry(node).or_insert(0);
+        *score = score.saturating_add(offence.weight());
+        *score
+    }
+
+    /// The node's current score (zero if clean).
+    pub fn score(&self, node: NodeId) -> u32 {
+        self.scores.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Clears a node's history (called when the ban lands — the ban
+    /// itself is the slate-wipe; after expiry the peer starts clean).
+    pub fn forget(&mut self, node: NodeId) {
+        self.scores.remove(&node);
+    }
+
+    /// Drops scores for nodes no longer of interest.
+    pub fn retain_nodes(&mut self, keep: &BTreeSet<NodeId>) {
+        self.scores.retain(|n, _| keep.contains(n));
+    }
+
+    /// Number of nodes with a nonzero score.
+    pub fn tracked(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Upper bound on how many offences of the *lightest* kind a peer
+    /// can commit before the ban lands — the "bounded number of
+    /// offences" guarantee.
+    pub fn max_offences_to_ban() -> u32 {
+        let min_weight = Offence::all().iter().map(|o| o.weight()).min().unwrap_or(1).max(1);
+        BAN_SCORE.div_ceil(min_weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_offence_bans_within_the_bound() {
+        for &offence in Offence::all() {
+            let mut scorer = PeerScorer::new();
+            let node = NodeId(7);
+            let mut offences = 0;
+            while scorer.record(node, offence) < BAN_SCORE {
+                offences += 1;
+                assert!(
+                    offences <= PeerScorer::max_offences_to_ban(),
+                    "{} never reaches the ban score",
+                    offence.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scores_follow_the_node_and_forget_wipes_them() {
+        let mut scorer = PeerScorer::new();
+        scorer.record(NodeId(1), Offence::InvalidHeader);
+        scorer.record(NodeId(1), Offence::InvalidHeader);
+        assert_eq!(scorer.score(NodeId(1)), 2 * Offence::InvalidHeader.weight());
+        assert_eq!(scorer.score(NodeId(2)), 0);
+        assert_eq!(scorer.tracked(), 1);
+        scorer.forget(NodeId(1));
+        assert_eq!(scorer.score(NodeId(1)), 0);
+        assert_eq!(scorer.tracked(), 0);
+    }
+
+    #[test]
+    fn retain_drops_unlisted_nodes() {
+        let mut scorer = PeerScorer::new();
+        scorer.record(NodeId(1), Offence::Stall);
+        scorer.record(NodeId(2), Offence::Stall);
+        let keep: BTreeSet<NodeId> = std::iter::once(NodeId(2)).collect();
+        scorer.retain_nodes(&keep);
+        assert_eq!(scorer.score(NodeId(1)), 0);
+        assert!(scorer.score(NodeId(2)) > 0);
+    }
+
+    #[test]
+    fn weights_and_kinds_are_positive_and_distinct() {
+        let kinds: BTreeSet<&str> = Offence::all().iter().map(|o| o.kind()).collect();
+        assert_eq!(kinds.len(), Offence::all().len());
+        assert!(Offence::all().iter().all(|o| o.weight() > 0));
+    }
+}

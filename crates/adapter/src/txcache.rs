@@ -6,7 +6,7 @@
 //! until it expires (10 minutes in production) — the paper's best-effort
 //! strategy, acceptable because mempool admission is never guaranteed.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use icbtc_bitcoin::{Transaction, Txid};
 use icbtc_sim::{SimDuration, SimTime};
@@ -38,14 +38,16 @@ struct CacheEntry {
 /// ```
 #[derive(Debug, Default)]
 pub struct TransactionCache {
-    entries: HashMap<Txid, CacheEntry>,
+    /// Ordered so that `txids()` (and the resulting advertisement order)
+    /// is independent of hasher randomization.
+    entries: BTreeMap<Txid, CacheEntry>,
     expiry: SimDuration,
 }
 
 impl TransactionCache {
     /// Creates a cache with the given entry lifetime.
     pub fn new(expiry: SimDuration) -> TransactionCache {
-        TransactionCache { entries: HashMap::new(), expiry }
+        TransactionCache { entries: BTreeMap::new(), expiry }
     }
 
     /// Inserts (or refreshes) a transaction at time `now`. Returns its

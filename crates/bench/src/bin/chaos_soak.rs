@@ -1,0 +1,171 @@
+//! Chaos soak: one Bitcoin adapter against a deliberately hostile
+//! simulated Bitcoin network.
+//!
+//! ```text
+//! cargo run --release -p icbtc-bench --bin chaos_soak -- \
+//!     [--seed N] [--plan NAME] [--recovery SECS] [--json] [--trace-out PATH]
+//! ```
+//!
+//! Boots an 8-node regtest network, installs one of the built-in fault
+//! plans (`loss`, `partition`, `churn`, `crash`, `stall`, `malformed`,
+//! `mixed`, or `none`), and soaks a single adapter — header sync, block
+//! fetch with backoff, peer scoring, stall detection — through the whole
+//! fault window plus a recovery tail. A canister-like consumer drives
+//! `GetSuccessors` throughout, so graceful-degradation paths (partial
+//! responses, deferred fetches) are exercised too.
+//!
+//! On exit it prints the merged btcnet + adapter metrics registry (text
+//! tables by default, `snapshot_json()` with `--json`) and, with
+//! `--trace-out`, writes both layers' JSONL traces to a file. Everything
+//! emitted is a pure function of `(seed, plan)`: `scripts/verify.sh`
+//! runs this binary twice with the same arguments and `diff`s the
+//! outputs as the chaos determinism gate.
+
+use icbtc::adapter::BitcoinAdapter;
+use icbtc::bitcoin::Network;
+use icbtc::btcnet::network::{BtcNetwork, NetworkConfig};
+use icbtc::btcnet::{FaultPlan, CHAOS_NODES};
+use icbtc::core::{GetSuccessorsRequest, IntegrationParams};
+use icbtc::sim::{SimDuration, SimTime};
+
+struct Args {
+    seed: u64,
+    plan: String,
+    recovery_secs: u64,
+    json: bool,
+    trace_out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 42,
+        plan: "mixed".to_string(),
+        recovery_secs: 1800,
+        json: false,
+        trace_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
+                args.seed = v.parse().unwrap_or_else(|_| usage("--seed must be a u64"));
+            }
+            "--plan" => {
+                args.plan = it.next().unwrap_or_else(|| usage("--plan needs a name"));
+            }
+            "--recovery" => {
+                let v = it.next().unwrap_or_else(|| usage("--recovery needs a value"));
+                args.recovery_secs =
+                    v.parse().unwrap_or_else(|_| usage("--recovery must be seconds (u64)"));
+            }
+            "--json" => args.json = true,
+            "--trace-out" => {
+                args.trace_out =
+                    Some(it.next().unwrap_or_else(|| usage("--trace-out needs a path")));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag `{other}`")),
+        }
+    }
+    args
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: chaos_soak [--seed N] [--plan NAME] [--recovery SECS] [--json] [--trace-out PATH]\n\
+         \n\
+         --seed N        simulation seed (default 42)\n\
+         --plan NAME     fault plan: {}, or `none` (default mixed)\n\
+         --recovery S    fault-free tail after the plan ends, seconds (default 1800)\n\
+         --json          print the merged metrics snapshot as JSON (default: text tables)\n\
+         --trace-out P   write the JSONL traces of both layers to P",
+        FaultPlan::builtin_names().join(", ")
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn resolve_plan(name: &str) -> FaultPlan {
+    if name == "none" {
+        return FaultPlan::none();
+    }
+    FaultPlan::builtin(name).unwrap_or_else(|| usage(&format!("unknown plan `{name}`")))
+}
+
+fn main() {
+    let args = parse_args();
+    let plan = resolve_plan(&args.plan);
+
+    let mut net = BtcNetwork::new(NetworkConfig::regtest(CHAOS_NODES), args.seed);
+    let deadline = plan.ends_at() + SimDuration::from_secs(args.recovery_secs);
+    net.set_fault_plan(plan);
+
+    // ℓ = 5 of 8 nodes: enough overlap that every plan's misbehaving
+    // peers are actually talked to.
+    let params = IntegrationParams::for_network(Network::Regtest).with_connections(5);
+    let mut adapter = BitcoinAdapter::new(params, args.seed.wrapping_add(1));
+
+    // Canister-like consumer state for the GetSuccessors drive.
+    let genesis = Network::Regtest.genesis_block().header;
+    let mut processed = Vec::new();
+    let mut next_request = SimTime::ZERO;
+
+    while net.now() < deadline {
+        adapter.step(&mut net);
+        if net.now() >= next_request {
+            let request = GetSuccessorsRequest {
+                anchor: genesis,
+                anchor_height: 0,
+                processed: processed.clone(),
+                transactions: Vec::new(),
+            };
+            let response = adapter.handle_request(&mut net, &request);
+            processed.extend(response.blocks.iter().map(|b| b.block_hash()));
+            next_request = net.now() + SimDuration::from_secs(30);
+        }
+        net.run_until(net.now() + SimDuration::from_secs(5));
+    }
+    // A few fault-free upkeep passes so the final gauges settle.
+    for _ in 0..5 {
+        adapter.step(&mut net);
+        net.run_until(net.now() + SimDuration::from_secs(5));
+    }
+
+    let mut metrics = icbtc::sim::obs::MetricsRegistry::new();
+    metrics.merge_from(&net.obs().metrics);
+    metrics.merge_from(&adapter.obs().metrics);
+    if args.json {
+        println!("{}", metrics.snapshot_json());
+    } else {
+        println!(
+            "# chaos_soak: seed={} plan={} deadline={}s",
+            args.seed,
+            args.plan,
+            deadline.as_nanos() / 1_000_000_000
+        );
+        let heights: Vec<String> = (0..CHAOS_NODES)
+            .map(|i| net.node(icbtc::btcnet::NodeId(i as u32)).chain().tip_height().to_string())
+            .collect();
+        println!(
+            "# net tip={} adapter tip={} blocks consumed={} node heights=[{}]",
+            net.best_height(),
+            adapter.best_header_height(),
+            processed.len(),
+            heights.join(",")
+        );
+        println!("{}", metrics.snapshot_text());
+    }
+
+    if let Some(path) = args.trace_out {
+        let mut out = String::new();
+        out.push_str(&net.obs().trace.dump_jsonl());
+        out.push_str(&adapter.obs().trace.dump_jsonl());
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("error: cannot write trace to {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}

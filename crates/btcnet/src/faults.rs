@@ -1,0 +1,402 @@
+//! Deterministic fault injection for the simulated Bitcoin network.
+//!
+//! A [`FaultPlan`] attached to a [`crate::network::BtcNetwork`] degrades
+//! the fabric the way the real Bitcoin P2P network degrades: links lose,
+//! delay, reorder and duplicate messages; the topology partitions and
+//! heals on schedule; nodes crash and restart (with or without their
+//! persisted chain state); external adapter connections churn; and
+//! individual peers turn malicious — serving malformed headers,
+//! invalid-proof-of-work blocks, truncated bodies, oversized messages,
+//! or nothing at all.
+//!
+//! Every stochastic choice (which message is lost, how much jitter, which
+//! connection churns) is drawn from the network's own seeded `SimRng`, so
+//! a given (seed, plan) pair produces a byte-identical fault schedule.
+//! Chaos runs are exactly reproducible and diffable — the property behind
+//! `scripts/verify.sh`'s chaos determinism gate.
+
+use std::collections::BTreeSet;
+
+use icbtc_sim::{SimDuration, SimTime};
+
+use crate::messages::{NodeId, PeerRef};
+
+/// Node count the [`FaultPlan::builtin`] plans are written against: the
+/// canonical chaos topology used by `tests/chaos.rs` and the
+/// `chaos_soak` bench binary.
+pub const CHAOS_NODES: usize = 8;
+
+/// Stochastic per-link message faults, applied to every message (gossip
+/// and external/adapter links alike) scheduled while the window is open.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkFaults {
+    /// Probability of silently dropping a message, in thousandths.
+    pub loss_permille: u32,
+    /// Fixed delay added on top of the sampled base latency.
+    pub extra_delay: SimDuration,
+    /// Uniform extra delay in `[0, jitter)` added per message.
+    pub jitter: SimDuration,
+    /// Probability (permille) of delivering a message twice.
+    pub duplicate_permille: u32,
+    /// Probability (permille) of holding a message back so later traffic
+    /// overtakes it.
+    pub reorder_permille: u32,
+    /// How long a reordered message is held back.
+    pub reorder_hold: SimDuration,
+    /// The window closes at this simulated time.
+    pub until: SimTime,
+}
+
+impl Default for LinkFaults {
+    fn default() -> LinkFaults {
+        LinkFaults {
+            loss_permille: 0,
+            extra_delay: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+            duplicate_permille: 0,
+            reorder_permille: 0,
+            reorder_hold: SimDuration::ZERO,
+            until: SimTime::ZERO,
+        }
+    }
+}
+
+impl LinkFaults {
+    /// Whether any link fault can fire at time `now`.
+    pub fn is_active(&self, now: SimTime) -> bool {
+        now < self.until
+            && (self.loss_permille > 0
+                || self.extra_delay > SimDuration::ZERO
+                || self.jitter > SimDuration::ZERO
+                || self.duplicate_permille > 0
+                || self.reorder_permille > 0)
+    }
+}
+
+/// A scheduled network partition: nodes inside `island` cannot exchange
+/// messages with anything outside it while the partition is up. External
+/// (adapter) endpoints always count as *outside* the island, so an island
+/// holding every node models "the adapter is cut off from the network".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// The isolated node set.
+    pub island: BTreeSet<NodeId>,
+    /// When the partition comes up.
+    pub start: SimTime,
+    /// When it heals (messages flow again; no replay of lost traffic).
+    pub heal_at: SimTime,
+}
+
+impl Partition {
+    /// Builds a partition from a plain node list.
+    pub fn new(island: &[NodeId], start: SimTime, heal_at: SimTime) -> Partition {
+        Partition { island: island.iter().copied().collect(), start, heal_at }
+    }
+
+    /// Whether the partition is up at `now`.
+    pub fn is_active(&self, now: SimTime) -> bool {
+        self.start <= now && now < self.heal_at
+    }
+
+    /// Whether `peer` sits inside the island.
+    pub fn contains(&self, peer: PeerRef) -> bool {
+        match peer {
+            PeerRef::Node(id) => self.island.contains(&id),
+            PeerRef::External(_) => false,
+        }
+    }
+
+    /// Whether the partition severs the link between `a` and `b`.
+    pub fn separates(&self, a: PeerRef, b: PeerRef) -> bool {
+        self.contains(a) != self.contains(b)
+    }
+}
+
+/// A scheduled node crash and restart.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Crash {
+    /// The node that goes down.
+    pub node: NodeId,
+    /// When it stops processing messages (queued traffic is dropped on
+    /// arrival; nothing is generated).
+    pub at: SimTime,
+    /// When it comes back and issues fresh `getheaders` to its peers.
+    pub restart_at: SimTime,
+    /// `true` models a disk loss: the chain store, mempool and relay
+    /// state are reset to genesis before the restart sync.
+    pub wipe_state: bool,
+}
+
+/// A peer-churn schedule: every `period`, up to `closes_per_tick`
+/// external (adapter) connections are closed, chosen uniformly by the
+/// network's RNG. The adapter's connection manager is expected to detect
+/// the closes and reconnect elsewhere.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Churn {
+    /// First tick.
+    pub first_at: SimTime,
+    /// Tick spacing.
+    pub period: SimDuration,
+    /// External connections closed per tick.
+    pub closes_per_tick: usize,
+    /// Last tick fires at or before this time.
+    pub until: SimTime,
+}
+
+/// How a misbehaving node answers *external* (adapter) sync requests.
+/// The node stays honest toward its in-network gossip peers, so the
+/// honest chain keeps converging around it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Misbehavior {
+    /// Accepts `getheaders`/`getdata` and never replies.
+    Stall,
+    /// Answers `getheaders` with headers carrying wrong difficulty bits
+    /// (guaranteed `BadDifficultyBits`, independent of the PoW lottery).
+    MalformedHeaders,
+    /// Serves requested blocks with the nonce corrupted until the header
+    /// hash misses its target (`BadProofOfWork`; the hash also no longer
+    /// matches the request, exercising the adapter's re-request path).
+    InvalidPowBlocks,
+    /// Serves requested blocks with the transaction list emptied
+    /// (`MalformedBlock`; the hash still matches the request).
+    TruncatedBlocks,
+    /// Answers `getheaders` with more headers than the protocol allows.
+    Oversized,
+}
+
+impl Misbehavior {
+    /// Static label for metrics.
+    pub fn kind(self) -> &'static str {
+        match self {
+            Misbehavior::Stall => "stall",
+            Misbehavior::MalformedHeaders => "malformed-headers",
+            Misbehavior::InvalidPowBlocks => "invalid-pow",
+            Misbehavior::TruncatedBlocks => "truncated-blocks",
+            Misbehavior::Oversized => "oversized",
+        }
+    }
+}
+
+/// A complete deterministic fault schedule for one network.
+///
+/// Install it with `BtcNetwork::set_fault_plan`. An empty plan (the
+/// default) injects nothing, so un-faulted simulations pay no cost and
+/// draw no extra randomness — existing seeds stay byte-stable.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Stochastic link degradation.
+    pub link: LinkFaults,
+    /// Scheduled partitions.
+    pub partitions: Vec<Partition>,
+    /// Scheduled crash/restart pairs.
+    pub crashes: Vec<Crash>,
+    /// Optional external-connection churn schedule.
+    pub churn: Option<Churn>,
+    /// Misbehaving nodes and their modes (at most one mode per node; the
+    /// first entry for a node wins).
+    pub misbehavior: Vec<(NodeId, Misbehavior)>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+
+    /// The time after which no scheduled fault is active any more.
+    /// Misbehaving peers never stop on their own — the adapter is
+    /// expected to ban them — so they do not extend this bound.
+    pub fn ends_at(&self) -> SimTime {
+        let mut end = SimTime::ZERO;
+        if self.link.is_active(SimTime::ZERO) || self.link.until > SimTime::ZERO {
+            end = end.max(self.link.until);
+        }
+        for p in &self.partitions {
+            end = end.max(p.heal_at);
+        }
+        for c in &self.crashes {
+            end = end.max(c.restart_at);
+        }
+        if let Some(ch) = &self.churn {
+            end = end.max(ch.until);
+        }
+        end
+    }
+
+    /// Names accepted by [`FaultPlan::builtin`].
+    pub fn builtin_names() -> &'static [&'static str] {
+        &["loss", "partition", "churn", "crash", "stall", "malformed", "mixed"]
+    }
+
+    /// The canonical chaos plans shared by `tests/chaos.rs` and the
+    /// `chaos_soak` bench binary. All are written against a network of
+    /// [`CHAOS_NODES`] honest nodes and finish injecting by two simulated
+    /// hours, leaving the recovery window fault-free.
+    pub fn builtin(name: &str) -> Option<FaultPlan> {
+        let h = SimTime::from_secs;
+        match name {
+            "loss" => Some(FaultPlan {
+                link: LinkFaults {
+                    loss_permille: 150,
+                    extra_delay: SimDuration::from_millis(300),
+                    jitter: SimDuration::from_millis(500),
+                    duplicate_permille: 50,
+                    reorder_permille: 100,
+                    reorder_hold: SimDuration::from_secs(2),
+                    until: h(7200),
+                },
+                ..FaultPlan::default()
+            }),
+            "partition" => Some(FaultPlan {
+                partitions: vec![
+                    // Two nodes drop off the network for 35 minutes.
+                    Partition::new(&[NodeId(0), NodeId(1)], h(900), h(3000)),
+                    // Later, the whole network isolates itself from
+                    // external endpoints: a total adapter outage.
+                    Partition::new(&all_chaos_nodes(), h(4200), h(4800)),
+                ],
+                ..FaultPlan::default()
+            }),
+            "churn" => Some(FaultPlan {
+                churn: Some(Churn {
+                    first_at: h(600),
+                    period: SimDuration::from_secs(180),
+                    closes_per_tick: 1,
+                    until: h(7200),
+                }),
+                ..FaultPlan::default()
+            }),
+            "crash" => Some(FaultPlan {
+                crashes: vec![
+                    Crash { node: NodeId(2), at: h(900), restart_at: h(2700), wipe_state: true },
+                    Crash { node: NodeId(3), at: h(1500), restart_at: h(2400), wipe_state: false },
+                ],
+                ..FaultPlan::default()
+            }),
+            "stall" => Some(FaultPlan {
+                misbehavior: vec![(NodeId(1), Misbehavior::Stall)],
+                ..FaultPlan::default()
+            }),
+            "malformed" => Some(FaultPlan {
+                misbehavior: vec![
+                    (NodeId(1), Misbehavior::MalformedHeaders),
+                    (NodeId(2), Misbehavior::InvalidPowBlocks),
+                    (NodeId(3), Misbehavior::TruncatedBlocks),
+                    (NodeId(4), Misbehavior::Oversized),
+                ],
+                ..FaultPlan::default()
+            }),
+            "mixed" => Some(FaultPlan {
+                link: LinkFaults {
+                    loss_permille: 80,
+                    extra_delay: SimDuration::from_millis(200),
+                    jitter: SimDuration::from_millis(300),
+                    duplicate_permille: 30,
+                    reorder_permille: 60,
+                    reorder_hold: SimDuration::from_secs(1),
+                    until: h(3600),
+                },
+                partitions: vec![Partition::new(&[NodeId(0), NodeId(1)], h(900), h(2700))],
+                crashes: vec![Crash {
+                    node: NodeId(2),
+                    at: h(1200),
+                    restart_at: h(3000),
+                    wipe_state: true,
+                }],
+                churn: Some(Churn {
+                    first_at: h(600),
+                    period: SimDuration::from_secs(300),
+                    closes_per_tick: 1,
+                    until: h(5400),
+                }),
+                misbehavior: vec![(NodeId(3), Misbehavior::Stall)],
+            }),
+            _ => None,
+        }
+    }
+
+    /// The largest node id a plan references, for bounds checking on
+    /// install. `None` when the plan names no node.
+    pub fn max_node(&self) -> Option<NodeId> {
+        let mut max = None;
+        let mut see = |id: NodeId| {
+            if max.is_none_or(|m| id > m) {
+                max = Some(id);
+            }
+        };
+        for p in &self.partitions {
+            for id in &p.island {
+                see(*id);
+            }
+        }
+        for c in &self.crashes {
+            see(c.node);
+        }
+        for (id, _) in &self.misbehavior {
+            see(*id);
+        }
+        max
+    }
+}
+
+fn all_chaos_nodes() -> Vec<NodeId> {
+    (0..CHAOS_NODES as u32).map(NodeId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty_and_unbounded_plans_are_not() {
+        assert!(FaultPlan::none().is_empty());
+        assert_eq!(FaultPlan::none().ends_at(), SimTime::ZERO);
+        for name in FaultPlan::builtin_names() {
+            let plan = FaultPlan::builtin(name).expect(name);
+            assert!(!plan.is_empty(), "{name} must inject something");
+        }
+        assert!(FaultPlan::builtin("no-such-plan").is_none());
+    }
+
+    #[test]
+    fn builtin_plans_fit_the_chaos_topology_and_end_on_time() {
+        for name in FaultPlan::builtin_names() {
+            let plan = FaultPlan::builtin(name).expect(name);
+            if let Some(max) = plan.max_node() {
+                assert!((max.0 as usize) < CHAOS_NODES, "{name} references node {max}");
+            }
+            assert!(
+                plan.ends_at() <= SimTime::from_secs(7200),
+                "{name} must stop injecting within two hours"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_separates_island_from_everything_else() {
+        let p = Partition::new(&[NodeId(0), NodeId(1)], SimTime::ZERO, SimTime::from_secs(10));
+        let inside = PeerRef::Node(NodeId(0));
+        let outside = PeerRef::Node(NodeId(5));
+        let external = PeerRef::External(crate::messages::ConnId(3));
+        assert!(p.separates(inside, outside));
+        assert!(p.separates(inside, external));
+        assert!(!p.separates(outside, external), "externals sit outside the island");
+        assert!(!p.separates(inside, PeerRef::Node(NodeId(1))));
+        assert!(p.is_active(SimTime::from_secs(5)));
+        assert!(!p.is_active(SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn link_faults_default_inactive() {
+        let lf = LinkFaults::default();
+        assert!(!lf.is_active(SimTime::ZERO));
+        let lf = LinkFaults { loss_permille: 10, until: SimTime::from_secs(5), ..LinkFaults::default() };
+        assert!(lf.is_active(SimTime::ZERO));
+        assert!(!lf.is_active(SimTime::from_secs(5)));
+    }
+}

@@ -16,6 +16,9 @@
 //!   block production, external adapter links.
 //! * [`adversary`] — private-fork mining and hash-power race simulation
 //!   for the §IV-A security experiments.
+//! * [`faults`] — deterministic fault injection: link loss/jitter,
+//!   partitions, crashes, churn, and misbehaving-peer modes, all driven
+//!   by the network's seeded RNG.
 //!
 //! # Examples
 //!
@@ -33,12 +36,14 @@
 
 pub mod adversary;
 pub mod chain;
+pub mod faults;
 pub mod messages;
 pub mod miner;
 pub mod network;
 pub mod node;
 
 pub use chain::{ChainStore, StoredHeader, ValidationError};
+pub use faults::{Churn, Crash, FaultPlan, LinkFaults, Misbehavior, Partition, CHAOS_NODES};
 pub use messages::{ConnId, Inventory, Message, NodeId, PeerRef};
 pub use network::{BtcNetwork, NetworkConfig};
 pub use node::{FullNode, NodeBehavior};

@@ -88,6 +88,20 @@ pub enum Message {
 }
 
 impl Message {
+    /// Returns `true` if the message violates the protocol's size caps —
+    /// a well-behaved peer never sends one; the adapter scores and bans
+    /// senders instead of processing the payload.
+    pub fn is_oversized(&self) -> bool {
+        match self {
+            Message::Headers(h) => h.len() > MAX_HEADERS_PER_MSG,
+            Message::Addr(a) => a.len() > MAX_ADDR_PER_MSG,
+            Message::Inv(i) | Message::GetData(i) | Message::NotFound(i) => {
+                i.len() > MAX_INV_PER_MSG
+            }
+            _ => false,
+        }
+    }
+
     /// Short tag for tracing and tests.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -112,6 +126,10 @@ pub const MAX_HEADERS_PER_MSG: usize = 2000;
 /// Maximum addresses per `addr` message.
 pub const MAX_ADDR_PER_MSG: usize = 1000;
 
+/// Maximum inventory entries per `inv`/`getdata`/`notfound` message, as
+/// in the Bitcoin protocol.
+pub const MAX_INV_PER_MSG: usize = 50_000;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +150,18 @@ mod tests {
         ];
         let kinds: std::collections::HashSet<&str> = msgs.iter().map(|m| m.kind()).collect();
         assert_eq!(kinds.len(), msgs.len());
+    }
+
+    #[test]
+    fn oversized_detection() {
+        assert!(!Message::Headers(vec![]).is_oversized());
+        let h = icbtc_bitcoin::Network::Regtest.genesis_block().header;
+        assert!(!Message::Headers(vec![h; MAX_HEADERS_PER_MSG]).is_oversized());
+        assert!(Message::Headers(vec![h; MAX_HEADERS_PER_MSG + 1]).is_oversized());
+        assert!(Message::Addr(vec![NodeId(0); MAX_ADDR_PER_MSG + 1]).is_oversized());
+        let item = Inventory::Block(BlockHash::ZERO);
+        assert!(Message::Inv(vec![item; MAX_INV_PER_MSG + 1]).is_oversized());
+        assert!(!Message::Ping(0).is_oversized());
     }
 
     #[test]

@@ -4,13 +4,15 @@
 //! Poisson block production, and the external connections through which
 //! Bitcoin adapters participate.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
-use icbtc_bitcoin::{Network, Script, Transaction};
+use icbtc_bitcoin::pow::CompactTarget;
+use icbtc_bitcoin::{BlockHeader, Network, Script, Transaction};
 use icbtc_sim::obs::{FieldValue, Obs};
 use icbtc_sim::{EventQueue, SimDuration, SimRng, SimTime};
 
-use crate::messages::{ConnId, Message, NodeId, PeerRef};
+use crate::faults::{FaultPlan, Misbehavior};
+use crate::messages::{ConnId, Inventory, Message, NodeId, PeerRef, MAX_HEADERS_PER_MSG};
 use crate::node::{FullNode, NodeBehavior};
 
 /// Configuration for a simulated Bitcoin network.
@@ -58,6 +60,11 @@ impl NetworkConfig {
 enum NetEvent {
     Deliver { to: PeerRef, from: PeerRef, msg: Message },
     MineBlock,
+    PartitionStart(usize),
+    PartitionHeal(usize),
+    CrashNode(usize),
+    RestartNode(usize),
+    ChurnTick,
 }
 
 struct ExternalConn {
@@ -90,6 +97,10 @@ pub struct BtcNetwork {
     genesis_unix: u32,
     blocks_mined: u64,
     messages_delivered: u64,
+    /// The installed fault schedule (empty by default).
+    faults: FaultPlan,
+    /// Nodes currently down (crash injected, restart pending).
+    crashed: BTreeSet<NodeId>,
     /// Observability endpoint (metrics + trace), component `"btcnet"`.
     obs: Obs,
 }
@@ -112,26 +123,31 @@ impl BtcNetwork {
             })
             .collect();
 
-        // Random topology: each node links to `links_per_node` others.
+        // Random topology: each node links to `links_per_node` others, and
+        // every link is symmetric. Collect the full link set first, then
+        // assign each node its union of outgoing picks and incoming
+        // back-links — assigning inside the sampling loop would let a later
+        // node's assignment overwrite back-links recorded earlier, leaving
+        // a node that nobody gossips to.
         let all_ids: Vec<NodeId> = (0..total as u32).map(NodeId).collect();
-        for i in 0..total {
-            let mut peers = Vec::new();
-            if total > 1 {
+        let mut links: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); total];
+        if total > 1 {
+            for (i, set) in links.iter_mut().enumerate() {
                 let picks = rng.sample_indices(total - 1, config.links_per_node);
                 for p in picks {
                     // Skip self by shifting.
                     let target = if p >= i { p + 1 } else { p };
-                    peers.push(PeerRef::Node(NodeId(target as u32)));
+                    set.insert(target as u32);
                 }
             }
-            nodes[i].set_peers(peers.clone());
-            // Make links symmetric.
-            for peer in peers {
-                if let PeerRef::Node(id) = peer {
-                    let me = PeerRef::Node(NodeId(i as u32));
-                    nodes[id.0 as usize].add_peer(me);
+            for i in 0..total {
+                for target in links[i].clone() {
+                    links[target as usize].insert(i as u32);
                 }
             }
+        }
+        for (i, set) in links.iter().enumerate() {
+            nodes[i].set_peers(set.iter().map(|&t| PeerRef::Node(NodeId(t))).collect());
             nodes[i].set_known_addrs(all_ids.iter().copied().filter(|a| a.0 as usize != i).collect());
         }
 
@@ -147,6 +163,8 @@ impl BtcNetwork {
             genesis_unix,
             blocks_mined: 0,
             messages_delivered: 0,
+            faults: FaultPlan::default(),
+            crashed: BTreeSet::new(),
             obs: Obs::new("btcnet"),
         };
         net.schedule_next_block();
@@ -288,9 +306,7 @@ impl BtcNetwork {
             return;
         }
         let to = PeerRef::Node(c.target);
-        let latency = self.sample_latency();
-        self.events
-            .push(self.now + latency, NetEvent::Deliver { to, from: PeerRef::External(conn), msg });
+        self.schedule_delivery(PeerRef::External(conn), to, msg);
     }
 
     /// Drains messages delivered to an external connection.
@@ -337,9 +353,283 @@ impl BtcNetwork {
 
     fn route_all(&mut self, from: PeerRef, outgoing: Vec<(PeerRef, Message)>) {
         for (to, msg) in outgoing {
-            let latency = self.sample_latency();
-            self.events.push(self.now + latency, NetEvent::Deliver { to, from, msg });
+            self.schedule_delivery(from, to, msg);
         }
+    }
+
+    /// Installs (replaces) the fault schedule. Scheduled transitions in
+    /// the past fire at the current simulated time — partitions, crashes
+    /// and churn never move the clock backwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan references a node id outside the network.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        if let Some(max) = plan.max_node() {
+            assert!((max.0 as usize) < self.nodes.len(), "fault plan references unknown {max}");
+        }
+        for (i, p) in plan.partitions.iter().enumerate() {
+            self.events.push(p.start.max(self.now), NetEvent::PartitionStart(i));
+            self.events.push(p.heal_at.max(self.now), NetEvent::PartitionHeal(i));
+        }
+        for (i, c) in plan.crashes.iter().enumerate() {
+            self.events.push(c.at.max(self.now), NetEvent::CrashNode(i));
+            self.events.push(c.restart_at.max(self.now), NetEvent::RestartNode(i));
+        }
+        if let Some(churn) = &plan.churn {
+            self.events.push(churn.first_at.max(self.now), NetEvent::ChurnTick);
+        }
+        self.obs.trace.event(
+            "btcnet.fault_plan_installed",
+            self.now,
+            &[
+                ("partitions", FieldValue::U64(plan.partitions.len() as u64)),
+                ("crashes", FieldValue::U64(plan.crashes.len() as u64)),
+                ("misbehaving", FieldValue::U64(plan.misbehavior.len() as u64)),
+            ],
+        );
+        self.faults = plan;
+    }
+
+    /// The installed fault schedule.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Nodes currently crashed.
+    pub fn crashed_nodes(&self) -> &BTreeSet<NodeId> {
+        &self.crashed
+    }
+
+    /// Whether any scheduled partition is up right now.
+    pub fn partition_active(&self) -> bool {
+        self.faults.partitions.iter().any(|p| p.is_active(self.now))
+    }
+
+    fn count_fault(&mut self, kind: &'static str) {
+        self.obs.metrics.inc_with("btcnet_faults_injected_total", &[("kind", kind)]);
+    }
+
+    fn refresh_fault_gauges(&mut self) {
+        let active = self.faults.partitions.iter().filter(|p| p.is_active(self.now)).count();
+        self.obs.metrics.set_gauge("btcnet_partition_active", active as i64);
+        self.obs.metrics.set_gauge("btcnet_crashed_nodes", self.crashed.len() as i64);
+    }
+
+    /// The single scheduling chokepoint all traffic funnels through:
+    /// link faults (loss, delay, jitter, reordering, duplication) are
+    /// applied here, at send time, with a fixed RNG draw order so the
+    /// schedule is a pure function of (seed, plan).
+    fn schedule_delivery(&mut self, from: PeerRef, to: PeerRef, msg: Message) {
+        let mut delay = self.sample_latency();
+        let link = self.faults.link;
+        if link.is_active(self.now) {
+            if link.loss_permille > 0 && self.rng.below(1000) < u64::from(link.loss_permille) {
+                self.count_fault("loss");
+                return;
+            }
+            if link.extra_delay > SimDuration::ZERO || link.jitter > SimDuration::ZERO {
+                delay += link.extra_delay;
+                if link.jitter > SimDuration::ZERO {
+                    delay += SimDuration::from_nanos(self.rng.below(link.jitter.as_nanos()));
+                }
+                self.count_fault("delay");
+            }
+            if link.reorder_permille > 0 && self.rng.below(1000) < u64::from(link.reorder_permille)
+            {
+                delay += link.reorder_hold;
+                self.count_fault("reorder");
+            }
+            if link.duplicate_permille > 0
+                && self.rng.below(1000) < u64::from(link.duplicate_permille)
+            {
+                let extra = self.sample_latency();
+                self.count_fault("duplicate");
+                self.events.push(
+                    self.now + delay + extra,
+                    NetEvent::Deliver { to, from, msg: msg.clone() },
+                );
+            }
+        }
+        self.events.push(self.now + delay, NetEvent::Deliver { to, from, msg });
+    }
+
+    /// Delivery-time drop checks: crashed receivers and active
+    /// partitions. Checked on arrival (not send) so a partition coming up
+    /// mid-flight also severs already-queued traffic.
+    fn fault_blocks_delivery(&mut self, from: PeerRef, to: PeerRef) -> bool {
+        if let PeerRef::Node(id) = to {
+            if self.crashed.contains(&id) {
+                self.count_fault("crash_drop");
+                return true;
+            }
+        }
+        let severed = self
+            .faults
+            .partitions
+            .iter()
+            .any(|p| p.is_active(self.now) && p.separates(from, to));
+        if severed {
+            self.count_fault("partition_drop");
+            return true;
+        }
+        false
+    }
+
+    /// The misbehaviour mode `node` applies to traffic from `from`, if
+    /// any. Only external (adapter) endpoints are targeted: the node
+    /// stays honest toward its gossip peers so the honest chain is
+    /// unaffected.
+    fn misbehavior_for(&self, node: NodeId, from: PeerRef) -> Option<Misbehavior> {
+        if !matches!(from, PeerRef::External(_)) {
+            return None;
+        }
+        self.faults.misbehavior.iter().find(|(n, _)| *n == node).map(|(_, m)| *m)
+    }
+
+    /// Builds the malicious reply for an intercepted request. `None`
+    /// means "not intercepted — handle honestly".
+    fn misbehave(
+        &mut self,
+        node: NodeId,
+        kind: Misbehavior,
+        from: PeerRef,
+        msg: &Message,
+    ) -> Option<Vec<(PeerRef, Message)>> {
+        match (kind, msg) {
+            (Misbehavior::Stall, Message::GetHeaders { .. } | Message::GetData(_)) => {
+                Some(Vec::new())
+            }
+            (Misbehavior::MalformedHeaders, Message::GetHeaders { .. }) => {
+                let headers = self.forged_invalid_headers(8);
+                Some(vec![(from, Message::Headers(headers))])
+            }
+            (Misbehavior::Oversized, Message::GetHeaders { .. }) => {
+                let h = self.config.network.genesis_block().header;
+                Some(vec![(from, Message::Headers(vec![h; MAX_HEADERS_PER_MSG + 1]))])
+            }
+            (
+                Misbehavior::InvalidPowBlocks | Misbehavior::TruncatedBlocks,
+                Message::GetData(items),
+            ) => {
+                let mut out = Vec::new();
+                let mut missing = Vec::new();
+                for item in items {
+                    match item {
+                        Inventory::Block(hash) => {
+                            match self.nodes[node.0 as usize].chain().block(hash) {
+                                Some(block) => {
+                                    let mut bad = block.clone();
+                                    if kind == Misbehavior::TruncatedBlocks {
+                                        bad.txdata.clear();
+                                    } else {
+                                        while bad.header.meets_pow_target() {
+                                            bad.header.nonce = bad.header.nonce.wrapping_add(1);
+                                        }
+                                    }
+                                    out.push((from, Message::BlockMsg(Box::new(bad))));
+                                }
+                                None => missing.push(*item),
+                            }
+                        }
+                        Inventory::Transaction(_) => missing.push(*item),
+                    }
+                }
+                if !missing.is_empty() {
+                    out.push((from, Message::NotFound(missing)));
+                }
+                Some(out)
+            }
+            _ => None,
+        }
+    }
+
+    /// Headers that fail validation deterministically: they extend the
+    /// genesis block (always known to any peer) but carry wrong
+    /// difficulty bits, which the header pipeline checks *before* the
+    /// proof-of-work lottery — so rejection does not depend on how easy
+    /// the simulated target is to hit by accident.
+    fn forged_invalid_headers(&mut self, count: usize) -> Vec<BlockHeader> {
+        let genesis = self.config.network.genesis_block().header;
+        let bad_bits = CompactTarget::from_consensus(genesis.bits.to_consensus() ^ 1);
+        let time = self.unix_time(self.now);
+        (0..count)
+            .map(|_| BlockHeader {
+                version: genesis.version,
+                prev_blockhash: genesis.block_hash(),
+                merkle_root: genesis.merkle_root,
+                time,
+                bits: bad_bits,
+                nonce: self.rng.next_u32(),
+            })
+            .collect()
+    }
+
+    fn churn_tick(&mut self) {
+        let Some(churn) = self.faults.churn else { return };
+        if self.now > churn.until {
+            return;
+        }
+        // Sort the open connections: HashMap iteration order must never
+        // influence which connection the RNG closes.
+        let mut open: Vec<ConnId> =
+            self.external.iter().filter(|(_, c)| c.open).map(|(id, _)| *id).collect();
+        open.sort();
+        for _ in 0..churn.closes_per_tick {
+            if open.is_empty() {
+                break;
+            }
+            let victim = open.swap_remove(self.rng.index(open.len()));
+            self.count_fault("churn_close");
+            self.obs.trace.event(
+                "btcnet.churn_close",
+                self.now,
+                &[("conn", FieldValue::U64(victim.0 as u64))],
+            );
+            self.disconnect_external(victim);
+        }
+        let next = self.now + churn.period;
+        if next <= churn.until {
+            self.events.push(next, NetEvent::ChurnTick);
+        }
+    }
+
+    fn crash_node(&mut self, index: usize) {
+        let Some(crash) = self.faults.crashes.get(index).copied() else { return };
+        self.crashed.insert(crash.node);
+        self.count_fault("crash");
+        self.obs.trace.event(
+            "btcnet.node_crash",
+            self.now,
+            &[
+                ("node", FieldValue::U64(crash.node.0 as u64)),
+                ("wipe", FieldValue::U64(crash.wipe_state as u64)),
+            ],
+        );
+        self.refresh_fault_gauges();
+    }
+
+    fn restart_node(&mut self, index: usize) {
+        let Some(crash) = self.faults.crashes.get(index).copied() else { return };
+        if !self.crashed.remove(&crash.node) {
+            return;
+        }
+        let node = &mut self.nodes[crash.node.0 as usize];
+        if crash.wipe_state {
+            node.reset_chain();
+        }
+        let requests = node.startup_sync_requests();
+        self.count_fault("restart");
+        self.obs.trace.event(
+            "btcnet.node_restart",
+            self.now,
+            &[
+                ("node", FieldValue::U64(crash.node.0 as u64)),
+                ("wipe", FieldValue::U64(crash.wipe_state as u64)),
+            ],
+        );
+        self.refresh_fault_gauges();
+        self.route_all(PeerRef::Node(crash.node), requests);
     }
 
     /// Advances the simulation, processing all events up to `deadline`.
@@ -352,14 +642,29 @@ impl BtcNetwork {
                     self.schedule_next_block();
                 }
                 NetEvent::Deliver { to, from, msg } => {
+                    if self.fault_blocks_delivery(from, to) {
+                        continue;
+                    }
                     self.messages_delivered += 1;
                     self.obs.metrics.inc_with("btcnet_messages_total", &[("type", msg.kind())]);
                     match to {
                         PeerRef::Node(id) => {
-                            let now_unix = self.unix_time(self.now);
-                            let outgoing =
-                                self.nodes[id.0 as usize].handle_message(from, msg, now_unix);
-                            self.route_all(to, outgoing);
+                            let intercepted = match self.misbehavior_for(id, from) {
+                                Some(kind) => self.misbehave(id, kind, from, &msg),
+                                None => None,
+                            };
+                            match intercepted {
+                                Some(replies) => {
+                                    self.count_fault("misbehavior");
+                                    self.route_all(to, replies);
+                                }
+                                None => {
+                                    let now_unix = self.unix_time(self.now);
+                                    let outgoing = self.nodes[id.0 as usize]
+                                        .handle_message(from, msg, now_unix);
+                                    self.route_all(to, outgoing);
+                                }
+                            }
                         }
                         PeerRef::External(conn) => {
                             if let Some(c) = self.external.get_mut(&conn) {
@@ -370,6 +675,28 @@ impl BtcNetwork {
                         }
                     }
                 }
+                NetEvent::PartitionStart(i) => {
+                    if let Some(p) = self.faults.partitions.get(i) {
+                        let size = p.island.len() as u64;
+                        self.count_fault("partition_start");
+                        self.obs.trace.event(
+                            "btcnet.partition_start",
+                            self.now,
+                            &[("island", FieldValue::U64(size))],
+                        );
+                    }
+                    self.refresh_fault_gauges();
+                }
+                NetEvent::PartitionHeal(i) => {
+                    if self.faults.partitions.get(i).is_some() {
+                        self.count_fault("partition_heal");
+                        self.obs.trace.event("btcnet.partition_heal", self.now, &[]);
+                    }
+                    self.refresh_fault_gauges();
+                }
+                NetEvent::CrashNode(i) => self.crash_node(i),
+                NetEvent::RestartNode(i) => self.restart_node(i),
+                NetEvent::ChurnTick => self.churn_tick(),
             }
         }
         if self.now < deadline {
@@ -436,6 +763,12 @@ impl BtcNetwork {
             return;
         }
         let winner = NodeId(self.rng.index(honest) as u32);
+        if self.crashed.contains(&winner) {
+            // The winner is down; its hash power is simply absent this
+            // round (the Poisson process keeps ticking).
+            self.count_fault("miner_skip");
+            return;
+        }
         let unix = self.unix_time(self.now);
         let limit = self.config.template_tx_limit;
         let (block, outgoing) = {

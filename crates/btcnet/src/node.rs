@@ -117,6 +117,37 @@ impl FullNode {
         self.known_addrs = addrs;
     }
 
+    /// Discards all chain, mempool and relay state — a crash that lost
+    /// its disk. The peer links and address book survive (they model the
+    /// node's configuration, not its database).
+    pub fn reset_chain(&mut self) {
+        self.chain = ChainStore::new(self.chain.network());
+        self.mempool.clear();
+        self.mempool_order.clear();
+        self.seen_inv.clear();
+        self.orphan_blocks.clear();
+    }
+
+    /// The initial-block-download requests a node issues on (re)start:
+    /// one `getheaders` to every in-network peer. The replies drive the
+    /// body-fetch path in the `Headers` handler until the node catches
+    /// back up.
+    pub fn startup_sync_requests(&self) -> Vec<(PeerRef, Message)> {
+        self.peers
+            .iter()
+            .filter(|p| matches!(p, PeerRef::Node(_)))
+            .map(|p| {
+                (
+                    *p,
+                    Message::GetHeaders {
+                        locator: self.chain.locator(),
+                        stop: icbtc_bitcoin::BlockHash::ZERO,
+                    },
+                )
+            })
+            .collect()
+    }
+
     /// Transactions currently in the mempool, oldest first.
     pub fn mempool(&self) -> impl Iterator<Item = &Transaction> {
         self.mempool_order.iter().filter_map(|txid| self.mempool.get(txid))
@@ -194,7 +225,21 @@ impl FullNode {
                 if bucket.len() < 16 && !bucket.iter().any(|b| b.block_hash() == hash) {
                     bucket.push(block);
                 }
-                Vec::new()
+                // Recover the gap: if the block came from a peer, ask it
+                // for the headers between our chain and the orphan. The
+                // reply drives the body-fetch path — without this, a node
+                // that missed an announcement (lossy link, partition,
+                // crash) would wait forever for a parent nobody re-sends.
+                match from {
+                    Some(peer) => vec![(
+                        peer,
+                        Message::GetHeaders {
+                            locator: self.chain.locator(),
+                            stop: icbtc_bitcoin::BlockHash::ZERO,
+                        },
+                    )],
+                    None => Vec::new(),
+                }
             }
             _ => Vec::new(),
         }
@@ -274,11 +319,43 @@ impl FullNode {
                 vec![(from, Message::Headers(headers))]
             }
             Message::Headers(headers) => {
-                // Nodes learn forks from headers; bodies arrive via inv.
+                // Nodes learn forks from headers. Bodies of newly
+                // accepted headers we do not hold yet are fetched right
+                // away — this is the initial-block-download loop a node
+                // runs after a (state-wiping) restart. A full batch means
+                // the sender has more: ask again from the new locator.
+                let full_batch = headers.len() >= MAX_HEADERS_PER_MSG;
+                let mut fetch = Vec::new();
                 for header in headers {
-                    let _ = self.chain.accept_header(header, now_unix);
+                    let hash = header.block_hash();
+                    let newly = self.chain.accept_header(header, now_unix).unwrap_or(false);
+                    // Fetch any known header whose body we lack — even if
+                    // its inv was seen before: the earlier getdata (or its
+                    // reply) may have been lost on a faulty link, and this
+                    // headers exchange is exactly the recovery path.
+                    let known = newly || self.chain.header(&hash).is_some();
+                    if known && !self.chain.has_block(&hash) {
+                        let item = Inventory::Block(hash);
+                        if !fetch.contains(&item) {
+                            self.seen_inv.insert(item);
+                            fetch.push(item);
+                        }
+                    }
                 }
-                Vec::new()
+                let mut out = Vec::new();
+                if !fetch.is_empty() {
+                    out.push((from, Message::GetData(fetch)));
+                }
+                if full_batch {
+                    out.push((
+                        from,
+                        Message::GetHeaders {
+                            locator: self.chain.locator(),
+                            stop: icbtc_bitcoin::BlockHash::ZERO,
+                        },
+                    ));
+                }
+                out
             }
             Message::Inv(items) => {
                 let mut wanted = Vec::new();

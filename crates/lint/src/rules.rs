@@ -28,9 +28,11 @@ pub enum Rule {
     /// (x87 vs SSE, FMA contraction), which breaks bit-for-bit replica
     /// agreement on δ-stability (Definition II.1) and cycles accounting.
     Float,
-    /// ICL005 — no `HashMap`/`HashSet` in replicated-state crates:
-    /// iteration order is randomized per process, so any fold/iteration
-    /// over one diverges across replicas. Use `BTreeMap`/`BTreeSet`.
+    /// ICL005 — no `HashMap`/`HashSet` in replicated-state crates or the
+    /// adapter: iteration order is randomized per process, so any
+    /// fold/iteration over one diverges across replicas — and, in the
+    /// adapter, across the two same-seed runs the chaos determinism gate
+    /// diffs byte-for-byte. Use `BTreeMap`/`BTreeSet`.
     UnorderedCollections,
     /// ICL006 — no `unwrap()`/`expect()`/`panic!`/`unreachable!`/`todo!`
     /// in non-test code of the adapter and canister hot paths

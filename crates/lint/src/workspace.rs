@@ -6,9 +6,10 @@
 //!   that executes inside (or feeds values into) the replicated state
 //!   machine. Gets the determinism rules: `wall-clock`, `thread`,
 //!   `process-env`, `float`.
-//! * **Replicated-state** (`canister`, `core`, `ic`): code whose data
-//!   structures *are* the replicated state. Additionally gets
-//!   `unordered-collections`.
+//! * **Replicated-state** (`adapter`, `canister`, `core`, `ic`): code
+//!   whose data structures are the replicated state — or, for the
+//!   adapter, feed deterministic soak tests that diff two same-seed
+//!   runs byte-for-byte. Additionally gets `unordered-collections`.
 //! * **Hot-path** (`adapter`, `canister`): Algorithm 1 and Algorithm 2
 //!   request handling. Additionally gets `no-panic`.
 //! * **Observability-scoped** (`adapter`, `canister`, `ic`, `btcnet`):
@@ -23,7 +24,7 @@ use crate::rules::Rule;
 use std::path::{Path, PathBuf};
 
 pub const CONSENSUS_CRITICAL: &[&str] = &["bitcoin", "canister", "ic", "core"];
-pub const REPLICATED_STATE: &[&str] = &["canister", "core", "ic"];
+pub const REPLICATED_STATE: &[&str] = &["adapter", "canister", "core", "ic"];
 pub const HOT_PATH: &[&str] = &["adapter", "canister"];
 pub const OBSERVABILITY_SCOPED: &[&str] = &["adapter", "canister", "ic", "btcnet"];
 
@@ -153,7 +154,9 @@ mod tests {
         let adapter = rules_for("adapter");
         assert!(adapter.contains(&Rule::NoPanic));
         assert!(!adapter.contains(&Rule::Float));
-        assert!(!adapter.contains(&Rule::UnorderedCollections));
+        // The adapter's iteration order feeds the deterministic chaos
+        // soaks, so it carries the ordered-collections rule too.
+        assert!(adapter.contains(&Rule::UnorderedCollections));
         // The four instrumented runtime layers get print-output; the
         // bench and sim crates (seeded entry points / harness) do not.
         for c in ["adapter", "canister", "ic", "btcnet"] {

@@ -68,6 +68,22 @@ good_fixture!(good_forbid_unsafe_root, "forbid_unsafe_root.rs");
 good_fixture!(good_tricky_lexing, "tricky_lexing.rs");
 good_fixture!(good_obs_recording, "obs_recording.rs");
 
+/// ICL005 extends to the adapter crate: its iteration order feeds the
+/// deterministic chaos soaks, so unordered collections are flagged under
+/// the adapter's own (non-strict) scope too.
+#[test]
+fn adapter_scope_flags_unordered_collections() {
+    let src = include_str!("fixtures/bad/adapter_unordered.rs");
+    let ctx =
+        FileContext { crate_name: "adapter".into(), is_crate_root: false, is_entry_or_test: false };
+    let report = analyze_source(src, &ctx, &rules_for("adapter"));
+    let mut found: Vec<&'static str> = report.violations.iter().map(|v| v.rule.id()).collect();
+    assert!(found.len() >= 2, "both the import and the field flag: {:?}", report.violations);
+    found.sort_unstable();
+    found.dedup();
+    assert_eq!(found, vec!["ICL005"], "{:?}", report.violations);
+}
+
 #[test]
 fn suppressions_are_reported_not_dropped() {
     let src = include_str!("fixtures/good/suppressed_float.rs");

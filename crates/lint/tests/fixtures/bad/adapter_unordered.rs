@@ -1,0 +1,16 @@
+//! Fixture: `HashMap` state in the adapter crate. Iteration order feeds
+//! the re-request schedule, so two same-seed chaos runs diverge — ICL005
+//! covers the adapter precisely to keep the determinism gate meaningful.
+
+use std::collections::HashMap;
+
+pub struct InflightTable {
+    blocks: HashMap<u64, u64>,
+}
+
+impl InflightTable {
+    pub fn oldest(&self) -> Option<u64> {
+        // Non-deterministic: first key depends on hasher randomization.
+        self.blocks.keys().next().copied()
+    }
+}

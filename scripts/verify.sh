@@ -44,6 +44,23 @@ if ! diff -q "$OBS_TMP/trace1.jsonl" "$OBS_TMP/trace2.jsonl" >/dev/null; then
     exit 1
 fi
 
+echo "==> chaos determinism gate (same seed + plan => byte-identical soak)"
+for run in 1 2; do
+    cargo run -q --release --offline -p icbtc-bench --bin chaos_soak -- \
+        --seed 42 --plan mixed --json --trace-out "$OBS_TMP/chaos$run.jsonl" \
+        > "$OBS_TMP/chaos$run.json"
+done
+if ! diff -q "$OBS_TMP/chaos1.json" "$OBS_TMP/chaos2.json" >/dev/null; then
+    echo "ERROR: same-seed chaos metrics snapshots differ:" >&2
+    diff "$OBS_TMP/chaos1.json" "$OBS_TMP/chaos2.json" >&2 || true
+    exit 1
+fi
+if ! diff -q "$OBS_TMP/chaos1.jsonl" "$OBS_TMP/chaos2.jsonl" >/dev/null; then
+    echo "ERROR: same-seed chaos traces differ:" >&2
+    diff "$OBS_TMP/chaos1.jsonl" "$OBS_TMP/chaos2.jsonl" | head -20 >&2 || true
+    exit 1
+fi
+
 echo "==> verifying the dependency tree is workspace-only"
 if cargo tree --offline --prefix none | grep -v '^icbtc' | grep -q '[^[:space:]]'; then
     echo "ERROR: non-workspace dependency detected:" >&2
@@ -51,4 +68,4 @@ if cargo tree --offline --prefix none | grep -v '^icbtc' | grep -q '[^[:space:]]
     exit 1
 fi
 
-echo "OK: hermetic build + tests + lint + observability determinism passed"
+echo "OK: hermetic build + tests + lint + observability + chaos determinism passed"
