@@ -194,6 +194,180 @@ pub fn build_query_workload(seed: u64, scale: usize) -> QueryWorkload {
     QueryWorkload { state, stable_addresses, unstable_addresses }
 }
 
+/// A soak-scale query-plane workload: an arbitrary address population
+/// following the paper's per-mille bucket proportions, plus a reserve of
+/// pre-mined blocks the driver ingests mid-soak to move the tip.
+pub struct SoakWorkload {
+    /// The loaded canister state.
+    pub state: BitcoinCanisterState,
+    /// Every address with its stable UTXO count.
+    pub addresses: Vec<(Address, u32)>,
+    /// Pre-mined blocks extending the unstable tip, for deterministic
+    /// mid-soak ingestion (each one invalidates the query cache).
+    pub ingest_blocks: Vec<Block>,
+}
+
+/// Stable heights the soak UTXOs are spread over.
+const SOAK_HEIGHTS: u64 = 240;
+/// Unstable blocks present when the soak starts.
+const SOAK_UNSTABLE_BLOCKS: usize = 4;
+/// Hot addresses receiving unstable/ingested outputs.
+const SOAK_HOT_PAYEES: usize = 128;
+
+/// Draws per-address UTXO counts for a population of `num_addresses`:
+/// every window of 1000 addresses carries exactly the paper's bucket mix
+/// ([`PAPER_BUCKETS`]), log-uniform within each bucket, divided by
+/// `utxo_scale` (so soak-scale populations stay memory-bounded while
+/// keeping the skew's shape).
+pub fn soak_utxo_counts(rng: &mut SimRng, num_addresses: usize, utxo_scale: usize) -> Vec<u32> {
+    assert!(utxo_scale >= 1, "utxo_scale must be at least 1");
+    let mut window = Vec::with_capacity(1000);
+    for (how_many, lo, hi) in PAPER_BUCKETS {
+        for _ in 0..how_many {
+            window.push((lo, hi));
+        }
+    }
+    let mut counts = Vec::with_capacity(num_addresses);
+    for i in 0..num_addresses {
+        let (lo, hi) = window[i % window.len()];
+        let lo_f = lo as f64;
+        let hi_f = hi as f64;
+        let log_sample = lo_f.ln() + rng.unit() * (hi_f.ln() - lo_f.ln());
+        let count = (log_sample.exp().round() as usize).clamp(lo, hi);
+        counts.push((count / utxo_scale).max(1) as u32);
+    }
+    counts
+}
+
+/// Builds the soak workload: `num_addresses` addresses loaded into the
+/// stable UTXO set (skew per [`soak_utxo_counts`]), a short unstable
+/// suffix, and `num_ingest` further pre-mined blocks for the driver.
+pub fn build_soak_workload(
+    seed: u64,
+    num_addresses: usize,
+    utxo_scale: usize,
+    num_ingest: usize,
+) -> SoakWorkload {
+    let mut rng = SimRng::seed_from(seed);
+    let counts = soak_utxo_counts(&mut rng, num_addresses, utxo_scale);
+
+    // δ comfortably above the unstable suffix plus every ingest block, so
+    // nothing stabilizes mid-soak.
+    let delta = (SOAK_UNSTABLE_BLOCKS + num_ingest + 20) as u64;
+    let params = IntegrationParams::for_network(Network::Regtest).with_stability_delta(delta);
+    let genesis = Network::Regtest.genesis_block().header;
+
+    // --- Stable population, spread round-robin over SOAK_HEIGHTS. -------
+    let mut utxos = UtxoSet::new(Network::Regtest);
+    let mut meter = Meter::new();
+    let mut breakdown = MeterBreakdown::new();
+    utxos.ingest_block(&[], 0, &mut meter, &mut breakdown);
+
+    let mut addresses = Vec::with_capacity(num_addresses);
+    let mut per_height: Vec<Vec<TxOut>> = vec![Vec::new(); SOAK_HEIGHTS as usize];
+    for (i, &count) in counts.iter().enumerate() {
+        let addr = address(i as u64, true);
+        addresses.push((addr, count));
+        for k in 0..count as usize {
+            let height_slot = (i + k * 7) % SOAK_HEIGHTS as usize;
+            per_height[height_slot]
+                .push(TxOut::new(Amount::from_sat(600 + k as u64), addr.script_pubkey()));
+        }
+    }
+    for (slot, outputs) in per_height.into_iter().enumerate() {
+        let height = slot as u64 + 1;
+        let txs: Vec<Transaction> = outputs
+            .chunks(1000)
+            .enumerate()
+            .map(|(i, chunk)| Transaction {
+                version: 2,
+                inputs: vec![TxIn::new(source_outpoint(height, i as u64))],
+                outputs: chunk.to_vec(),
+                lock_time: 0,
+            })
+            .collect();
+        utxos.ingest_block(&txs, height, &mut meter, &mut breakdown);
+    }
+
+    let mut stable_headers = vec![genesis];
+    for height in 1..=SOAK_HEIGHTS {
+        let prev = *stable_headers.last().expect("non-empty");
+        stable_headers.push(BlockHeader {
+            version: 2,
+            prev_blockhash: prev.block_hash(),
+            merkle_root: icbtc::bitcoin::MerkleRoot([height as u8; 32]),
+            time: genesis.time + height as u32 * 600,
+            bits: genesis.bits,
+            nonce: 0,
+        });
+    }
+    let mut state = BitcoinCanisterState::new(params);
+    state.install_snapshot(utxos, stable_headers.clone());
+
+    // --- Unstable suffix + ingest reserve: mined PoW blocks paying the
+    // hot prefix of the population. -------------------------------------
+    let hot = addresses.len().min(SOAK_HOT_PAYEES);
+    let mut prev = *stable_headers.last().expect("non-empty");
+    let mut recent_times: Vec<u32> = stable_headers.iter().map(|h| h.time).collect();
+    let mine = |index: u64, prev: &mut BlockHeader, recent_times: &mut Vec<u32>| -> Block {
+        let coinbase = icbtc::bitcoin::builder::coinbase_transaction(
+            SOAK_HEIGHTS + 1 + index,
+            Amount::from_btc_int(3),
+            Script::new_op_return(b"qps-soak"),
+            index,
+        );
+        let outputs: Vec<TxOut> = (0..hot)
+            .map(|i| {
+                TxOut::new(
+                    Amount::from_sat(900 + index),
+                    addresses[(i + index as usize * 7) % hot.max(1)].0.script_pubkey(),
+                )
+            })
+            .collect();
+        let spend = Transaction {
+            version: 2,
+            inputs: vec![TxIn::new(source_outpoint(20_000 + index, 0))],
+            outputs,
+            lock_time: 0,
+        };
+        let txdata = vec![coinbase, spend];
+        let mtp = median_time_past(recent_times);
+        let mut header = BlockHeader {
+            version: 2,
+            prev_blockhash: prev.block_hash(),
+            merkle_root: merkle_root(&txdata.iter().map(|t| t.txid()).collect::<Vec<_>>()),
+            time: mtp + 600,
+            bits: genesis.bits,
+            nonce: 0,
+        };
+        while !header.meets_pow_target() {
+            header.nonce += 1;
+        }
+        recent_times.push(header.time);
+        *prev = header;
+        Block { header, txdata }
+    };
+
+    let unstable: Vec<Block> = (0..SOAK_UNSTABLE_BLOCKS as u64)
+        .map(|i| mine(i, &mut prev, &mut recent_times))
+        .collect();
+    let ingest_blocks: Vec<Block> = (0..num_ingest as u64)
+        .map(|i| mine(SOAK_UNSTABLE_BLOCKS as u64 + i, &mut prev, &mut recent_times))
+        .collect();
+
+    let now_unix = recent_times.last().expect("non-empty") + 60;
+    let report = state.process_response(
+        GetSuccessorsResponse { blocks: unstable, next: Vec::new() },
+        now_unix,
+        &mut Meter::new(),
+    );
+    assert_eq!(report.blocks_accepted, SOAK_UNSTABLE_BLOCKS, "rejected: {:?}", report.rejected);
+    assert!(report.stabilized.is_empty(), "soak suffix must stay unstable");
+    assert!(state.is_synced());
+
+    SoakWorkload { state, addresses, ingest_blocks }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,13 +399,13 @@ mod tests {
         let mut meter = Meter::new();
         let response = state.get_utxos(&addr, None, &mut meter).unwrap();
         let total = response.utxos.len(); // first page only
-        assert!(total == count.min(1000), "stable addr: {total} vs {count}");
+        assert!(total == count.min(icbtc::canister::MAX_UTXOS_PER_PAGE), "stable addr: {total} vs {count}");
         assert!(response.utxos.iter().all(|u| u.height <= state.anchor_height()));
 
         // An unstable address's UTXOs sit above the anchor.
         let (addr, count) = workload.unstable_addresses[0];
         let response = state.get_utxos(&addr, None, &mut Meter::new()).unwrap();
-        assert_eq!(response.utxos.len(), count.min(1000));
+        assert_eq!(response.utxos.len(), count.min(icbtc::canister::MAX_UTXOS_PER_PAGE));
         assert!(response.utxos.iter().all(|u| u.height > state.anchor_height()));
     }
 

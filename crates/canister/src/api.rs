@@ -7,6 +7,8 @@
 //! view to confirmation-based c-stable blocks, and responses above the
 //! page size carry an opaque continuation token.
 
+use std::collections::BTreeSet;
+
 use icbtc_bitcoin::encode::Decodable;
 use icbtc_bitcoin::{Address, Amount, BlockHash, OutPoint, Transaction, Txid};
 use icbtc_ic::Meter;
@@ -15,8 +17,12 @@ use crate::metering;
 use crate::state::BitcoinCanisterState;
 use crate::utxoset::Utxo;
 
-/// Maximum UTXOs returned per `get_utxos` page.
-pub const MAX_UTXOS_PER_PAGE: usize = 1_000;
+/// Maximum UTXOs returned per `get_utxos` page — the production
+/// canister's response cap. The largest first page therefore costs
+/// ≈ `QUERY_BASE + 10_000 · STABLE_UTXO_FETCH` ≈ 4.5·10⁸ instructions,
+/// which is what puts Figure 7's 4.76·10⁸ maximum in reach even though
+/// each page is now metered O(page size), not O(address size).
+pub const MAX_UTXOS_PER_PAGE: usize = 10_000;
 
 /// Optional filter on `get_utxos`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,38 +122,95 @@ impl std::fmt::Display for ApiError {
 
 impl std::error::Error for ApiError {}
 
-/// A pagination token: the filter's confirmation requirement plus the
-/// offset into the (deterministically ordered) result set.
-fn encode_page(min_confirmations: u32, offset: u64) -> Vec<u8> {
-    let mut out = Vec::with_capacity(12);
+/// Token format version; bumped when the layout below changes so stale
+/// tokens from older deployments decode to [`ApiError::MalformedPage`].
+const PAGE_TOKEN_VERSION: u8 = 2;
+
+/// Encoded token length: version ‖ min_confirmations ‖ tip hash ‖
+/// cursor height ‖ cursor txid ‖ cursor vout.
+const PAGE_TOKEN_LEN: usize = 1 + 4 + 32 + 8 + 32 + 4;
+
+/// A decoded pagination token: the filter's confirmation requirement,
+/// the tip the previous page was computed at, and the address-index key
+/// of the last UTXO returned. The next page resumes *strictly after*
+/// that key via a B-tree range scan — no offset, no re-materialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PageToken {
+    min_confirmations: u32,
+    tip: BlockHash,
+    height: u64,
+    outpoint: OutPoint,
+}
+
+fn encode_page(min_confirmations: u32, tip: &BlockHash, last: &Utxo) -> Vec<u8> {
+    let mut out = Vec::with_capacity(PAGE_TOKEN_LEN);
+    out.push(PAGE_TOKEN_VERSION);
     out.extend_from_slice(&min_confirmations.to_le_bytes());
-    out.extend_from_slice(&offset.to_le_bytes());
+    out.extend_from_slice(&tip.0);
+    out.extend_from_slice(&last.height.to_le_bytes());
+    out.extend_from_slice(&last.outpoint.txid.0);
+    out.extend_from_slice(&last.outpoint.vout.to_le_bytes());
     out
 }
 
-fn decode_page(bytes: &[u8]) -> Option<(u32, u64)> {
-    if bytes.len() != 12 {
+fn decode_page(bytes: &[u8]) -> Option<PageToken> {
+    if bytes.len() != PAGE_TOKEN_LEN || bytes[0] != PAGE_TOKEN_VERSION {
         return None;
     }
-    let mut c = [0u8; 4];
-    c.copy_from_slice(&bytes[..4]);
-    let mut o = [0u8; 8];
-    o.copy_from_slice(&bytes[4..]);
-    Some((u32::from_le_bytes(c), u64::from_le_bytes(o)))
+    let mut min_confirmations = [0u8; 4];
+    min_confirmations.copy_from_slice(&bytes[1..5]);
+    let mut tip = [0u8; 32];
+    tip.copy_from_slice(&bytes[5..37]);
+    let mut height = [0u8; 8];
+    height.copy_from_slice(&bytes[37..45]);
+    let mut txid = [0u8; 32];
+    txid.copy_from_slice(&bytes[45..77]);
+    let mut vout = [0u8; 4];
+    vout.copy_from_slice(&bytes[77..81]);
+    Some(PageToken {
+        min_confirmations: u32::from_le_bytes(min_confirmations),
+        tip: BlockHash(tip),
+        height: u64::from_le_bytes(height),
+        outpoint: OutPoint::new(Txid(txid), u32::from_le_bytes(vout)),
+    })
+}
+
+/// Returns `true` if `utxo` sorts strictly after the `(height,
+/// outpoint)` cursor in pagination order (height descending, then
+/// outpoint ascending).
+fn after_cursor(utxo: &Utxo, cursor: Option<(u64, OutPoint)>) -> bool {
+    match cursor {
+        None => true,
+        Some((height, outpoint)) => {
+            utxo.height < height || (utxo.height == height && utxo.outpoint > outpoint)
+        }
+    }
+}
+
+/// The unstable-region view for one address under a confirmation
+/// requirement: the UTXOs the considered unstable blocks *create* for
+/// the address (net of in-region spends, in pagination order) plus every
+/// outpoint those blocks *spend* (stable entries must be masked by it).
+///
+/// Its size — and the cost of building it — is bounded by the δ unstable
+/// blocks, independent of how many stable UTXOs the address owns.
+struct UnstableOverlay {
+    created: Vec<Utxo>,
+    spent: BTreeSet<OutPoint>,
+    tip_hash: BlockHash,
+    tip_height: u64,
 }
 
 impl BitcoinCanisterState {
-    /// Computes the full UTXO view of `address` under `min_confirmations`,
-    /// returning the view plus the considered tip. The stable set is
-    /// merged with the unstable best-chain blocks that satisfy the
-    /// confirmation requirement; outputs spent within the unstable region
-    /// are removed even if they originate in the stable set.
-    fn utxo_view(
+    /// Builds the [`UnstableOverlay`] of `address` by walking the best
+    /// chain above the anchor, stopping at the first block that misses
+    /// the confirmation requirement (or whose body is absent).
+    fn unstable_overlay(
         &self,
         address: &Address,
         min_confirmations: u32,
         meter: &mut Meter,
-    ) -> Result<(Vec<Utxo>, BlockHash, u64), ApiError> {
+    ) -> Result<UnstableOverlay, ApiError> {
         let delta = self.params().stability_delta;
         if min_confirmations as u64 > delta {
             return Err(ApiError::MinConfirmationsTooLarge {
@@ -156,15 +219,15 @@ impl BitcoinCanisterState {
             });
         }
 
-        let mut utxos: Vec<Utxo> = self.utxos().utxos_of(address, meter);
         let script = address.script_pubkey();
-
-        // Walk the best chain above the anchor, applying each block that
-        // meets the confirmation requirement.
         let tree = self.tree();
         let best = tree.best_chain();
-        let mut tip_hash = tree.root();
-        let mut tip_height = self.anchor_height();
+        let mut overlay = UnstableOverlay {
+            created: Vec::new(),
+            spent: BTreeSet::new(),
+            tip_hash: tree.root(),
+            tip_height: self.anchor_height(),
+        };
         for (i, hash) in best.iter().enumerate().skip(1) {
             if min_confirmations > 0
                 && !tree.is_confirmation_stable(hash, min_confirmations as u64)
@@ -178,13 +241,13 @@ impl BitcoinCanisterState {
                 let txid = tx.txid();
                 if !tx.is_coinbase() {
                     for input in &tx.inputs {
-                        utxos.retain(|u| u.outpoint != input.previous_output);
+                        overlay.spent.insert(input.previous_output);
                     }
                 }
                 for (vout, output) in tx.outputs.iter().enumerate() {
                     if output.script_pubkey == script {
                         meter.charge(metering::UNSTABLE_UTXO_FETCH);
-                        utxos.push(Utxo {
+                        overlay.created.push(Utxo {
                             outpoint: OutPoint::new(txid, vout as u32),
                             value: output.value,
                             height,
@@ -192,13 +255,99 @@ impl BitcoinCanisterState {
                     }
                 }
             }
-            tip_hash = *hash;
-            tip_height = height;
+            overlay.tip_hash = *hash;
+            overlay.tip_height = height;
         }
+        // Outputs both created and spent within the region never surface.
+        let spent = &overlay.spent;
+        overlay.created.retain(|u| !spent.contains(&u.outpoint));
+        // Pagination order. All created entries sit above the anchor, so
+        // they precede every stable entry.
+        overlay
+            .created
+            .sort_by(|a, b| b.height.cmp(&a.height).then(a.outpoint.cmp(&b.outpoint)));
+        Ok(overlay)
+    }
 
-        // Height descending, outpoint as tiebreak — the pagination order.
-        utxos.sort_by(|a, b| b.height.cmp(&a.height).then(a.outpoint.cmp(&b.outpoint)));
-        Ok((utxos, tip_hash, tip_height))
+    /// `get_utxos` with an explicit page size: the O(page) core that
+    /// [`BitcoinCanisterState::get_utxos`] calls with
+    /// [`MAX_UTXOS_PER_PAGE`]. Exposed so tests (and embedders) can walk
+    /// arbitrary page sizes through the same code path.
+    ///
+    /// The page is assembled by chaining the (δ-bounded) unstable overlay
+    /// with a stable-index range scan that starts *strictly after* the
+    /// token's cursor, masking stable entries spent in the unstable
+    /// region. Stable entries are charged per entry *yielded*, so a page
+    /// costs O(page size + δ) regardless of the address's total UTXO
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BitcoinCanisterState::get_utxos`]. A token whose tip no
+    /// longer matches the considered tip is *stale*: the view it was
+    /// paging over has shifted, and resuming would silently skip or
+    /// duplicate entries — [`ApiError::MalformedPage`] is returned
+    /// instead, and the caller restarts from the first page.
+    pub fn get_utxos_paged(
+        &self,
+        address: &Address,
+        filter: Option<UtxosFilter>,
+        page_size: usize,
+        meter: &mut Meter,
+    ) -> Result<GetUtxosResponse, ApiError> {
+        meter.charge(metering::QUERY_BASE);
+        if !self.is_synced() {
+            return Err(ApiError::NotSynced);
+        }
+        let page_size = page_size.max(1);
+        let (min_confirmations, token) = match &filter {
+            None => (0, None),
+            Some(UtxosFilter::MinConfirmations(c)) => (*c, None),
+            Some(UtxosFilter::Page(bytes)) => {
+                let token = decode_page(bytes).ok_or(ApiError::MalformedPage)?;
+                (token.min_confirmations, Some(token))
+            }
+        };
+        let overlay = self.unstable_overlay(address, min_confirmations, meter)?;
+        let cursor = match token {
+            Some(token) => {
+                if token.tip != overlay.tip_hash {
+                    return Err(ApiError::MalformedPage);
+                }
+                Some((token.height, token.outpoint))
+            }
+            None => None,
+        };
+
+        let created = overlay.created.iter().filter(|u| after_cursor(u, cursor)).cloned();
+        let stable = self
+            .utxos()
+            .utxos_after(address, cursor)
+            .filter(|u| !overlay.spent.contains(&u.outpoint));
+        let mut page = Vec::new();
+        let mut more = false;
+        for utxo in created.chain(stable) {
+            if page.len() == page_size {
+                more = true;
+                break;
+            }
+            if utxo.height <= self.anchor_height() {
+                meter.charge(metering::STABLE_UTXO_FETCH);
+            }
+            page.push(utxo);
+        }
+        let next_page = match (more, page.last()) {
+            (true, Some(last)) => {
+                Some(encode_page(min_confirmations, &overlay.tip_hash, last))
+            }
+            _ => None,
+        };
+        Ok(GetUtxosResponse {
+            utxos: page,
+            tip_block_hash: overlay.tip_hash,
+            tip_height: overlay.tip_height,
+            next_page,
+        })
     }
 
     /// `get_utxos`: the UTXOs of `address`, optionally filtered by
@@ -208,39 +357,20 @@ impl BitcoinCanisterState {
     ///
     /// [`ApiError::NotSynced`] while the canister lags more than τ;
     /// [`ApiError::MinConfirmationsTooLarge`] for `c > δ`;
-    /// [`ApiError::MalformedPage`] for bad tokens.
+    /// [`ApiError::MalformedPage`] for bad or stale tokens.
     pub fn get_utxos(
         &self,
         address: &Address,
         filter: Option<UtxosFilter>,
         meter: &mut Meter,
     ) -> Result<GetUtxosResponse, ApiError> {
-        meter.charge(metering::QUERY_BASE);
-        if !self.is_synced() {
-            return Err(ApiError::NotSynced);
-        }
-        let (min_confirmations, offset) = match &filter {
-            None => (0, 0),
-            Some(UtxosFilter::MinConfirmations(c)) => (*c, 0),
-            Some(UtxosFilter::Page(token)) => {
-                decode_page(token).ok_or(ApiError::MalformedPage)?
-            }
-        };
-        let (all, tip_block_hash, tip_height) =
-            self.utxo_view(address, min_confirmations, meter)?;
-        let offset = offset as usize;
-        if offset > all.len() {
-            return Err(ApiError::MalformedPage);
-        }
-        let page: Vec<Utxo> = all[offset..].iter().take(MAX_UTXOS_PER_PAGE).cloned().collect();
-        let consumed = offset + page.len();
-        let next_page = (consumed < all.len())
-            .then(|| encode_page(min_confirmations, consumed as u64));
-        Ok(GetUtxosResponse { utxos: page, tip_block_hash, tip_height, next_page })
+        self.get_utxos_paged(address, filter, MAX_UTXOS_PER_PAGE, meter)
     }
 
     /// `get_balance`: the address's balance under an optional minimum
-    /// confirmation requirement.
+    /// confirmation requirement. Summed directly over the address index
+    /// (per-entry [`metering::STABLE_BALANCE_ENTRY`] charge, no `TxOut`
+    /// clones) plus the δ-bounded unstable overlay.
     ///
     /// # Errors
     ///
@@ -255,10 +385,20 @@ impl BitcoinCanisterState {
         if !self.is_synced() {
             return Err(ApiError::NotSynced);
         }
-        let (utxos, _, tip_height) = self.utxo_view(address, min_confirmations, meter)?;
+        let overlay = self.unstable_overlay(address, min_confirmations, meter)?;
+        let stable: Amount = self
+            .utxos()
+            .utxos_after(address, None)
+            .filter(|u| !overlay.spent.contains(&u.outpoint))
+            .map(|u| {
+                meter.charge(metering::STABLE_BALANCE_ENTRY);
+                u.value
+            })
+            .sum();
+        let unstable: Amount = overlay.created.iter().map(|u| u.value).sum();
         Ok(GetBalanceResponse {
-            balance: utxos.into_iter().map(|u| u.value).sum(),
-            tip_height,
+            balance: [stable, unstable].into_iter().sum(),
+            tip_height: overlay.tip_height,
         })
     }
 
@@ -496,9 +636,9 @@ mod tests {
 
     #[test]
     fn pagination_walks_the_full_set() {
-        // 6 blocks, each coinbase paying the same address, page size 1000
-        // is too big to paginate — so craft many outputs instead.
-        let mut chain = ChainStore::new(Network::Regtest);
+        // One block whose transaction pays addr(3) 25 outputs; page
+        // through with a small page size and stitch the pages back up.
+        let chain = ChainStore::new(Network::Regtest);
         let outputs: Vec<TxOut> = (0..25)
             .map(|_| TxOut::new(Amount::from_sat(10), addr(3).script_pubkey()))
             .collect();
@@ -509,7 +649,6 @@ mod tests {
             lock_time: 0,
         };
         let block = mine_block_on(&chain, chain.tip_hash(), vec![big_tx], Script::new_op_return(b"m"), 0);
-        chain.accept_block(block.clone(), NOW).unwrap();
         let mut state = BitcoinCanisterState::new(params(2));
         state.process_response(
             GetSuccessorsResponse { blocks: vec![block], next: Vec::new() },
@@ -517,29 +656,134 @@ mod tests {
             &mut Meter::new(),
         );
 
-        // Page through with a tiny page size via the token mechanism:
-        // emulate by repeatedly using the returned next_page (the page
-        // size constant is large, so all 25 arrive at once here).
+        // The default page size swallows all 25 at once.
         let response = state.get_utxos(&addr(3), None, &mut Meter::new()).unwrap();
         assert_eq!(response.utxos.len(), 25);
         assert!(response.next_page.is_none());
 
-        // Exercise token decode/encode paths directly.
-        let token = super::encode_page(0, 10);
-        let page = state
-            .get_utxos(&addr(3), Some(UtxosFilter::Page(token)), &mut Meter::new())
-            .unwrap();
-        assert_eq!(page.utxos.len(), 15);
-        // Offset past the end is malformed.
-        let bad = super::encode_page(0, 1000);
+        // Stitching pages of 10 reproduces the full scan exactly.
+        let mut stitched = Vec::new();
+        let mut filter = None;
+        loop {
+            let page = state
+                .get_utxos_paged(&addr(3), filter.clone(), 10, &mut Meter::new())
+                .unwrap();
+            stitched.extend(page.utxos);
+            match page.next_page {
+                Some(token) => filter = Some(UtxosFilter::Page(token)),
+                None => break,
+            }
+        }
+        assert_eq!(stitched, response.utxos);
+
+        // Tampered and truncated tokens are malformed.
+        let first = state.get_utxos_paged(&addr(3), None, 10, &mut Meter::new()).unwrap();
+        let mut tampered = first.next_page.clone().unwrap();
+        tampered[0] ^= 0xff; // wrong version byte
         assert_eq!(
-            state.get_utxos(&addr(3), Some(UtxosFilter::Page(bad)), &mut Meter::new()),
+            state.get_utxos(&addr(3), Some(UtxosFilter::Page(tampered)), &mut Meter::new()),
             Err(ApiError::MalformedPage)
         );
         assert_eq!(
             state.get_utxos(&addr(3), Some(UtxosFilter::Page(vec![1, 2])), &mut Meter::new()),
             Err(ApiError::MalformedPage)
         );
+    }
+
+    #[test]
+    fn stale_tokens_rejected_when_the_tip_advances() {
+        let mut chain = ChainStore::new(Network::Regtest);
+        let mut blocks = Vec::new();
+        for i in 0..3 {
+            let block =
+                mine_block_on(&chain, chain.tip_hash(), Vec::new(), addr(7).script_pubkey(), i);
+            chain.accept_block(block.clone(), NOW).unwrap();
+            blocks.push(block);
+        }
+        let mut state = BitcoinCanisterState::new(params(6));
+        state.process_response(
+            GetSuccessorsResponse { blocks, next: Vec::new() },
+            NOW,
+            &mut Meter::new(),
+        );
+        let first = state.get_utxos_paged(&addr(7), None, 1, &mut Meter::new()).unwrap();
+        let token = first.next_page.expect("3 coinbases paginate at size 1");
+
+        // The token resumes fine while the tip is unchanged…
+        let resumed = state
+            .get_utxos_paged(&addr(7), Some(UtxosFilter::Page(token.clone())), 1, &mut Meter::new())
+            .unwrap();
+        assert_eq!(resumed.utxos.len(), 1);
+
+        // …but once a new block lands, the view has shifted and the
+        // token must be rejected rather than silently re-anchored.
+        let block4 =
+            mine_block_on(&chain, chain.tip_hash(), Vec::new(), addr(7).script_pubkey(), 9);
+        chain.accept_block(block4.clone(), NOW).unwrap();
+        state.process_response(
+            GetSuccessorsResponse { blocks: vec![block4], next: Vec::new() },
+            NOW,
+            &mut Meter::new(),
+        );
+        assert_eq!(
+            state.get_utxos_paged(&addr(7), Some(UtxosFilter::Page(token)), 1, &mut Meter::new()),
+            Err(ApiError::MalformedPage)
+        );
+    }
+
+    #[test]
+    fn page_cost_is_independent_of_address_utxo_count() {
+        // addr(1) owns 4 stable UTXOs, addr(2) owns 400; an equal-sized
+        // page must cost the same metered instructions for both. The
+        // payment block is buried under empty blocks so it stabilizes
+        // into the address index.
+        let mut chain = ChainStore::new(Network::Regtest);
+        let mut outputs = Vec::new();
+        for _ in 0..4 {
+            outputs.push(TxOut::new(Amount::from_sat(10), addr(1).script_pubkey()));
+        }
+        for _ in 0..400 {
+            outputs.push(TxOut::new(Amount::from_sat(10), addr(2).script_pubkey()));
+        }
+        let tx = Transaction {
+            version: 2,
+            inputs: vec![TxIn::new(OutPoint::new(Txid([9; 32]), 0))],
+            outputs,
+            lock_time: 0,
+        };
+        let mut blocks = Vec::new();
+        let pay = mine_block_on(&chain, chain.tip_hash(), vec![tx], Script::new_op_return(b"m"), 0);
+        chain.accept_block(pay.clone(), NOW).unwrap();
+        blocks.push(pay);
+        for i in 0..5 {
+            let filler = mine_block_on(
+                &chain,
+                chain.tip_hash(),
+                Vec::new(),
+                Script::new_op_return(b"fill"),
+                10 + i,
+            );
+            chain.accept_block(filler.clone(), NOW).unwrap();
+            blocks.push(filler);
+        }
+        let mut state = BitcoinCanisterState::new(params(2));
+        state.process_response(
+            GetSuccessorsResponse { blocks, next: Vec::new() },
+            NOW,
+            &mut Meter::new(),
+        );
+        assert!(state.anchor_height() >= 1, "payment block must have stabilized");
+        let cost = |n: u8| {
+            let mut meter = Meter::new();
+            let page = state.get_utxos_paged(&addr(n), None, 4, &mut meter).unwrap();
+            assert_eq!(page.utxos.len(), 4);
+            assert!(
+                page.utxos.iter().all(|u| u.height <= state.anchor_height()),
+                "UTXOs must be served from the stable index"
+            );
+            meter.instructions()
+        };
+        assert_eq!(cost(1), cost(2), "page cost must not scale with the address's UTXO count");
     }
 
     #[test]

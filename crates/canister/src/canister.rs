@@ -13,6 +13,7 @@ use icbtc_sim::obs::{FieldValue, Obs, INSTRUCTION_BOUNDS};
 
 use crate::api::{ApiError, GetBalanceResponse, GetMetricsResponse, GetUtxosResponse, UtxosFilter};
 use crate::metering;
+use crate::qcache::QueryCache;
 use crate::state::{BitcoinCanisterState, IngestReport};
 
 /// A call into the Bitcoin canister's API.
@@ -116,6 +117,8 @@ pub struct BitcoinCanister {
     fees: FeeSchedule,
     /// Total cycles burned by replicated calls since genesis.
     cycles_burned: Cycles,
+    /// Tip-keyed query cache, wholesale-invalidated on ingest.
+    qcache: QueryCache,
     /// Observability endpoint (metrics + trace), component `"canister"`.
     obs: Obs,
 }
@@ -131,7 +134,24 @@ impl BitcoinCanister {
         let mut obs = Obs::new("canister");
         obs.metrics.register_histogram("canister_call_instructions", INSTRUCTION_BOUNDS);
         obs.metrics.register_histogram("canister_ingest_instructions", INSTRUCTION_BOUNDS);
-        BitcoinCanister { state, fees: FeeSchedule::default(), cycles_burned: 0, obs }
+        BitcoinCanister {
+            state,
+            fees: FeeSchedule::default(),
+            cycles_burned: 0,
+            qcache: QueryCache::default(),
+            obs,
+        }
+    }
+
+    /// Replaces the query cache (capacity experiments); entries are
+    /// dropped.
+    pub fn set_query_cache(&mut self, cache: QueryCache) {
+        self.qcache = cache;
+    }
+
+    /// The query cache (inspection).
+    pub fn query_cache(&self) -> &QueryCache {
+        &self.qcache
     }
 
     /// Read access to the canister's observability endpoint.
@@ -201,6 +221,11 @@ impl BitcoinCanister {
         let report = self.state.process_response(response, now_unix, ctx.meter);
         let spent = ctx.meter.instructions().saturating_sub(before);
 
+        // Ingestion is the only operation that can change a query's
+        // answer: wholesale-invalidate the tip-keyed query cache so no
+        // replica ever serves a response computed at a superseded tip.
+        let dropped = self.qcache.invalidate();
+
         let m = &mut self.obs.metrics;
         m.add("canister_blocks_ingested_total", report.blocks_accepted as u64);
         m.add("canister_headers_ingested_total", report.headers_accepted as u64);
@@ -208,6 +233,9 @@ impl BitcoinCanister {
         m.add("canister_blocks_stabilized_total", report.stabilized.len() as u64);
         m.add("canister_instructions_total", spent);
         m.observe("canister_ingest_instructions", spent);
+        m.inc("canister_qcache_invalidations_total");
+        m.add("canister_qcache_invalidated_entries_total", dropped);
+        m.set_gauge("canister_qcache_entries", 0);
         self.refresh_state_gauges();
         self.obs.trace.span_end(
             span,
@@ -327,6 +355,51 @@ impl BitcoinCanister {
             }
         }
     }
+
+    /// Executes a call in query mode through the tip-keyed query cache.
+    ///
+    /// Replies are byte-identical to [`BitcoinCanister::query`] — only
+    /// the metered cost differs: a hit charges
+    /// [`metering::QUERY_CACHE_HIT`] instead of the full state walk.
+    /// Safety against staleness is two-fold: every key embeds the tip
+    /// hash the response was computed at, and
+    /// [`BitcoinCanister::ingest_response`] wholesale-invalidates the
+    /// cache, so a response from a superseded tip can never be served.
+    ///
+    /// Cache traffic is recorded as `canister_qcache_*` counters. These
+    /// are per-replica query-plane metrics, not replicated state; the
+    /// sim models a single querying replica, so they stay deterministic.
+    pub fn query_cached(&mut self, call: &CanisterCall, meter: &mut Meter) -> CallOutcome {
+        let (tip, _) = self.state.best_tip();
+        let key = QueryCache::key_for(call, tip);
+        if let Some(key) = &key {
+            if let Some(reply) = self.qcache.get(key) {
+                meter.charge(metering::QUERY_CACHE_HIT);
+                self.obs.metrics.inc("canister_qcache_hits_total");
+                let cycles_charged = self.query_fee(call, meter.instructions());
+                return CallOutcome { reply: Ok(reply), cycles_charged };
+            }
+            self.obs.metrics.inc("canister_qcache_misses_total");
+        }
+        let outcome = self.query(call, meter);
+        if let (Some(key), Ok(reply)) = (key, &outcome.reply) {
+            let evicted = self.qcache.insert(key, reply.clone());
+            let entries = self.qcache.len() as i64;
+            let m = &mut self.obs.metrics;
+            m.add("canister_qcache_evictions_total", evicted);
+            m.set_gauge("canister_qcache_entries", entries);
+        }
+        outcome
+    }
+
+    /// The fee a query-mode call pays for `instructions`.
+    fn query_fee(&self, call: &CanisterCall, instructions: u64) -> Cycles {
+        match call {
+            CanisterCall::GetUtxos { .. } => self.fees.get_utxos_fee(instructions),
+            CanisterCall::GetMetrics | CanisterCall::SendTransaction { .. } => 0,
+            _ => self.fees.get_balance_fee(instructions),
+        }
+    }
 }
 
 impl StateMachine for BitcoinCanister {
@@ -364,6 +437,25 @@ impl StateMachine for BitcoinCanister {
             ],
         );
         outcome
+    }
+
+    /// Queries route through the tip-keyed cache. The cache and its
+    /// counters are node-local (single serving replica in this
+    /// simulation), never part of replicated state.
+    fn execute_query(&mut self, input: CanisterCall, ctx: &mut ExecutionContext<'_>) -> CallOutcome {
+        self.query_cached(&input, ctx.meter)
+    }
+
+    fn output_bytes(outcome: &CallOutcome) -> usize {
+        match &outcome.reply {
+            Ok(CanisterReply::Utxos(r)) => 64 + r.utxos.len() * 48,
+            Ok(CanisterReply::Balance(_)) => 16,
+            Ok(CanisterReply::TransactionSent(_)) => 32,
+            Ok(CanisterReply::FeePercentiles(p)) => 8 * p.len(),
+            Ok(CanisterReply::BlockHeaders(r)) => 16 + r.headers.len() * 80,
+            Ok(CanisterReply::Metrics(_)) => 72,
+            Err(_) => 32,
+        }
     }
 }
 
@@ -432,5 +524,45 @@ mod tests {
         let c = canister();
         let outcome = c.query(&CanisterCall::GetFeePercentiles, &mut Meter::new());
         assert_eq!(outcome.reply, Ok(CanisterReply::FeePercentiles(Vec::new())));
+    }
+
+    #[test]
+    fn query_cached_hits_then_invalidates_on_ingest() {
+        let mut c = canister();
+        let call = CanisterCall::GetBalance { address: addr(1), min_confirmations: 0 };
+
+        // First call misses and computes through the normal query path.
+        let uncached = c.query(&call, &mut Meter::new());
+        let mut miss_meter = Meter::new();
+        let miss = c.query_cached(&call, &mut miss_meter);
+        assert_eq!(miss.reply, uncached.reply, "cache fill returns the computed reply");
+        assert_eq!(c.query_cache().len(), 1);
+
+        // Second call hits: same reply, but only the flat hit cost.
+        let mut hit_meter = Meter::new();
+        let hit = c.query_cached(&call, &mut hit_meter);
+        assert_eq!(hit.reply, uncached.reply, "hit serves the identical reply");
+        assert_eq!(hit_meter.instructions(), metering::QUERY_CACHE_HIT);
+        assert!(hit_meter.instructions() < miss_meter.instructions());
+
+        // Ingesting any adapter response wipes the cache.
+        let mut meter = Meter::new();
+        let mut ctx = ExecutionContext {
+            meter: &mut meter,
+            now: icbtc_sim::SimTime::ZERO,
+            round: 1,
+        };
+        c.ingest_response(GetSuccessorsResponse::default(), 0, &mut ctx);
+        assert!(c.query_cache().is_empty(), "ingest invalidates wholesale");
+        let snapshot = c.obs().metrics.snapshot_json();
+        assert!(
+            snapshot.contains("\"name\": \"canister_qcache_hits_total\", \"labels\": {}, \"value\": 1"),
+            "{snapshot}"
+        );
+        assert!(
+            snapshot
+                .contains("\"name\": \"canister_qcache_invalidations_total\", \"labels\": {}, \"value\": 1"),
+            "{snapshot}"
+        );
     }
 }

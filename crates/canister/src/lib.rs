@@ -11,7 +11,10 @@
 //!   accounting (Figure 5).
 //! * [`state`] — **Algorithm 2**: response validation, anchor advancement
 //!   via δ-stability, fork pruning, the τ-lag synced flag.
-//! * [`api`] — the endpoints with pagination and confirmation filters.
+//! * [`api`] — the endpoints with O(page) cursor pagination and
+//!   confirmation filters.
+//! * [`qcache`] — the tip-keyed query cache behind
+//!   [`BitcoinCanister::query_cached`].
 //! * [`canister`] — the [`icbtc_ic::StateMachine`] wrapper with cycles
 //!   charges.
 //! * [`metering`] — the calibrated instruction-cost model (Figures 6–7).
@@ -22,6 +25,7 @@
 pub mod api;
 pub mod canister;
 pub mod metering;
+pub mod qcache;
 pub mod state;
 pub mod utxoset;
 
@@ -30,5 +34,6 @@ pub use api::{
     UtxosFilter, MAX_UTXOS_PER_PAGE,
 };
 pub use canister::{BitcoinCanister, CallOutcome, CanisterCall, CanisterReply};
+pub use qcache::{CacheKey, QueryCache, DEFAULT_QUERY_CACHE_CAPACITY};
 pub use state::{BitcoinCanisterState, IngestReport, RejectReason};
 pub use utxoset::{Utxo, UtxoSet};

@@ -38,6 +38,17 @@ pub const QUERY_BASE: u64 = 5_500_000;
 /// Instructions per UTXO fetched from the stable set.
 pub const STABLE_UTXO_FETCH: u64 = 44_000;
 
+/// Instructions per address-index entry summed by `get_balance`: the
+/// index stores `(height, outpoint) → value`, so a balance walk reads
+/// the entry in place instead of materializing the `TxOut` — several
+/// times cheaper than a full fetch.
+pub const STABLE_BALANCE_ENTRY: u64 = 11_000;
+
+/// Instructions for a query answered from the tip-keyed query cache:
+/// dispatch, key assembly, B-tree lookup and response clone — no state
+/// walk at all.
+pub const QUERY_CACHE_HIT: u64 = 250_000;
+
 /// Instructions per UTXO fetched from unstable blocks (cheaper: the
 /// blocks are small and in heap memory — the paper's bifurcation).
 pub const UNSTABLE_UTXO_FETCH: u64 = 9_000;

@@ -1,0 +1,256 @@
+//! The tip-keyed query cache.
+//!
+//! The production Bitcoin canister serves most of its query traffic —
+//! balance lookups, first `get_utxos` pages, fee percentiles — from a
+//! small cache that is valid exactly as long as the chain tip does not
+//! move. This module reproduces that design deterministically:
+//!
+//! * every key embeds the **tip hash** the response was computed at, so
+//!   a response outliving its tip can never be returned by a lookup;
+//! * the cache is **wholesale-invalidated** whenever the canister
+//!   ingests an adapter response ([`crate::BitcoinCanister::ingest_response`]) —
+//!   ingestion is the only operation that can change any query's answer;
+//! * eviction is least-recently-used with a deterministic logical clock,
+//!   so same-seed runs hit, miss and evict identically.
+//!
+//! Only *first* pages are cached: continuation pages carry a cursor that
+//! makes them effectively unique, and the production traffic skew puts
+//! nearly all requests on page one.
+
+use std::collections::BTreeMap;
+
+use icbtc_bitcoin::{Address, BlockHash};
+
+use crate::canister::{CanisterCall, CanisterReply};
+use crate::UtxosFilter;
+
+/// Default maximum number of cached responses.
+pub const DEFAULT_QUERY_CACHE_CAPACITY: usize = 4_096;
+
+/// A cacheable query, fully identifying the response: the tip the view
+/// was computed at, and the call's own parameters.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CacheKey {
+    /// `get_balance(address, min_confirmations)` at `tip`.
+    Balance {
+        /// Considered tip when the response was computed.
+        tip: BlockHash,
+        /// The queried address.
+        address: Address,
+        /// The confirmation requirement.
+        min_confirmations: u32,
+    },
+    /// The *first* `get_utxos` page for `(address, min_confirmations)`
+    /// at `tip`. Continuation pages are never cached.
+    FirstPage {
+        /// Considered tip when the response was computed.
+        tip: BlockHash,
+        /// The queried address.
+        address: Address,
+        /// The confirmation requirement.
+        min_confirmations: u32,
+    },
+    /// `get_current_fee_percentiles()` at `tip`.
+    FeePercentiles {
+        /// Considered tip when the response was computed.
+        tip: BlockHash,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    reply: CanisterReply,
+    last_used: u64,
+}
+
+/// A deterministic, capacity-bounded LRU cache of query replies.
+///
+/// Pure storage: hit/miss/eviction/invalidation accounting lives in the
+/// owning [`crate::BitcoinCanister`]'s metrics registry, so the counters
+/// ride the same obs snapshot as everything else.
+#[derive(Debug, Clone)]
+pub struct QueryCache {
+    entries: BTreeMap<CacheKey, CacheEntry>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl Default for QueryCache {
+    fn default() -> QueryCache {
+        QueryCache::with_capacity(DEFAULT_QUERY_CACHE_CAPACITY)
+    }
+}
+
+impl QueryCache {
+    /// Creates a cache holding at most `capacity` responses. A capacity
+    /// of 0 disables caching entirely (every lookup misses, inserts are
+    /// dropped) — the cache-off baseline for A/B runs.
+    pub fn with_capacity(capacity: usize) -> QueryCache {
+        QueryCache { entries: BTreeMap::new(), capacity, clock: 0 }
+    }
+
+    /// The cache key for `call` at `tip`, or `None` if the call is not
+    /// cacheable (writes, continuation pages, metrics, headers).
+    ///
+    /// A `get_utxos` without filter is the same view as
+    /// `MinConfirmations(0)`; both normalize to the same key.
+    pub fn key_for(call: &CanisterCall, tip: BlockHash) -> Option<CacheKey> {
+        match call {
+            CanisterCall::GetBalance { address, min_confirmations } => Some(CacheKey::Balance {
+                tip,
+                address: *address,
+                min_confirmations: *min_confirmations,
+            }),
+            CanisterCall::GetUtxos { address, filter } => match filter {
+                None => Some(CacheKey::FirstPage { tip, address: *address, min_confirmations: 0 }),
+                Some(UtxosFilter::MinConfirmations(c)) => {
+                    Some(CacheKey::FirstPage { tip, address: *address, min_confirmations: *c })
+                }
+                Some(UtxosFilter::Page(_)) => None,
+            },
+            CanisterCall::GetFeePercentiles => Some(CacheKey::FeePercentiles { tip }),
+            CanisterCall::SendTransaction { .. }
+            | CanisterCall::GetBlockHeaders { .. }
+            | CanisterCall::GetMetrics => None,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<CanisterReply> {
+        self.clock += 1;
+        let entry = self.entries.get_mut(key)?;
+        entry.last_used = self.clock;
+        Some(entry.reply.clone())
+    }
+
+    /// Inserts a reply, evicting the least-recently-used entry when at
+    /// capacity. Returns how many entries were evicted (0 or 1).
+    pub fn insert(&mut self, key: CacheKey, reply: CanisterReply) -> u64 {
+        if self.capacity == 0 {
+            return 0;
+        }
+        self.clock += 1;
+        let mut evicted = 0;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(key, _)| key.clone());
+            if let Some(victim) = victim {
+                self.entries.remove(&victim);
+                evicted = 1;
+            }
+        }
+        self.entries.insert(key, CacheEntry { reply, last_used: self.clock });
+        evicted
+    }
+
+    /// Drops every entry — called on ingest, when any cached answer may
+    /// have changed. Returns how many entries were dropped.
+    pub fn invalidate(&mut self) -> u64 {
+        let dropped = self.entries.len() as u64;
+        self.entries.clear();
+        dropped
+    }
+
+    /// Cached responses currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::GetBalanceResponse;
+    use icbtc_bitcoin::{AddressKind, Amount, Network};
+
+    fn addr(n: u8) -> Address {
+        Address::new(Network::Regtest, AddressKind::P2wpkh([n; 20]))
+    }
+
+    fn reply(sats: u64) -> CanisterReply {
+        CanisterReply::Balance(GetBalanceResponse {
+            balance: Amount::from_sat(sats),
+            tip_height: 1,
+        })
+    }
+
+    fn key(n: u8, tip: u8) -> CacheKey {
+        CacheKey::Balance { tip: BlockHash([tip; 32]), address: addr(n), min_confirmations: 0 }
+    }
+
+    #[test]
+    fn hit_after_insert_miss_after_invalidate() {
+        let mut cache = QueryCache::with_capacity(8);
+        assert!(cache.get(&key(1, 0)).is_none());
+        cache.insert(key(1, 0), reply(5));
+        assert_eq!(cache.get(&key(1, 0)), Some(reply(5)));
+        assert_eq!(cache.invalidate(), 1);
+        assert!(cache.get(&key(1, 0)).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = QueryCache::with_capacity(0);
+        assert_eq!(cache.insert(key(1, 0), reply(5)), 0);
+        assert!(cache.get(&key(1, 0)).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn tip_is_part_of_the_key() {
+        let mut cache = QueryCache::with_capacity(8);
+        cache.insert(key(1, 0), reply(5));
+        assert!(cache.get(&key(1, 1)).is_none(), "a different tip never matches");
+    }
+
+    #[test]
+    fn eviction_is_lru_and_deterministic() {
+        let mut cache = QueryCache::with_capacity(2);
+        assert_eq!(cache.insert(key(1, 0), reply(1)), 0);
+        assert_eq!(cache.insert(key(2, 0), reply(2)), 0);
+        // Touch key 1 so key 2 is the LRU victim.
+        assert!(cache.get(&key(1, 0)).is_some());
+        assert_eq!(cache.insert(key(3, 0), reply(3)), 1);
+        assert!(cache.get(&key(2, 0)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(1, 0)).is_some());
+        assert!(cache.get(&key(3, 0)).is_some());
+    }
+
+    #[test]
+    fn continuation_pages_and_writes_are_not_cacheable() {
+        let tip = BlockHash([0; 32]);
+        assert!(QueryCache::key_for(
+            &CanisterCall::GetUtxos {
+                address: addr(1),
+                filter: Some(UtxosFilter::Page(vec![0; 81]))
+            },
+            tip
+        )
+        .is_none());
+        assert!(QueryCache::key_for(
+            &CanisterCall::SendTransaction { transaction: Vec::new() },
+            tip
+        )
+        .is_none());
+        assert!(QueryCache::key_for(&CanisterCall::GetMetrics, tip).is_none());
+        // Bare get_utxos and MinConfirmations(0) normalize identically.
+        let bare = QueryCache::key_for(&CanisterCall::GetUtxos { address: addr(1), filter: None }, tip);
+        let zero = QueryCache::key_for(
+            &CanisterCall::GetUtxos {
+                address: addr(1),
+                filter: Some(UtxosFilter::MinConfirmations(0)),
+            },
+            tip,
+        );
+        assert_eq!(bare, zero);
+    }
+}

@@ -6,7 +6,8 @@
 //! what keeps the state ≈ 100 GiB instead of several hundred (Figure 5).
 
 use std::collections::btree_map::Entry;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
+use std::ops::Bound;
 
 use icbtc_bitcoin::{Address, Amount, Network, OutPoint, Transaction, TxOut};
 use icbtc_ic::{Meter, MeterBreakdown};
@@ -33,6 +34,16 @@ struct AddressIndexKey {
     outpoint: OutPoint,
 }
 
+impl AddressIndexKey {
+    fn new(height: u64, outpoint: OutPoint) -> AddressIndexKey {
+        AddressIndexKey { reverse_height: u64::MAX - height, outpoint }
+    }
+
+    fn height(&self) -> u64 {
+        u64::MAX - self.reverse_height
+    }
+}
+
 /// The address-indexed stable UTXO set.
 ///
 /// # Examples
@@ -49,7 +60,10 @@ struct AddressIndexKey {
 pub struct UtxoSet {
     network: Network,
     by_outpoint: BTreeMap<OutPoint, (TxOut, u64)>,
-    by_address: BTreeMap<Address, BTreeSet<AddressIndexKey>>,
+    /// Per address, `(height, outpoint) → value`. The value is
+    /// denormalized into the index so pagination and balance walks never
+    /// touch (or clone from) `by_outpoint`.
+    by_address: BTreeMap<Address, BTreeMap<AddressIndexKey, Amount>>,
     next_height: u64,
 }
 
@@ -155,7 +169,7 @@ impl UtxoSet {
             self.by_address
                 .entry(address)
                 .or_default()
-                .insert(AddressIndexKey { reverse_height: u64::MAX - height, outpoint });
+                .insert(AddressIndexKey::new(height, outpoint), output.value);
         }
         self.by_outpoint.insert(outpoint, (output, height));
     }
@@ -168,9 +182,7 @@ impl UtxoSet {
         };
         if let Some(address) = Address::from_script(&output.script_pubkey, self.network) {
             if let Entry::Occupied(mut entry) = self.by_address.entry(address) {
-                entry
-                    .get_mut()
-                    .remove(&AddressIndexKey { reverse_height: u64::MAX - height, outpoint: *outpoint });
+                entry.get_mut().remove(&AddressIndexKey::new(height, *outpoint));
                 if entry.get().is_empty() {
                     entry.remove();
                 }
@@ -181,24 +193,52 @@ impl UtxoSet {
     /// All UTXOs of `address`, sorted by height descending (then
     /// outpoint), charging per fetched entry.
     pub fn utxos_of(&self, address: &Address, meter: &mut Meter) -> Vec<Utxo> {
-        let Some(index) = self.by_address.get(address) else {
-            return Vec::new();
-        };
-        index
-            .iter()
-            .map(|key| {
-                meter.charge(metering::STABLE_UTXO_FETCH);
-                let (output, height) = &self.by_outpoint[&key.outpoint];
-                Utxo { outpoint: key.outpoint, value: output.value, height: *height }
-            })
+        self.utxos_after(address, None)
+            .inspect(|_| meter.charge(metering::STABLE_UTXO_FETCH))
             .collect()
     }
 
-    /// Balance of `address` from the stable set alone.
+    /// Iterates `address`'s UTXOs in pagination order (height descending,
+    /// then outpoint), starting strictly *after* the `(height, outpoint)`
+    /// cursor if one is given. The walk is a B-tree range scan: reaching
+    /// the cursor position costs a tree descent, not a scan of the
+    /// preceding entries, so consuming a page costs O(page size)
+    /// regardless of the address's total UTXO count.
+    ///
+    /// No instructions are charged here — callers charge per entry they
+    /// actually consume (pagination and balance use different rates).
+    pub fn utxos_after<'a>(
+        &'a self,
+        address: &Address,
+        after: Option<(u64, OutPoint)>,
+    ) -> impl Iterator<Item = Utxo> + 'a {
+        let start = match after {
+            Some((height, outpoint)) => Bound::Excluded(AddressIndexKey::new(height, outpoint)),
+            None => Bound::Unbounded,
+        };
+        self.by_address.get(address).into_iter().flat_map(move |index| {
+            index.range((start, Bound::Unbounded)).map(|(key, value)| Utxo {
+                outpoint: key.outpoint,
+                value: *value,
+                height: key.height(),
+            })
+        })
+    }
+
+    /// Balance of `address` from the stable set alone, summed directly
+    /// over the address index — no `TxOut` is cloned or even looked up,
+    /// so each entry is charged the cheaper
+    /// [`metering::STABLE_BALANCE_ENTRY`] rate.
     pub fn balance(&self, address: &Address, meter: &mut Meter) -> Amount {
-        self.utxos_of(address, meter)
-            .into_iter()
-            .map(|u| u.value)
+        let Some(index) = self.by_address.get(address) else {
+            return Amount::ZERO;
+        };
+        index
+            .values()
+            .map(|value| {
+                meter.charge(metering::STABLE_BALANCE_ENTRY);
+                *value
+            })
             .sum()
     }
 
@@ -277,6 +317,39 @@ mod tests {
         assert_eq!(utxos.len(), 5);
         let heights: Vec<u64> = utxos.iter().map(|u| u.height).collect();
         assert_eq!(heights, vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn utxos_after_resumes_strictly_past_the_cursor() {
+        let (mut set, mut meter, mut breakdown) = fresh();
+        for height in 0..6 {
+            let tx = pay_tx(None, &[(7, 100 + height)]);
+            set.ingest_block(&[tx], height, &mut meter, &mut breakdown);
+        }
+        let all: Vec<Utxo> = set.utxos_after(&addr(7), None).collect();
+        assert_eq!(all.len(), 6);
+        // Resume from the second entry: exactly the suffix comes back.
+        let cursor = (all[1].height, all[1].outpoint);
+        let rest: Vec<Utxo> = set.utxos_after(&addr(7), Some(cursor)).collect();
+        assert_eq!(rest, all[2..].to_vec());
+        // A cursor at the last entry yields nothing.
+        let last = (all[5].height, all[5].outpoint);
+        assert_eq!(set.utxos_after(&addr(7), Some(last)).count(), 0);
+        // Unknown addresses yield nothing.
+        assert_eq!(set.utxos_after(&addr(9), None).count(), 0);
+    }
+
+    #[test]
+    fn balance_charges_per_index_entry_not_per_fetch() {
+        let (mut set, mut meter, mut breakdown) = fresh();
+        let tx = pay_tx(None, &[(7, 10), (7, 20), (7, 30)]);
+        set.ingest_block(&[tx], 0, &mut meter, &mut breakdown);
+        let mut balance_meter = Meter::new();
+        assert_eq!(set.balance(&addr(7), &mut balance_meter), Amount::from_sat(60));
+        assert_eq!(balance_meter.instructions(), 3 * metering::STABLE_BALANCE_ENTRY);
+        let mut fetch_meter = Meter::new();
+        let _ = set.utxos_of(&addr(7), &mut fetch_meter);
+        assert!(balance_meter.instructions() < fetch_meter.instructions());
     }
 
     #[test]

@@ -46,6 +46,8 @@ pub struct ReadyIngress<T> {
     pub id: IngressId,
     /// When the user submitted it.
     pub submitted_at: SimTime,
+    /// When it became available for inclusion (submission + routing).
+    pub available_at: SimTime,
     /// The payload.
     pub payload: T,
 }
@@ -75,13 +77,20 @@ impl<T> IngressPool<T> {
     /// Removes and returns all messages available by `now`, in submission
     /// order.
     pub fn take_ready(&mut self, now: SimTime) -> Vec<ReadyIngress<T>> {
+        self.take_ready_bounded(now, usize::MAX)
+    }
+
+    /// Like [`IngressPool::take_ready`], but takes at most `max` messages,
+    /// leaving the rest queued (bounded per-round batches).
+    pub fn take_ready_bounded(&mut self, now: SimTime, max: usize) -> Vec<ReadyIngress<T>> {
         let mut ready = Vec::new();
         let mut remaining = Vec::with_capacity(self.pending.len());
         for entry in self.pending.drain(..) {
-            if entry.available_at <= now {
+            if ready.len() < max && entry.available_at <= now {
                 ready.push(ReadyIngress {
                     id: entry.id,
                     submitted_at: entry.submitted_at,
+                    available_at: entry.available_at,
                     payload: entry.payload,
                 });
             } else {
@@ -183,6 +192,24 @@ impl LatencyModel {
         SimDuration::from_nanos(instructions.saturating_mul(1_000_000_000) / self.instructions_per_second)
     }
 
+    /// Streaming time for a response of `response_bytes` bytes.
+    pub fn transfer_time(&self, response_bytes: usize) -> SimDuration {
+        SimDuration::from_nanos(
+            (response_bytes as u64).saturating_mul(1_000_000_000) / self.response_bytes_per_second,
+        )
+    }
+
+    /// Samples the network round-trip of a single-replica query (no
+    /// execution or transfer component).
+    pub fn sample_query_rtt(&self, rng: &mut SimRng) -> SimDuration {
+        rng.heavy_tail(
+            self.query_rtt_mean,
+            self.query_rtt_std,
+            self.query_tail_probability,
+            self.query_tail_multiplier,
+        )
+    }
+
     /// End-to-end latency of a query call that executed `instructions`
     /// and returned `response_bytes`.
     pub fn sample_query(
@@ -191,16 +218,7 @@ impl LatencyModel {
         instructions: u64,
         response_bytes: usize,
     ) -> SimDuration {
-        let rtt = rng.heavy_tail(
-            self.query_rtt_mean,
-            self.query_rtt_std,
-            self.query_tail_probability,
-            self.query_tail_multiplier,
-        );
-        let transfer = SimDuration::from_nanos(
-            (response_bytes as u64).saturating_mul(1_000_000_000) / self.response_bytes_per_second,
-        );
-        rtt + self.execution_time(instructions) + transfer
+        self.sample_query_rtt(rng) + self.execution_time(instructions) + self.transfer_time(response_bytes)
     }
 }
 

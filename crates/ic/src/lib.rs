@@ -38,4 +38,4 @@ pub use consensus::{ConsensusConfig, ConsensusEngine, ReplicaId, RoundInfo};
 pub use cycles::{Cycles, CyclesLedger, FeeSchedule};
 pub use ingress::{IngressId, IngressPool, LatencyModel};
 pub use meter::{Meter, MeterBreakdown};
-pub use subnet::{CallResult, ExecutionContext, RoundReport, StateMachine, Subnet};
+pub use subnet::{CallResult, ExecutionContext, QueryPlaneConfig, RoundReport, StateMachine, Subnet};

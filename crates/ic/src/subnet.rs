@@ -8,8 +8,8 @@
 //! response) is finalized, and execution applies it deterministically
 //! under instruction metering.
 
-use icbtc_sim::obs::{FieldValue, Obs, INSTRUCTION_BOUNDS};
-use icbtc_sim::{SimRng, SimTime};
+use icbtc_sim::obs::{FieldValue, Obs, DEFAULT_BOUNDS, INSTRUCTION_BOUNDS};
+use icbtc_sim::{SimDuration, SimRng, SimTime};
 
 use crate::consensus::{ConsensusConfig, ConsensusEngine, RoundInfo};
 use crate::ingress::{IngressId, IngressPool, LatencyModel};
@@ -25,6 +25,39 @@ pub trait StateMachine {
     /// Executes one finalized input, charging the meter for every
     /// operation.
     fn execute(&mut self, input: Self::Input, ctx: &mut ExecutionContext<'_>) -> Self::Output;
+
+    /// Executes one non-replicated query against the current state.
+    ///
+    /// The default routes through [`StateMachine::execute`]; applications
+    /// with a cheaper read path (e.g. a query cache that must not affect
+    /// replicated state) override this.
+    fn execute_query(&mut self, input: Self::Input, ctx: &mut ExecutionContext<'_>) -> Self::Output {
+        self.execute(input, ctx)
+    }
+
+    /// Estimated wire size of an output, feeding the latency model's
+    /// response-transfer component for batched queries.
+    fn output_bytes(_output: &Self::Output) -> usize {
+        64
+    }
+}
+
+/// Configuration of the batched query plane (per-round drain bound and
+/// deterministic per-replica execution concurrency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryPlaneConfig {
+    /// Maximum queries drained from the queue in one round.
+    pub max_per_round: usize,
+    /// Number of concurrent query execution lanes on the serving replica.
+    /// Queries queue on the earliest-free lane, so latency under load
+    /// reflects queueing delay, not just service time.
+    pub concurrency: usize,
+}
+
+impl Default for QueryPlaneConfig {
+    fn default() -> QueryPlaneConfig {
+        QueryPlaneConfig { max_per_round: 256, concurrency: 4 }
+    }
 }
 
 /// Context handed to executing canister code.
@@ -67,6 +100,10 @@ pub struct RoundReport<O> {
     pub info: RoundInfo,
     /// Completed calls, in execution order.
     pub results: Vec<CallResult<O>>,
+    /// Completed batched queries, in execution order. Queries do not go
+    /// through consensus; they are drained from their own bounded queue
+    /// alongside the round.
+    pub query_results: Vec<CallResult<O>>,
     /// Instructions spent executing the external payload (if any).
     pub payload_instructions: u64,
 }
@@ -105,10 +142,16 @@ pub struct Subnet<S: StateMachine> {
     state: S,
     engine: ConsensusEngine,
     pool: IngressPool<S::Input>,
+    query_pool: IngressPool<S::Input>,
+    query_config: QueryPlaneConfig,
+    /// Busy-until time of each query execution lane — the deterministic
+    /// queueing model behind batched query latency.
+    query_lanes: Vec<SimTime>,
     latency: LatencyModel,
     rng: SimRng,
     total_instructions: u64,
     completed_calls: u64,
+    completed_queries: u64,
     /// Observability endpoint (metrics + trace), component `"ic"`.
     obs: Obs,
 }
@@ -118,16 +161,34 @@ impl<S: StateMachine> Subnet<S> {
     pub fn new(state: S, config: ConsensusConfig, seed: u64) -> Subnet<S> {
         let mut obs = Obs::new("ic");
         obs.metrics.register_histogram("ic_message_instructions", INSTRUCTION_BOUNDS);
+        obs.metrics.register_histogram("ic_query_instructions", INSTRUCTION_BOUNDS);
+        obs.metrics.register_histogram("ic_query_batch_size", DEFAULT_BOUNDS);
+        let query_config = QueryPlaneConfig::default();
         Subnet {
             state,
             engine: ConsensusEngine::new(config, seed),
             pool: IngressPool::new(),
+            query_pool: IngressPool::new(),
+            query_lanes: vec![SimTime::ZERO; query_config.concurrency.max(1)],
+            query_config,
             latency: LatencyModel::default(),
             rng: SimRng::seed_from(seed.wrapping_add(0x1c)),
             total_instructions: 0,
             completed_calls: 0,
+            completed_queries: 0,
             obs,
         }
+    }
+
+    /// Replaces the query-plane configuration, resetting the lane clocks.
+    pub fn set_query_plane(&mut self, config: QueryPlaneConfig) {
+        self.query_lanes = vec![SimTime::ZERO; config.concurrency.max(1)];
+        self.query_config = config;
+    }
+
+    /// The query-plane configuration in force.
+    pub fn query_plane(&self) -> QueryPlaneConfig {
+        self.query_config
     }
 
     /// Read access to the subnet's observability endpoint.
@@ -182,6 +243,16 @@ impl<S: StateMachine> Subnet<S> {
         self.completed_calls
     }
 
+    /// Total completed batched queries.
+    pub fn completed_queries(&self) -> u64 {
+        self.completed_queries
+    }
+
+    /// Queries still waiting in the query queue.
+    pub fn query_queue_depth(&self) -> usize {
+        self.query_pool.len()
+    }
+
     /// Submits an update call at the current time; it becomes includable
     /// after the sampled routing delay.
     pub fn submit(&mut self, input: S::Input) -> IngressId {
@@ -195,6 +266,22 @@ impl<S: StateMachine> Subnet<S> {
         self.obs.metrics.inc("ic_ingress_submitted_total");
         let routing = self.latency.sample_ingress_routing(&mut self.rng);
         self.pool.submit(at, at + routing, input)
+    }
+
+    /// Submits a query at the current time; it reaches the serving replica
+    /// after half a sampled query round trip and executes in the next
+    /// round's bounded query batch.
+    pub fn submit_query(&mut self, input: S::Input) -> IngressId {
+        let now = self.engine.now();
+        self.submit_query_at(now, input)
+    }
+
+    /// Submits a query with an explicit submission timestamp.
+    pub fn submit_query_at(&mut self, at: SimTime, input: S::Input) -> IngressId {
+        self.obs.metrics.inc("ic_query_submitted_total");
+        let rtt = self.latency.sample_query_rtt(&mut self.rng);
+        let inbound = SimDuration::from_nanos(rtt.as_nanos() / 2);
+        self.query_pool.submit(at, at + inbound, input)
     }
 
     /// Stalls the subnet clock without executing (models downtime).
@@ -267,15 +354,60 @@ impl<S: StateMachine> Subnet<S> {
             });
         }
         self.obs.metrics.set_gauge("ic_ingress_queue_depth", self.pool.len() as i64);
+
+        // Batched query rounds: drain a bounded batch from the query
+        // queue. Queries execute against the post-round state on a single
+        // replica; they never go through consensus and never count toward
+        // replicated instructions. Latency is modeled by queueing each
+        // query on the earliest-free execution lane, so a loaded replica
+        // shows genuine queueing delay.
+        let query_batch = self
+            .query_pool
+            .take_ready_bounded(info.finalized_at, self.query_config.max_per_round);
+        let mut query_results = Vec::with_capacity(query_batch.len());
+        if !query_batch.is_empty() {
+            self.obs.metrics.observe("ic_query_batch_size", query_batch.len() as u64);
+        }
+        for ready in query_batch {
+            let mut meter = Meter::new();
+            let mut ctx =
+                ExecutionContext { meter: &mut meter, now: info.finalized_at, round: info.round };
+            let output = self.state.execute_query(ready.payload, &mut ctx);
+            let instructions = meter.take();
+            self.completed_queries += 1;
+            self.obs.metrics.inc("ic_queries_executed_total");
+            self.obs.metrics.add("ic_query_instructions_total", instructions);
+            self.obs.metrics.observe("ic_query_instructions", instructions);
+            let service = self.latency.execution_time(instructions)
+                + self.latency.transfer_time(S::output_bytes(&output));
+            let lane = (0..self.query_lanes.len())
+                .min_by_key(|&lane| self.query_lanes[lane])
+                .unwrap_or(0);
+            let start = self.query_lanes[lane].max(ready.available_at);
+            let busy_until = start + service;
+            self.query_lanes[lane] = busy_until;
+            let outbound_rtt = self.latency.sample_query_rtt(&mut self.rng);
+            let outbound = SimDuration::from_nanos(outbound_rtt.as_nanos() / 2);
+            query_results.push(CallResult {
+                id: ready.id,
+                output,
+                instructions,
+                responded_at: busy_until + outbound,
+                submitted_at: ready.submitted_at,
+            });
+        }
+        self.obs.metrics.set_gauge("ic_query_queue_depth", self.query_pool.len() as i64);
+
         self.obs.trace.span_end(
             span,
             info.finalized_at,
             &[
                 ("messages", FieldValue::U64(results.len() as u64)),
+                ("queries", FieldValue::U64(query_results.len() as u64)),
                 ("payload_instructions", FieldValue::U64(payload_instructions)),
             ],
         );
-        RoundReport { info, results, payload_instructions }
+        RoundReport { info, results, query_results, payload_instructions }
     }
 
     /// Runs a query against the current state on a single replica,
@@ -286,8 +418,19 @@ impl<S: StateMachine> Subnet<S> {
         run: impl FnOnce(&S, &mut Meter) -> R,
         response_bytes: impl FnOnce(&R) -> usize,
     ) -> (R, u64, icbtc_sim::SimDuration) {
+        self.query_mut(move |state, meter| run(state, meter), response_bytes)
+    }
+
+    /// Like [`Subnet::query`], but with mutable state access — for query
+    /// paths that maintain non-replicated node-local state such as a query
+    /// cache. Still bypasses consensus entirely.
+    pub fn query_mut<R>(
+        &mut self,
+        run: impl FnOnce(&mut S, &mut Meter) -> R,
+        response_bytes: impl FnOnce(&R) -> usize,
+    ) -> (R, u64, icbtc_sim::SimDuration) {
         let mut meter = Meter::new();
-        let result = run(&self.state, &mut meter);
+        let result = run(&mut self.state, &mut meter);
         let instructions = meter.take();
         let bytes = response_bytes(&result);
         let latency = self.latency.sample_query(&mut self.rng, instructions, bytes);
@@ -421,5 +564,91 @@ mod tests {
         subnet.stall(icbtc_sim::SimDuration::from_secs(100));
         assert!(subnet.now() >= SimTime::from_secs(100));
         assert_eq!(subnet.consensus().round(), 0);
+    }
+
+    #[test]
+    fn batched_queries_execute_without_touching_consensus_state() {
+        let mut subnet = subnet(7);
+        for i in 1..=5 {
+            subnet.submit_query(i);
+        }
+        let mut completed = Vec::new();
+        for _ in 0..10 {
+            let report = subnet.execute_round(|_, _| {});
+            assert!(report.results.is_empty());
+            completed.extend(report.query_results);
+        }
+        assert_eq!(completed.len(), 5);
+        assert_eq!(subnet.completed_queries(), 5);
+        assert_eq!(subnet.completed_calls(), 0);
+        assert_eq!(subnet.total_instructions(), 0, "queries are not replicated work");
+        // The Adder's execute path ran (default execute_query), but only
+        // against the query plane: replicated state went through `execute`
+        // yet instructions stayed out of the replicated total.
+        for result in &completed {
+            assert!(result.instructions > 0);
+            assert!(result.responded_at > result.submitted_at);
+        }
+    }
+
+    #[test]
+    fn query_batches_are_bounded_per_round() {
+        let mut subnet = subnet(8);
+        subnet.set_query_plane(QueryPlaneConfig { max_per_round: 3, concurrency: 2 });
+        for i in 0..8 {
+            subnet.submit_query(i);
+        }
+        // Let the inbound half-RTT elapse, then count per-round batches.
+        subnet.stall(icbtc_sim::SimDuration::from_secs(5));
+        let mut batch_sizes = Vec::new();
+        while subnet.completed_queries() < 8 {
+            let report = subnet.execute_round(|_, _| {});
+            batch_sizes.push(report.query_results.len());
+        }
+        assert!(batch_sizes.iter().all(|&n| n <= 3), "{batch_sizes:?}");
+        assert_eq!(batch_sizes.iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn query_latency_grows_under_load() {
+        // A saturated query plane must show queueing delay: the last
+        // query of a big same-instant burst waits behind the others.
+        let mut subnet = subnet(9);
+        subnet.set_query_plane(QueryPlaneConfig { max_per_round: 1024, concurrency: 2 });
+        for _ in 0..200 {
+            subnet.submit_query(1_000_000);
+        }
+        subnet.stall(icbtc_sim::SimDuration::from_secs(5));
+        let report = subnet.execute_round(|_, _| {});
+        let latencies: Vec<_> = report.query_results.iter().map(|r| r.latency()).collect();
+        assert_eq!(latencies.len(), 200);
+        let first = latencies.iter().min().unwrap();
+        let last = latencies.iter().max().unwrap();
+        assert!(
+            *last >= *first + icbtc_sim::SimDuration::from_millis(100),
+            "no queueing delay visible: first {first:?}, last {last:?}"
+        );
+    }
+
+    #[test]
+    fn query_plane_is_deterministic_across_same_seed_runs() {
+        let run = || {
+            let mut subnet = subnet(10);
+            for i in 0..20 {
+                subnet.submit_query(i);
+            }
+            let mut out = Vec::new();
+            for _ in 0..10 {
+                let report = subnet.execute_round(|_, _| {});
+                out.extend(
+                    report
+                        .query_results
+                        .into_iter()
+                        .map(|r| (r.id, r.output, r.instructions, r.responded_at)),
+                );
+            }
+            out
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Query-plane throughput soak: a large synthetic address population with
+# the paper's UTXO-count skew under a mixed query load, driven through
+# the subnet's batched query plane and tip-keyed query cache.
+#
+#   scripts/qps.sh [--seed N] [--addresses N] [--utxo-scale N] [--requests N]
+#                  [--rate N] [--ingest-every N] [--no-cache]
+#                  [--out PATH] [--metrics-out PATH]
+#
+# Thin wrapper over the qps_soak bench binary; all flags pass through.
+# Same flags => byte-identical report (scripts/verify.sh enforces this
+# as the query-plane determinism gate). The committed BENCH_qps.json is
+# the default-flags baseline.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+exec cargo run -q --release --offline -p icbtc-bench --bin qps_soak -- "$@"

@@ -61,6 +61,32 @@ if ! diff -q "$OBS_TMP/chaos1.jsonl" "$OBS_TMP/chaos2.jsonl" >/dev/null; then
     exit 1
 fi
 
+echo "==> query-plane determinism gate (same flags => byte-identical qps report)"
+for run in 1 2; do
+    cargo run -q --release --offline -p icbtc-bench --bin qps_soak -- \
+        --seed 42 --addresses 20000 --requests 4000 --rate 64 \
+        --out "$OBS_TMP/qps$run.json" --metrics-out "$OBS_TMP/qps_metrics$run.json" \
+        >/dev/null 2>&1
+done
+if ! diff -q "$OBS_TMP/qps1.json" "$OBS_TMP/qps2.json" >/dev/null; then
+    echo "ERROR: same-flags qps reports differ:" >&2
+    diff "$OBS_TMP/qps1.json" "$OBS_TMP/qps2.json" >&2 || true
+    exit 1
+fi
+if ! diff -q "$OBS_TMP/qps_metrics1.json" "$OBS_TMP/qps_metrics2.json" >/dev/null; then
+    echo "ERROR: same-flags qps metrics snapshots differ:" >&2
+    diff "$OBS_TMP/qps_metrics1.json" "$OBS_TMP/qps_metrics2.json" | head -20 >&2 || true
+    exit 1
+fi
+if ! grep -q '"schema_version": 1' "$OBS_TMP/qps1.json"; then
+    echo "ERROR: qps report is missing schema_version 1" >&2
+    exit 1
+fi
+if ! grep -q '"schema_version": 1' BENCH_qps.json; then
+    echo "ERROR: committed BENCH_qps.json is missing schema_version 1" >&2
+    exit 1
+fi
+
 echo "==> verifying the dependency tree is workspace-only"
 if cargo tree --offline --prefix none | grep -v '^icbtc' | grep -q '[^[:space:]]'; then
     echo "ERROR: non-workspace dependency detected:" >&2
@@ -68,4 +94,4 @@ if cargo tree --offline --prefix none | grep -v '^icbtc' | grep -q '[^[:space:]]
     exit 1
 fi
 
-echo "OK: hermetic build + tests + lint + observability + chaos determinism passed"
+echo "OK: hermetic build + tests + lint + observability + chaos + query-plane determinism passed"

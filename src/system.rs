@@ -339,6 +339,17 @@ impl System {
         QueryOutcome { outcome, latency, instructions }
     }
 
+    /// Issues a query through the serving replica's tip-keyed query
+    /// cache. Replies are identical to [`System::query`]; repeated calls
+    /// at an unchanged tip are served at the flat cache-hit cost.
+    pub fn query_cached(&mut self, call: CanisterCall) -> QueryOutcome {
+        let (outcome, instructions, latency) = self.subnet.query_mut(
+            |canister, meter| canister.query_cached(&call, meter),
+            estimate_response_bytes,
+        );
+        QueryOutcome { outcome, latency, instructions }
+    }
+
     /// Mines `blocks` Bitcoin blocks paying their coinbases to `address`
     /// and propagates them — the standard way to fund a wallet on
     /// regtest. The canister must be re-synced afterwards to see them.
