@@ -65,6 +65,13 @@ impl Amount {
     pub fn checked_sub(self, rhs: Amount) -> Option<Amount> {
         self.0.checked_sub(rhs.0).map(Amount)
     }
+
+    /// Saturating addition: sums past [`Amount::MAX_MONEY`] clamp to the
+    /// cap instead of overflowing. Balance accumulation uses this so a
+    /// hostile chain of max-value outputs cannot panic a query.
+    pub fn saturating_add(self, rhs: Amount) -> Amount {
+        self.checked_add(rhs).unwrap_or(Amount::MAX_MONEY)
+    }
 }
 
 impl fmt::Display for Amount {
@@ -434,6 +441,16 @@ mod tests {
     fn amount_arithmetic() {
         assert_eq!(Amount::from_btc_int(2).to_sat(), 200_000_000);
         assert_eq!(Amount::MAX_MONEY.checked_add(Amount::ONE_SAT), None);
+        assert_eq!(Amount::MAX_MONEY.saturating_add(Amount::ONE_SAT), Amount::MAX_MONEY);
+        assert_eq!(
+            Amount::from_sat(Amount::MAX_MONEY.to_sat() - 1).saturating_add(Amount::from_sat(7)),
+            Amount::MAX_MONEY
+        );
+        assert_eq!(
+            Amount::from_sat(1).saturating_add(Amount::from_sat(2)),
+            Amount::from_sat(3),
+            "below the cap it is ordinary addition"
+        );
         assert_eq!(Amount::ZERO.checked_sub(Amount::ONE_SAT), None);
         assert_eq!(
             Amount::from_sat(10).checked_sub(Amount::from_sat(4)),

@@ -386,18 +386,23 @@ impl BitcoinCanisterState {
             return Err(ApiError::NotSynced);
         }
         let overlay = self.unstable_overlay(address, min_confirmations, meter)?;
-        let stable: Amount = self
+        // Saturating accumulation: the canister does not validate
+        // issuance (§III-C), so a hostile chain of max-value outputs
+        // must clamp at MAX_MONEY, not panic the query.
+        let stable = self
             .utxos()
             .utxos_after(address, None)
             .filter(|u| !overlay.spent.contains(&u.outpoint))
-            .map(|u| {
+            .fold(Amount::ZERO, |total, u| {
                 meter.charge(metering::STABLE_BALANCE_ENTRY);
-                u.value
-            })
-            .sum();
-        let unstable: Amount = overlay.created.iter().map(|u| u.value).sum();
+                total.saturating_add(u.value)
+            });
+        let unstable = overlay
+            .created
+            .iter()
+            .fold(Amount::ZERO, |total, u| total.saturating_add(u.value));
         Ok(GetBalanceResponse {
-            balance: [stable, unstable].into_iter().sum(),
+            balance: stable.saturating_add(unstable),
             tip_height: overlay.tip_height,
         })
     }

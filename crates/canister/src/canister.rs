@@ -257,6 +257,11 @@ impl BitcoinCanister {
         m.set_gauge("canister_utxo_count", self.state.utxos().len() as i64);
         m.set_gauge("canister_unstable_blocks", self.state.unstable_block_count() as i64);
         m.set_gauge("canister_is_synced", self.state.is_synced() as i64);
+        let storage = self.state.utxos().storage_stats();
+        m.set_gauge("canister_storage_pages_allocated", storage.pages_allocated as i64);
+        m.set_gauge("canister_storage_bytes_reserved", storage.bytes_reserved as i64);
+        m.set_gauge("canister_storage_bytes_used", storage.bytes_used as i64);
+        m.set_gauge("canister_storage_budget_headroom_bytes", storage.budget_headroom as i64);
     }
 
     fn dispatch(&mut self, call: CanisterCall, meter: &mut Meter) -> CallOutcome {

@@ -9,6 +9,8 @@
 //!
 //! * [`utxoset`] — the address-indexed stable UTXO set with storage-byte
 //!   accounting (Figure 5).
+//! * [`storage`] — the paged, byte-budgeted storage engine beneath it:
+//!   B+-tree maps over fixed-size pages modeling stable memory.
 //! * [`state`] — **Algorithm 2**: response validation, anchor advancement
 //!   via δ-stability, fork pruning, the τ-lag synced flag.
 //! * [`api`] — the endpoints with O(page) cursor pagination and
@@ -27,6 +29,7 @@ pub mod canister;
 pub mod metering;
 pub mod qcache;
 pub mod state;
+pub mod storage;
 pub mod utxoset;
 
 pub use api::{
@@ -36,4 +39,5 @@ pub use api::{
 pub use canister::{BitcoinCanister, CallOutcome, CanisterCall, CanisterReply};
 pub use qcache::{CacheKey, QueryCache, DEFAULT_QUERY_CACHE_CAPACITY};
 pub use state::{BitcoinCanisterState, IngestReport, RejectReason};
+pub use storage::{StorageConfig, StorageError, StorageStats};
 pub use utxoset::{Utxo, UtxoSet};

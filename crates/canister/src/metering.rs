@@ -62,9 +62,16 @@ pub const SEND_TX_BASE: u64 = 2_000_000;
 /// Instructions per byte of a submitted transaction.
 pub const SEND_TX_PER_BYTE: u64 = 8_000;
 
-/// Modeled stable-storage bytes per UTXO: key, value, address-index entry
-/// and allocator overhead. Calibrated to Figure 5: ≈ 103 GiB for
-/// ≈ 170 M UTXOs ⇒ ≈ 650 bytes each.
+/// The *production* canister's stable-storage bytes per UTXO: key, value,
+/// address-index entry, allocator and replication overhead. Calibrated to
+/// Figure 5: ≈ 103 GiB for ≈ 170 M UTXOs ⇒ ≈ 650 bytes each.
+///
+/// Since the paged storage engine landed, `UtxoSet::byte_size` reports
+/// the engine's *measured* footprint (pages × page size, entries sized by
+/// real serialized length). This constant remains the calibration used to
+/// project the paper's Figure 5 endpoint in `fig5_utxo_growth`; the gap
+/// between the two is the production overhead our leaner layout omits
+/// (see EXPERIMENTS.md).
 pub const STABLE_BYTES_PER_UTXO: u64 = 650;
 
 #[cfg(test)]

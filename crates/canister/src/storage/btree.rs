@@ -1,0 +1,697 @@
+//! A B+-tree keyed map whose nodes are [`PagePool`] pages.
+//!
+//! Keys and values are arbitrary byte strings ordered lexicographically
+//! (the codecs in [`super::codec`] are designed so that byte order equals
+//! the domain order). Entries live exclusively in leaf pages as sorted
+//! variable-length cells; interior pages hold separator keys and child
+//! page ids. Leaves are chained through a `next` pointer, so a range scan
+//! is one tree descent plus a linked-list walk — O(page) per page served,
+//! independent of the map's size.
+//!
+//! Node layout (all integers little-endian):
+//!
+//! ```text
+//! leaf:     [type=1][count u16][used u16][next u32]     then cells:
+//!           [klen u16][vlen u16][key][value]
+//! interior: [type=2][count u16][used u16][child0 u32]   then cells:
+//!           [klen u16][child u32][key]
+//! ```
+//!
+//! `used` is the byte offset one past the last cell. An interior node
+//! with cells `(k1,c1)…(kn,cn)` routes `key < k1` to `child0` and
+//! `ki ≤ key < ki+1` to `ci`. A cell is capped at a quarter page
+//! ([`max_entry_bytes`]), which guarantees both halves of any overflow
+//! split fit in fresh pages. Deletion never merges or frees nodes —
+//! emptied leaves stay chained and are refilled by later inserts — so no
+//! operation other than a split ever allocates.
+
+use super::page::{PagePool, NO_PAGE};
+use super::StorageError;
+
+const NODE_LEAF: u8 = 1;
+const NODE_INNER: u8 = 2;
+
+/// Node header bytes: type(1) + count(2) + used(2) + link(4). The link is
+/// the next-leaf pointer in leaves and the leftmost child in interior
+/// nodes.
+pub(crate) const NODE_HEADER_BYTES: usize = 9;
+
+/// Largest admissible leaf cell (`4 + key + value`) for a page size: a
+/// quarter of the cell area, so a split of an overflowing node always
+/// yields two halves that fit.
+pub(crate) fn max_entry_bytes(page_size: usize) -> usize {
+    (page_size - NODE_HEADER_BYTES) / 4
+}
+
+fn u16_at(page: &[u8], off: usize) -> usize {
+    u16::from_le_bytes([page[off], page[off + 1]]) as usize
+}
+
+fn u32_at(page: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([page[off], page[off + 1], page[off + 2], page[off + 3]])
+}
+
+fn put_u16(page: &mut [u8], off: usize, v: usize) {
+    page[off..off + 2].copy_from_slice(&(v as u16).to_le_bytes());
+}
+
+fn put_u32(page: &mut [u8], off: usize, v: u32) {
+    page[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn node_count(page: &[u8]) -> usize {
+    u16_at(page, 1)
+}
+
+fn node_used(page: &[u8]) -> usize {
+    u16_at(page, 3)
+}
+
+fn node_link(page: &[u8]) -> u32 {
+    u32_at(page, 5)
+}
+
+fn init_node(page: &mut [u8], node_type: u8, link: u32) {
+    page[0] = node_type;
+    put_u16(page, 1, 0);
+    put_u16(page, 3, NODE_HEADER_BYTES);
+    put_u32(page, 5, link);
+}
+
+/// Decodes the leaf cell at `off`: `(key, value, next_cell_offset)`.
+fn leaf_cell(page: &[u8], off: usize) -> (&[u8], &[u8], usize) {
+    let klen = u16_at(page, off);
+    let vlen = u16_at(page, off + 2);
+    let key_start = off + 4;
+    let val_start = key_start + klen;
+    (&page[key_start..val_start], &page[val_start..val_start + vlen], val_start + vlen)
+}
+
+/// Finds `key` in a leaf: `(found, cell_offset, cell_index)`. On a miss
+/// the offset/index are the sorted insertion position.
+fn leaf_seek(page: &[u8], key: &[u8]) -> (bool, usize, usize) {
+    let used = node_used(page);
+    let mut off = NODE_HEADER_BYTES;
+    let mut idx = 0;
+    while off < used {
+        let (cell_key, _, next) = leaf_cell(page, off);
+        match cell_key.cmp(key) {
+            std::cmp::Ordering::Less => {
+                off = next;
+                idx += 1;
+            }
+            std::cmp::Ordering::Equal => return (true, off, idx),
+            std::cmp::Ordering::Greater => return (false, off, idx),
+        }
+    }
+    (false, off, idx)
+}
+
+/// Routes `key` through an interior node: `(child_page, child_index)`
+/// where index 0 is the leftmost child.
+fn inner_search(page: &[u8], key: &[u8]) -> (u32, usize) {
+    let used = node_used(page);
+    let mut child = node_link(page);
+    let mut idx = 0;
+    let mut off = NODE_HEADER_BYTES;
+    while off < used {
+        let klen = u16_at(page, off);
+        let sep = &page[off + 6..off + 6 + klen];
+        if key < sep {
+            break;
+        }
+        child = u32_at(page, off + 2);
+        idx += 1;
+        off += 6 + klen;
+    }
+    (child, idx)
+}
+
+/// Byte offset of interior cell `idx` (or `used` when `idx == count`).
+fn inner_cell_offset(page: &[u8], idx: usize) -> usize {
+    let mut off = NODE_HEADER_BYTES;
+    for _ in 0..idx {
+        off += 6 + u16_at(page, off);
+    }
+    off
+}
+
+/// Removes `len` cell bytes at `off` by sliding the tail left.
+fn splice_remove(page: &mut [u8], off: usize, len: usize) {
+    let used = node_used(page);
+    let count = node_count(page);
+    page.copy_within(off + len..used, off);
+    put_u16(page, 3, used - len);
+    put_u16(page, 1, count - 1);
+}
+
+/// Inserts a leaf cell at `off` by sliding the tail right. The caller
+/// has checked it fits.
+fn splice_leaf_insert(page: &mut [u8], off: usize, key: &[u8], value: &[u8]) {
+    let used = node_used(page);
+    let count = node_count(page);
+    let cell = 4 + key.len() + value.len();
+    page.copy_within(off..used, off + cell);
+    put_u16(page, off, key.len());
+    put_u16(page, off + 2, value.len());
+    page[off + 4..off + 4 + key.len()].copy_from_slice(key);
+    page[off + 4 + key.len()..off + cell].copy_from_slice(value);
+    put_u16(page, 3, used + cell);
+    put_u16(page, 1, count + 1);
+}
+
+/// Inserts an interior cell at `off`. The caller has checked it fits.
+fn splice_inner_insert(page: &mut [u8], off: usize, sep: &[u8], child: u32) {
+    let used = node_used(page);
+    let count = node_count(page);
+    let cell = 6 + sep.len();
+    page.copy_within(off..used, off + cell);
+    put_u16(page, off, sep.len());
+    put_u32(page, off + 2, child);
+    page[off + 6..off + cell].copy_from_slice(sep);
+    put_u16(page, 3, used + cell);
+    put_u16(page, 1, count + 1);
+}
+
+/// Parses all cells of a leaf (split path only — steady-state inserts
+/// stay in place and never allocate).
+fn leaf_cells(page: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    let used = node_used(page);
+    let mut cells = Vec::with_capacity(node_count(page));
+    let mut off = NODE_HEADER_BYTES;
+    while off < used {
+        let (key, value, next) = leaf_cell(page, off);
+        cells.push((key.to_vec(), value.to_vec()));
+        off = next;
+    }
+    cells
+}
+
+fn write_leaf(page: &mut [u8], cells: &[(Vec<u8>, Vec<u8>)], next: u32) {
+    init_node(page, NODE_LEAF, next);
+    let mut off = NODE_HEADER_BYTES;
+    for (key, value) in cells {
+        put_u16(page, off, key.len());
+        put_u16(page, off + 2, value.len());
+        page[off + 4..off + 4 + key.len()].copy_from_slice(key);
+        off += 4 + key.len();
+        page[off..off + value.len()].copy_from_slice(value);
+        off += value.len();
+    }
+    put_u16(page, 1, cells.len());
+    put_u16(page, 3, off);
+}
+
+/// Parses an interior node into `(leftmost_child, cells)`.
+fn inner_cells(page: &[u8]) -> (u32, Vec<(Vec<u8>, u32)>) {
+    let used = node_used(page);
+    let mut cells = Vec::with_capacity(node_count(page));
+    let mut off = NODE_HEADER_BYTES;
+    while off < used {
+        let klen = u16_at(page, off);
+        let child = u32_at(page, off + 2);
+        cells.push((page[off + 6..off + 6 + klen].to_vec(), child));
+        off += 6 + klen;
+    }
+    (node_link(page), cells)
+}
+
+fn write_inner(page: &mut [u8], first_child: u32, cells: &[(Vec<u8>, u32)]) {
+    init_node(page, NODE_INNER, first_child);
+    let mut off = NODE_HEADER_BYTES;
+    for (sep, child) in cells {
+        put_u16(page, off, sep.len());
+        put_u32(page, off + 2, *child);
+        page[off + 6..off + 6 + sep.len()].copy_from_slice(sep);
+        off += 6 + sep.len();
+    }
+    put_u16(page, 1, cells.len());
+    put_u16(page, 3, off);
+}
+
+/// Picks the split index for an overflowing cell list: the first index
+/// past the byte midpoint, clamped so both halves are non-empty. With
+/// cells capped at a quarter page, both halves always fit a fresh page.
+fn split_point(sizes: impl Iterator<Item = usize>, len: usize) -> usize {
+    let sizes: Vec<usize> = sizes.collect();
+    let total: usize = sizes.iter().sum();
+    let mut acc = 0;
+    for (i, size) in sizes.iter().enumerate() {
+        acc += size;
+        if acc >= total / 2 && i + 1 < len {
+            return (i + 1).max(1);
+        }
+    }
+    len - 1
+}
+
+/// A B+-tree map over pages of an external [`PagePool`].
+///
+/// The handle itself is three integers; all node state lives in the pool,
+/// which is passed into every operation. That lets several maps (the
+/// UTXO set's outpoint map and address index) share one budgeted pool.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PagedMap {
+    root: u32,
+    len: u64,
+    entry_bytes: u64,
+}
+
+impl PagedMap {
+    /// Creates an empty map. No pages are allocated until first insert.
+    pub fn new() -> PagedMap {
+        PagedMap { root: NO_PAGE, len: 0, entry_bytes: 0 }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Returns `true` if the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Serialized key+value bytes across all entries.
+    pub fn entry_bytes(&self) -> u64 {
+        self.entry_bytes
+    }
+
+    /// Bytes the entries occupy as leaf cells (entry bytes plus the
+    /// 4-byte cell header each).
+    pub fn cell_bytes(&self) -> u64 {
+        self.entry_bytes + 4 * self.len
+    }
+
+    /// Descends to the leaf page that would hold `key`.
+    fn find_leaf(&self, pool: &PagePool, key: &[u8]) -> u32 {
+        let mut page_id = self.root;
+        loop {
+            let page = pool.page(page_id);
+            if page[0] == NODE_LEAF {
+                return page_id;
+            }
+            page_id = inner_search(page, key).0;
+        }
+    }
+
+    /// Looks up `key`, returning the stored value in place.
+    pub fn get<'a>(&self, pool: &'a PagePool, key: &[u8]) -> Option<&'a [u8]> {
+        if self.root == NO_PAGE {
+            return None;
+        }
+        let page = pool.page(self.find_leaf(pool, key));
+        let (found, off, _) = leaf_seek(page, key);
+        if !found {
+            return None;
+        }
+        let (_, value, _) = leaf_cell(page, off);
+        Some(value)
+    }
+
+    /// Inserts `key → value`, returning the previous value if any.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::EntryTooLarge`] if the cell exceeds a quarter
+    /// page; [`StorageError::BudgetExhausted`] if a node split would
+    /// allocate past the pool budget. Budget checks run *before* any
+    /// page is modified, so a failed insert leaves the map unchanged.
+    pub fn insert(
+        &mut self,
+        pool: &mut PagePool,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<Option<Vec<u8>>, StorageError> {
+        let cell_len = 4 + key.len() + value.len();
+        let max = max_entry_bytes(pool.page_size());
+        if cell_len > max {
+            return Err(StorageError::EntryTooLarge { entry_bytes: cell_len, max_bytes: max });
+        }
+        if self.root == NO_PAGE {
+            let id = pool.allocate()?;
+            let page = pool.page_mut(id);
+            init_node(page, NODE_LEAF, NO_PAGE);
+            splice_leaf_insert(page, NODE_HEADER_BYTES, key, value);
+            self.root = id;
+            self.len = 1;
+            self.entry_bytes = (key.len() + value.len()) as u64;
+            return Ok(None);
+        }
+
+        // Descend, remembering which child we took at each interior node
+        // so a split can push its separator into the right parent slot.
+        let mut path: Vec<(u32, usize)> = Vec::new();
+        let mut page_id = self.root;
+        loop {
+            let page = pool.page(page_id);
+            if page[0] == NODE_LEAF {
+                break;
+            }
+            let (child, idx) = inner_search(page, key);
+            path.push((page_id, idx));
+            page_id = child;
+        }
+
+        let page = pool.page(page_id);
+        let used = node_used(page);
+        let (found, off, idx) = leaf_seek(page, key);
+        let mut old_value = None;
+        let mut removed = 0usize;
+        if found {
+            let (_, value, next) = leaf_cell(page, off);
+            old_value = Some(value.to_vec());
+            removed = next - off;
+        }
+
+        if used - removed + cell_len <= pool.page_size() {
+            // In-place fast path: at most two memmoves, no allocation.
+            let page = pool.page_mut(page_id);
+            if removed > 0 {
+                splice_remove(page, off, removed);
+            }
+            splice_leaf_insert(page, off, key, value);
+            self.account_insert(key, value, &old_value);
+            return Ok(old_value);
+        }
+
+        // The leaf must split. Worst case this allocates one page per
+        // tree level plus a new root; pre-flight the budget so nothing
+        // is half-written when it fails.
+        if !pool.can_allocate(path.len() + 2) {
+            return Err(pool.budget_error(path.len() + 2));
+        }
+        let mut cells = leaf_cells(page);
+        if found {
+            cells[idx] = (key.to_vec(), value.to_vec());
+        } else {
+            cells.insert(idx, (key.to_vec(), value.to_vec()));
+        }
+        let next = node_link(page);
+        let split = split_point(cells.iter().map(|(k, v)| 4 + k.len() + v.len()), cells.len());
+        let right_id = pool.allocate()?;
+        let sep = cells[split].0.clone();
+        write_leaf(pool.page_mut(page_id), &cells[..split], right_id);
+        write_leaf(pool.page_mut(right_id), &cells[split..], next);
+        self.account_insert(key, value, &old_value);
+        self.promote(pool, path, sep, right_id)?;
+        Ok(old_value)
+    }
+
+    fn account_insert(&mut self, key: &[u8], value: &[u8], old_value: &Option<Vec<u8>>) {
+        match old_value {
+            Some(old) => {
+                self.entry_bytes = self.entry_bytes - old.len() as u64 + value.len() as u64;
+            }
+            None => {
+                self.len += 1;
+                self.entry_bytes += (key.len() + value.len()) as u64;
+            }
+        }
+    }
+
+    /// Pushes a split's separator up the recorded path, splitting
+    /// interior nodes (and finally the root) as needed. The budget was
+    /// pre-flighted by `insert`, so allocations here cannot fail.
+    fn promote(
+        &mut self,
+        pool: &mut PagePool,
+        mut path: Vec<(u32, usize)>,
+        mut sep: Vec<u8>,
+        mut right: u32,
+    ) -> Result<(), StorageError> {
+        loop {
+            let Some((page_id, child_idx)) = path.pop() else {
+                let new_root = pool.allocate()?;
+                let page = pool.page_mut(new_root);
+                init_node(page, NODE_INNER, self.root);
+                splice_inner_insert(page, NODE_HEADER_BYTES, &sep, right);
+                self.root = new_root;
+                return Ok(());
+            };
+            let page = pool.page(page_id);
+            if node_used(page) + 6 + sep.len() <= pool.page_size() {
+                let off = inner_cell_offset(page, child_idx);
+                splice_inner_insert(pool.page_mut(page_id), off, &sep, right);
+                return Ok(());
+            }
+            // Split the interior node: the byte-midpoint cell's key moves
+            // up as the new separator, its child seeds the right node.
+            let (first_child, mut cells) = inner_cells(page);
+            cells.insert(child_idx, (sep, right));
+            let split = split_point(cells.iter().map(|(k, _)| 6 + k.len()), cells.len());
+            let right_id = pool.allocate()?;
+            let promoted = cells[split].0.clone();
+            let right_first = cells[split].1;
+            write_inner(pool.page_mut(page_id), first_child, &cells[..split]);
+            write_inner(pool.page_mut(right_id), right_first, &cells[split + 1..]);
+            sep = promoted;
+            right = right_id;
+        }
+    }
+
+    /// Removes `key`, returning its value. Never allocates: emptied
+    /// leaves stay chained (scans skip them) and refill on later inserts.
+    pub fn remove(&mut self, pool: &mut PagePool, key: &[u8]) -> Option<Vec<u8>> {
+        if self.root == NO_PAGE {
+            return None;
+        }
+        let page_id = self.find_leaf(pool, key);
+        let page = pool.page(page_id);
+        let (found, off, _) = leaf_seek(page, key);
+        if !found {
+            return None;
+        }
+        let (cell_key, value, next) = leaf_cell(page, off);
+        let old = value.to_vec();
+        let entry = (cell_key.len() + old.len()) as u64;
+        let cell = next - off;
+        splice_remove(pool.page_mut(page_id), off, cell);
+        self.len -= 1;
+        self.entry_bytes -= entry;
+        Some(old)
+    }
+
+    /// Iterates entries with `key ≥ start` in ascending key order:
+    /// one descent, then a walk along the leaf chain.
+    pub fn range_from<'a>(&self, pool: &'a PagePool, start: &[u8]) -> Scan<'a> {
+        if self.root == NO_PAGE {
+            return Scan { pool, page: NO_PAGE, offset: NODE_HEADER_BYTES };
+        }
+        let page_id = self.find_leaf(pool, start);
+        let page = pool.page(page_id);
+        let (_, off, _) = leaf_seek(page, start);
+        Scan { pool, page: page_id, offset: off }
+    }
+
+    /// Iterates all entries in ascending key order.
+    pub fn iter<'a>(&self, pool: &'a PagePool) -> Scan<'a> {
+        self.range_from(pool, &[])
+    }
+}
+
+/// Ascending iterator over `(key, value)` slices living in pool pages.
+pub struct Scan<'a> {
+    pool: &'a PagePool,
+    page: u32,
+    offset: usize,
+}
+
+impl<'a> Iterator for Scan<'a> {
+    type Item = (&'a [u8], &'a [u8]);
+
+    fn next(&mut self) -> Option<(&'a [u8], &'a [u8])> {
+        loop {
+            if self.page == NO_PAGE {
+                return None;
+            }
+            let page = self.pool.page(self.page);
+            if self.offset >= node_used(page) {
+                self.page = node_link(page);
+                self.offset = NODE_HEADER_BYTES;
+                continue;
+            }
+            let (key, value, next) = leaf_cell(page, self.offset);
+            self.offset = next;
+            return Some((key, value));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::StorageConfig;
+    use std::collections::BTreeMap;
+
+    fn small_pool() -> PagePool {
+        // Tiny pages force deep trees and frequent splits.
+        PagePool::new(StorageConfig { page_size: 512, byte_budget: 16 << 20 })
+    }
+
+    fn key(n: u64) -> Vec<u8> {
+        n.to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn insert_get_replace_remove() {
+        let mut pool = small_pool();
+        let mut map = PagedMap::new();
+        assert_eq!(map.insert(&mut pool, b"alpha", b"1"), Ok(None));
+        assert_eq!(map.insert(&mut pool, b"beta", b"2"), Ok(None));
+        assert_eq!(map.get(&pool, b"alpha"), Some(&b"1"[..]));
+        assert_eq!(map.insert(&mut pool, b"alpha", b"one"), Ok(Some(b"1".to_vec())));
+        assert_eq!(map.get(&pool, b"alpha"), Some(&b"one"[..]));
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.remove(&mut pool, b"alpha"), Some(b"one".to_vec()));
+        assert_eq!(map.get(&pool, b"alpha"), None);
+        assert_eq!(map.remove(&mut pool, b"alpha"), None);
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn splits_preserve_order_and_content() {
+        let mut pool = small_pool();
+        let mut map = PagedMap::new();
+        // Interleaved insert order exercises left, right and middle splits.
+        for n in (0..2000u64).step_by(2).chain((1..2000).step_by(2)) {
+            map.insert(&mut pool, &key(n), &key(n * 7)).unwrap();
+        }
+        assert_eq!(map.len(), 2000);
+        assert!(pool.pages_allocated() > 10, "tree must actually page out");
+        for n in 0..2000u64 {
+            assert_eq!(map.get(&pool, &key(n)), Some(&key(n * 7)[..]), "key {n}");
+        }
+        let keys: Vec<u64> = map
+            .iter(&pool)
+            .map(|(k, _)| u64::from_be_bytes(k.try_into().unwrap()))
+            .collect();
+        assert_eq!(keys, (0..2000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn range_from_lands_on_the_first_key_geq_start() {
+        let mut pool = small_pool();
+        let mut map = PagedMap::new();
+        for n in (0..500u64).map(|n| n * 10) {
+            map.insert(&mut pool, &key(n), b"v").unwrap();
+        }
+        let from_35: Vec<u64> = map
+            .range_from(&pool, &key(35))
+            .map(|(k, _)| u64::from_be_bytes(k.try_into().unwrap()))
+            .take(3)
+            .collect();
+        assert_eq!(from_35, vec![40, 50, 60]);
+        // Exact hit starts at the key itself.
+        let from_40: Vec<u64> = map
+            .range_from(&pool, &key(40))
+            .map(|(k, _)| u64::from_be_bytes(k.try_into().unwrap()))
+            .take(2)
+            .collect();
+        assert_eq!(from_40, vec![40, 50]);
+        // Past the end yields nothing.
+        assert_eq!(map.range_from(&pool, &key(1_000_000)).count(), 0);
+    }
+
+    #[test]
+    fn emptied_leaves_are_skipped_by_scans_and_refilled() {
+        let mut pool = small_pool();
+        let mut map = PagedMap::new();
+        for n in 0..600u64 {
+            map.insert(&mut pool, &key(n), &[0u8; 24]).unwrap();
+        }
+        // Hollow out the middle so whole leaves go empty.
+        for n in 150..450u64 {
+            assert!(map.remove(&mut pool, &key(n)).is_some());
+        }
+        let pages_after_removal = pool.pages_allocated();
+        let keys: Vec<u64> = map
+            .iter(&pool)
+            .map(|(k, _)| u64::from_be_bytes(k.try_into().unwrap()))
+            .collect();
+        let expected: Vec<u64> = (0..150).chain(450..600).collect();
+        assert_eq!(keys, expected);
+        // Re-inserting the hollowed range reuses the emptied cells
+        // without growing the tree.
+        for n in 150..450u64 {
+            map.insert(&mut pool, &key(n), &[0u8; 24]).unwrap();
+        }
+        assert_eq!(pool.pages_allocated(), pages_after_removal);
+        assert_eq!(map.len(), 600);
+    }
+
+    #[test]
+    fn oversized_entries_are_rejected() {
+        let mut pool = small_pool();
+        let mut map = PagedMap::new();
+        let max = max_entry_bytes(pool.page_size());
+        let fat = vec![0xAA; max];
+        let err = map.insert(&mut pool, b"k", &fat).unwrap_err();
+        assert!(matches!(err, StorageError::EntryTooLarge { .. }), "{err:?}");
+        assert_eq!(map.len(), 0);
+        // Right at the cap is fine.
+        let fits = vec![0xAA; max - 4 - 1];
+        assert_eq!(map.insert(&mut pool, b"k", &fits), Ok(None));
+    }
+
+    #[test]
+    fn budget_exhaustion_fails_before_mutating() {
+        let mut pool = PagePool::new(StorageConfig { page_size: 512, byte_budget: 2 * 512 });
+        let mut map = PagedMap::new();
+        let mut n = 0u64;
+        let err = loop {
+            match map.insert(&mut pool, &key(n), &[0u8; 16]) {
+                Ok(_) => n += 1,
+                Err(err) => break err,
+            }
+        };
+        assert!(matches!(err, StorageError::BudgetExhausted { .. }), "{err:?}");
+        // Every entry inserted before the failure is still intact.
+        assert_eq!(map.len(), n);
+        for m in 0..n {
+            assert_eq!(map.get(&pool, &key(m)), Some(&[0u8; 16][..]), "key {m}");
+        }
+    }
+
+    #[test]
+    fn matches_btreemap_on_random_operation_sequences() {
+        use icbtc_sim::testkit;
+        testkit::check(0x57_0001, testkit::DEFAULT_CASES, |rng| {
+            let mut pool = small_pool();
+            let mut map = PagedMap::new();
+            let mut oracle: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+            let ops = testkit::u64_in(rng, 50..400);
+            for _ in 0..ops {
+                let k = key(testkit::u64_in(rng, 0..120));
+                match testkit::u64_in(rng, 0..10) {
+                    0..=5 => {
+                        let v = vec![rng.below(256) as u8; testkit::u64_in(rng, 1..40) as usize];
+                        assert_eq!(
+                            map.insert(&mut pool, &k, &v).unwrap(),
+                            oracle.insert(k, v)
+                        );
+                    }
+                    6..=8 => {
+                        assert_eq!(map.remove(&mut pool, &k), oracle.remove(&k));
+                    }
+                    _ => {
+                        assert_eq!(
+                            map.get(&pool, &k).map(<[u8]>::to_vec),
+                            oracle.get(&k).cloned()
+                        );
+                    }
+                }
+            }
+            assert_eq!(map.len() as usize, oracle.len());
+            let got: Vec<(Vec<u8>, Vec<u8>)> =
+                map.iter(&pool).map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
+            let want: Vec<(Vec<u8>, Vec<u8>)> =
+                oracle.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            assert_eq!(got, want);
+            let total: u64 =
+                oracle.iter().map(|(k, v)| (k.len() + v.len()) as u64).sum();
+            assert_eq!(map.entry_bytes(), total);
+        });
+    }
+}

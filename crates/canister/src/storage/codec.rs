@@ -1,0 +1,217 @@
+//! Deterministic byte encodings for the UTXO set's storage keys and
+//! values.
+//!
+//! The B+-tree orders keys as plain byte strings, so every encoding here
+//! is designed to make lexicographic byte order coincide with the domain
+//! order the query plane relies on:
+//!
+//! * outpoint key: `txid ‖ vout(BE)` — grouped by transaction, ascending
+//!   output index.
+//! * address-index key: `address-prefix ‖ (u64::MAX − height)(BE) ‖
+//!   txid ‖ vout(BE)` — all entries of an address are contiguous, sorted
+//!   height-descending then by outpoint: exactly `get_utxos` pagination
+//!   order (§III-C).
+//!
+//! The address prefix is `network-tag ‖ kind-tag ‖ payload`. The kind
+//! tag determines the payload length (20 or 32 bytes), so no prefix is a
+//! proper prefix of a different address's — prefix scans can never bleed
+//! into a neighbouring address.
+
+use icbtc_bitcoin::{Address, AddressKind, Amount, Network, OutPoint, Txid};
+
+use super::StorageError;
+
+/// Encoded outpoint key length: 32-byte txid + 4-byte vout.
+pub(crate) const OUTPOINT_KEY_LEN: usize = 36;
+
+/// Fixed tail of an address-index key: 8-byte reverse height + outpoint.
+pub(crate) const INDEX_KEY_SUFFIX_LEN: usize = 8 + OUTPOINT_KEY_LEN;
+
+pub(crate) fn outpoint_key(outpoint: &OutPoint) -> [u8; OUTPOINT_KEY_LEN] {
+    let mut key = [0u8; OUTPOINT_KEY_LEN];
+    key[..32].copy_from_slice(&outpoint.txid.0);
+    key[32..].copy_from_slice(&outpoint.vout.to_be_bytes());
+    key
+}
+
+fn decode_outpoint(bytes: &[u8]) -> OutPoint {
+    let mut txid = [0u8; 32];
+    txid.copy_from_slice(&bytes[..32]);
+    let vout = u32::from_be_bytes([bytes[32], bytes[33], bytes[34], bytes[35]]);
+    OutPoint::new(Txid(txid), vout)
+}
+
+/// Value stored under an outpoint key: `height(BE) ‖ amount(BE) ‖
+/// script bytes` (the script is the remainder — no length prefix).
+pub(crate) fn utxo_value(height: u64, value: Amount, script: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + script.len());
+    out.extend_from_slice(&height.to_be_bytes());
+    out.extend_from_slice(&value.to_sat().to_be_bytes());
+    out.extend_from_slice(script);
+    out
+}
+
+/// Decodes [`utxo_value`] bytes: `(height, amount, script)`.
+pub(crate) fn decode_utxo_value(bytes: &[u8]) -> (u64, Amount, &[u8]) {
+    let mut height = [0u8; 8];
+    height.copy_from_slice(&bytes[..8]);
+    let mut sat = [0u8; 8];
+    sat.copy_from_slice(&bytes[8..16]);
+    (u64::from_be_bytes(height), Amount::from_sat(u64::from_be_bytes(sat)), &bytes[16..])
+}
+
+pub(crate) fn network_tag(network: Network) -> u8 {
+    match network {
+        Network::Mainnet => 0,
+        Network::Testnet => 1,
+        Network::Regtest => 2,
+    }
+}
+
+pub(crate) fn network_from_tag(tag: u8) -> Result<Network, StorageError> {
+    match tag {
+        0 => Ok(Network::Mainnet),
+        1 => Ok(Network::Testnet),
+        2 => Ok(Network::Regtest),
+        _ => Err(StorageError::Corrupt("unknown network tag")),
+    }
+}
+
+/// The per-address prefix of index keys: `network ‖ kind ‖ payload`.
+pub(crate) fn address_prefix(address: &Address) -> Vec<u8> {
+    let mut out = Vec::with_capacity(34);
+    out.push(network_tag(address.network));
+    match &address.kind {
+        AddressKind::P2pkh(h) => {
+            out.push(0);
+            out.extend_from_slice(h);
+        }
+        AddressKind::P2sh(h) => {
+            out.push(1);
+            out.extend_from_slice(h);
+        }
+        AddressKind::P2wpkh(h) => {
+            out.push(2);
+            out.extend_from_slice(h);
+        }
+        AddressKind::P2wsh(h) => {
+            out.push(3);
+            out.extend_from_slice(h);
+        }
+        AddressKind::P2tr(k) => {
+            out.push(4);
+            out.extend_from_slice(k);
+        }
+    }
+    out
+}
+
+/// Full address-index key for one `(address, height, outpoint)` entry.
+pub(crate) fn index_key(address: &Address, height: u64, outpoint: &OutPoint) -> Vec<u8> {
+    let mut out = address_prefix(address);
+    out.extend_from_slice(&(u64::MAX - height).to_be_bytes());
+    out.extend_from_slice(&outpoint_key(outpoint));
+    out
+}
+
+/// Decodes the fixed suffix of an index key: `(height, outpoint)`.
+pub(crate) fn decode_index_key_suffix(key: &[u8]) -> (u64, OutPoint) {
+    let suffix = &key[key.len() - INDEX_KEY_SUFFIX_LEN..];
+    let mut reverse = [0u8; 8];
+    reverse.copy_from_slice(&suffix[..8]);
+    (u64::MAX - u64::from_be_bytes(reverse), decode_outpoint(&suffix[8..]))
+}
+
+/// Value stored under an index key: the output's amount, big-endian.
+pub(crate) fn amount_value(value: Amount) -> [u8; 8] {
+    value.to_sat().to_be_bytes()
+}
+
+pub(crate) fn decode_amount_value(bytes: &[u8]) -> Amount {
+    let mut sat = [0u8; 8];
+    sat.copy_from_slice(&bytes[..8]);
+    Amount::from_sat(u64::from_be_bytes(sat))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outpoint(byte: u8, vout: u32) -> OutPoint {
+        OutPoint::new(Txid([byte; 32]), vout)
+    }
+
+    #[test]
+    fn outpoint_keys_order_like_outpoints() {
+        let a = outpoint(1, 5);
+        let b = outpoint(1, 6);
+        let c = outpoint(2, 0);
+        assert!(outpoint_key(&a) < outpoint_key(&b));
+        assert!(outpoint_key(&b) < outpoint_key(&c));
+        assert_eq!(decode_outpoint(&outpoint_key(&a)), a);
+    }
+
+    #[test]
+    fn index_keys_sort_height_descending_then_outpoint() {
+        let addr = Address::new(Network::Regtest, AddressKind::P2wpkh([7; 20]));
+        let newer = index_key(&addr, 100, &outpoint(1, 0));
+        let older = index_key(&addr, 99, &outpoint(1, 0));
+        let sibling = index_key(&addr, 100, &outpoint(1, 1));
+        assert!(newer < older, "higher blocks come first");
+        assert!(newer < sibling, "then outpoint ascending");
+        let (height, op) = decode_index_key_suffix(&newer);
+        assert_eq!((height, op), (100, outpoint(1, 0)));
+    }
+
+    #[test]
+    fn address_prefixes_are_prefix_free() {
+        // Same 20-byte payload under different kinds, plus a 32-byte kind
+        // whose payload starts with those same 20 bytes.
+        let payload20 = [9u8; 20];
+        let mut payload32 = [0u8; 32];
+        payload32[..20].copy_from_slice(&payload20);
+        let kinds = [
+            AddressKind::P2pkh(payload20),
+            AddressKind::P2sh(payload20),
+            AddressKind::P2wpkh(payload20),
+            AddressKind::P2wsh(payload32),
+            AddressKind::P2tr(payload32),
+        ];
+        let prefixes: Vec<Vec<u8>> = kinds
+            .iter()
+            .map(|kind| address_prefix(&Address::new(Network::Mainnet, *kind)))
+            .collect();
+        for (i, a) in prefixes.iter().enumerate() {
+            for (j, b) in prefixes.iter().enumerate() {
+                if i != j {
+                    assert!(!b.starts_with(a), "prefix {i} is a prefix of {j}");
+                }
+            }
+        }
+        // Different networks never collide either.
+        let mainnet = address_prefix(&Address::new(Network::Mainnet, kinds[0]));
+        let regtest = address_prefix(&Address::new(Network::Regtest, kinds[0]));
+        assert_ne!(mainnet, regtest);
+    }
+
+    #[test]
+    fn utxo_value_roundtrips_script_of_any_length() {
+        for script_len in [0usize, 1, 22, 34, 520] {
+            let script = vec![0x51; script_len];
+            let bytes = utxo_value(77, Amount::from_sat(12_345), &script);
+            assert_eq!(bytes.len(), 16 + script_len);
+            let (height, amount, decoded) = decode_utxo_value(&bytes);
+            assert_eq!(height, 77);
+            assert_eq!(amount, Amount::from_sat(12_345));
+            assert_eq!(decoded, &script[..]);
+        }
+    }
+
+    #[test]
+    fn network_tags_roundtrip() {
+        for network in [Network::Mainnet, Network::Testnet, Network::Regtest] {
+            assert_eq!(network_from_tag(network_tag(network)), Ok(network));
+        }
+        assert!(network_from_tag(9).is_err());
+    }
+}

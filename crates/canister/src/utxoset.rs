@@ -1,18 +1,25 @@
-//! The stable UTXO set (§III-C).
+//! The stable UTXO set (§III-C), backed by the paged storage engine.
 //!
 //! Instead of storing the blockchain, the Bitcoin canister stores only
 //! the unspent transaction outputs up to and including the anchor height,
 //! indexed by address for efficient `get_utxos`/`get_balance`. This is
 //! what keeps the state ≈ 100 GiB instead of several hundred (Figure 5).
+//!
+//! Both maps — `by_outpoint` and the `by_address` secondary index — are
+//! [`PagedMap`] B+-trees over one shared, byte-budgeted [`PagePool`]
+//! (see [`crate::storage`]), mirroring the production canister's stable
+//! memory layout. Ingesting past the budget fails loudly
+//! ([`StorageError::BudgetExhausted`]); it can never silently OOM the
+//! replica. [`UtxoSet::serialize`] produces a versioned, deterministic
+//! snapshot for upgrade safety, and [`UtxoSet::storage_stats`] feeds the
+//! `canister_storage_*` gauges.
 
-use std::collections::btree_map::Entry;
-use std::collections::BTreeMap;
-use std::ops::Bound;
-
-use icbtc_bitcoin::{Address, Amount, Network, OutPoint, Transaction, TxOut};
+use icbtc_bitcoin::hash::{sha256, Sha256};
+use icbtc_bitcoin::{Address, Amount, Network, OutPoint, Script, Transaction, TxOut};
 use icbtc_ic::{Meter, MeterBreakdown};
 
 use crate::metering;
+use crate::storage::{btree, codec, PagePool, PagedMap, StorageConfig, StorageError, StorageStats};
 
 /// One unspent output as reported by the canister API.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -25,24 +32,11 @@ pub struct Utxo {
     pub height: u64,
 }
 
-/// Sort key: height descending, then outpoint — the order `get_utxos`
-/// pagination relies on (§III-C).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-struct AddressIndexKey {
-    /// `u64::MAX - height` so the natural ascending order is height-desc.
-    reverse_height: u64,
-    outpoint: OutPoint,
-}
-
-impl AddressIndexKey {
-    fn new(height: u64, outpoint: OutPoint) -> AddressIndexKey {
-        AddressIndexKey { reverse_height: u64::MAX - height, outpoint }
-    }
-
-    fn height(&self) -> u64 {
-        u64::MAX - self.reverse_height
-    }
-}
+/// Magic prefix of a serialized snapshot.
+const SNAPSHOT_MAGIC: &[u8; 8] = b"ICBTCUTX";
+/// Snapshot layout version; bump on any layout change so upgrades can
+/// dispatch on it.
+const SNAPSHOT_VERSION: u16 = 1;
 
 /// The address-indexed stable UTXO set.
 ///
@@ -59,22 +53,30 @@ impl AddressIndexKey {
 #[derive(Debug, Clone)]
 pub struct UtxoSet {
     network: Network,
-    by_outpoint: BTreeMap<OutPoint, (TxOut, u64)>,
-    /// Per address, `(height, outpoint) → value`. The value is
-    /// denormalized into the index so pagination and balance walks never
-    /// touch (or clone from) `by_outpoint`.
-    by_address: BTreeMap<Address, BTreeMap<AddressIndexKey, Amount>>,
+    pool: PagePool,
+    /// `txid ‖ vout → height ‖ amount ‖ script` (see [`codec`]).
+    by_outpoint: PagedMap,
+    /// `address-prefix ‖ reverse-height ‖ outpoint → amount`: the value
+    /// is denormalized into the index so pagination and balance walks
+    /// never touch `by_outpoint`.
+    by_address: PagedMap,
     next_height: u64,
 }
 
 impl UtxoSet {
-    /// Creates an empty set for `network`; the first block to ingest is
-    /// height 0 (genesis).
+    /// Creates an empty set for `network` with the default 4 GiB budget;
+    /// the first block to ingest is height 0 (genesis).
     pub fn new(network: Network) -> UtxoSet {
+        UtxoSet::with_config(network, StorageConfig::default())
+    }
+
+    /// Creates an empty set with an explicit page size and byte budget.
+    pub fn with_config(network: Network, config: StorageConfig) -> UtxoSet {
         UtxoSet {
             network,
-            by_outpoint: BTreeMap::new(),
-            by_address: BTreeMap::new(),
+            pool: PagePool::new(config),
+            by_outpoint: PagedMap::new(),
+            by_address: PagedMap::new(),
             next_height: 0,
         }
     }
@@ -84,9 +86,14 @@ impl UtxoSet {
         self.network
     }
 
+    /// The storage configuration (page size clamped by the pool).
+    pub fn storage_config(&self) -> &StorageConfig {
+        self.pool.config()
+    }
+
     /// Number of UTXOs held.
     pub fn len(&self) -> usize {
-        self.by_outpoint.len()
+        self.by_outpoint.len() as usize
     }
 
     /// Returns `true` if the set is empty.
@@ -99,17 +106,38 @@ impl UtxoSet {
         self.next_height
     }
 
-    /// Modeled stable-memory footprint in bytes (Figure 5's y-axis).
+    /// Stable-memory footprint in bytes (Figure 5's y-axis): pages
+    /// actually allocated times page size — what counts against the
+    /// byte budget. Entries are sized by their real serialized length
+    /// (script included), so script-size variance shows up here.
     pub fn byte_size(&self) -> u64 {
-        self.by_outpoint.len() as u64 * metering::STABLE_BYTES_PER_UTXO
+        self.pool.bytes_reserved()
+    }
+
+    /// Point-in-time storage counters for the `canister_storage_*`
+    /// gauges and the fig5 bench report.
+    pub fn storage_stats(&self) -> StorageStats {
+        let config = self.pool.config();
+        StorageStats {
+            page_size: config.page_size as u64,
+            byte_budget: config.byte_budget,
+            pages_allocated: self.pool.pages_allocated(),
+            bytes_reserved: self.pool.bytes_reserved(),
+            bytes_used: self.pool.pages_allocated() * btree::NODE_HEADER_BYTES as u64
+                + self.by_outpoint.cell_bytes()
+                + self.by_address.cell_bytes(),
+            budget_headroom: self.pool.budget_headroom(),
+            entries: self.by_outpoint.len() + self.by_address.len(),
+            entry_bytes: self.by_outpoint.entry_bytes() + self.by_address.entry_bytes(),
+        }
     }
 
     /// Looks up a single outpoint.
     pub fn get(&self, outpoint: &OutPoint) -> Option<Utxo> {
-        self.by_outpoint.get(outpoint).map(|(txout, height)| Utxo {
-            outpoint: *outpoint,
-            value: txout.value,
-            height: *height,
+        let key = codec::outpoint_key(outpoint);
+        self.by_outpoint.get(&self.pool, &key).map(|value| {
+            let (height, amount, _script) = codec::decode_utxo_value(value);
+            Utxo { outpoint: *outpoint, value: amount, height }
         })
     }
 
@@ -124,7 +152,9 @@ impl UtxoSet {
     /// # Panics
     ///
     /// Panics if `height` is not the expected next height — stable blocks
-    /// are ingested strictly in order.
+    /// are ingested strictly in order — or if the storage budget is
+    /// exhausted mid-block. Callers that want to handle budget exhaustion
+    /// use [`UtxoSet::try_ingest_block`].
     pub fn ingest_block(
         &mut self,
         transactions: &[Transaction],
@@ -132,6 +162,32 @@ impl UtxoSet {
         meter: &mut Meter,
         breakdown: &mut MeterBreakdown,
     ) {
+        if let Err(error) = self.try_ingest_block(transactions, height, meter, breakdown) {
+            panic!("stable UTXO storage failed ingesting height {height}: {error}"); // icbtc-lint: allow(no-panic) -- the budget must fail loudly: continuing past it would silently diverge replicated state
+        }
+    }
+
+    /// Fallible ingest: like [`UtxoSet::ingest_block`] but returns the
+    /// storage error instead of panicking when the byte budget (or the
+    /// per-entry cell cap) is hit.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::BudgetExhausted`] or
+    /// [`StorageError::EntryTooLarge`]. The block is then only partially
+    /// applied, so the set must be treated as poisoned and discarded —
+    /// fail loudly, never continue past the budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height` is not the expected next height.
+    pub fn try_ingest_block(
+        &mut self,
+        transactions: &[Transaction],
+        height: u64,
+        meter: &mut Meter,
+        breakdown: &mut MeterBreakdown,
+    ) -> Result<(), StorageError> {
         assert_eq!(height, self.next_height, "stable blocks must be ingested in order");
         for tx in transactions {
             meter.charge(metering::PARSE_TX);
@@ -147,46 +203,63 @@ impl UtxoSet {
                 if output.script_pubkey.is_op_return() {
                     continue; // provably unspendable, never stored
                 }
-                self.insert(OutPoint::new(txid, vout as u32), output.clone(), height, meter, breakdown);
+                self.insert(OutPoint::new(txid, vout as u32), output, height, meter, breakdown)?;
             }
         }
         self.next_height = height + 1;
+        Ok(())
     }
 
     fn insert(
         &mut self,
         outpoint: OutPoint,
-        output: TxOut,
+        output: &TxOut,
         height: u64,
         meter: &mut Meter,
         breakdown: &mut MeterBreakdown,
-    ) {
+    ) -> Result<(), StorageError> {
         let cost = metering::INSERT_OUTPUT_BASE
             + output.script_pubkey.len() as u64 * metering::INSERT_OUTPUT_PER_BYTE;
         meter.charge(cost);
         breakdown.add("output_insertion", cost);
-        if let Some(address) = Address::from_script(&output.script_pubkey, self.network) {
-            self.by_address
-                .entry(address)
-                .or_default()
-                .insert(AddressIndexKey::new(height, outpoint), output.value);
+        let key = codec::outpoint_key(&outpoint);
+        let value = codec::utxo_value(height, output.value, output.script_pubkey.as_bytes());
+        let previous = self.by_outpoint.insert(&mut self.pool, &key, &value)?;
+        if let Some(previous) = previous {
+            // The outpoint already existed (pre-BIP34 duplicate txid):
+            // evict its old index entry, or a stale `(old height,
+            // outpoint)` key would linger in `by_address` and double-count
+            // in `get_balance` / `get_utxos`.
+            let (old_height, _, old_script) = codec::decode_utxo_value(&previous);
+            let old_script = Script::from_bytes(old_script.to_vec());
+            if let Some(old_address) = Address::from_script(&old_script, self.network) {
+                let stale = codec::index_key(&old_address, old_height, &outpoint);
+                self.by_address.remove(&mut self.pool, &stale);
+            }
         }
-        self.by_outpoint.insert(outpoint, (output, height));
+        if let Some(address) = Address::from_script(&output.script_pubkey, self.network) {
+            let index_key = codec::index_key(&address, height, &outpoint);
+            self.by_address.insert(
+                &mut self.pool,
+                &index_key,
+                &codec::amount_value(output.value),
+            )?;
+        }
+        Ok(())
     }
 
     fn remove(&mut self, outpoint: &OutPoint, meter: &mut Meter, breakdown: &mut MeterBreakdown) {
         meter.charge(metering::REMOVE_INPUT_BASE);
         breakdown.add("input_removal", metering::REMOVE_INPUT_BASE);
-        let Some((output, height)) = self.by_outpoint.remove(outpoint) else {
+        let key = codec::outpoint_key(outpoint);
+        let Some(value) = self.by_outpoint.remove(&mut self.pool, &key) else {
             return;
         };
-        if let Some(address) = Address::from_script(&output.script_pubkey, self.network) {
-            if let Entry::Occupied(mut entry) = self.by_address.entry(address) {
-                entry.get_mut().remove(&AddressIndexKey::new(height, *outpoint));
-                if entry.get().is_empty() {
-                    entry.remove();
-                }
-            }
+        let (height, _, script) = codec::decode_utxo_value(&value);
+        let script = Script::from_bytes(script.to_vec());
+        if let Some(address) = Address::from_script(&script, self.network) {
+            let index_key = codec::index_key(&address, height, outpoint);
+            self.by_address.remove(&mut self.pool, &index_key);
         }
     }
 
@@ -212,39 +285,173 @@ impl UtxoSet {
         address: &Address,
         after: Option<(u64, OutPoint)>,
     ) -> impl Iterator<Item = Utxo> + 'a {
-        let start = match after {
-            Some((height, outpoint)) => Bound::Excluded(AddressIndexKey::new(height, outpoint)),
-            None => Bound::Unbounded,
+        let prefix = codec::address_prefix(address);
+        let (start, exclusive) = match after {
+            Some((height, outpoint)) => (codec::index_key(address, height, &outpoint), true),
+            None => (prefix.clone(), false),
         };
-        self.by_address.get(address).into_iter().flat_map(move |index| {
-            index.range((start, Bound::Unbounded)).map(|(key, value)| Utxo {
-                outpoint: key.outpoint,
-                value: *value,
-                height: key.height(),
+        self.by_address
+            .range_from(&self.pool, &start)
+            // `range_from` is inclusive; at most the first entry can
+            // equal the cursor key — skip it for strictly-after.
+            .skip_while(move |(key, _)| exclusive && *key == start.as_slice())
+            .take_while(move |(key, _)| key.starts_with(&prefix))
+            .map(|(key, value)| {
+                let (height, outpoint) = codec::decode_index_key_suffix(key);
+                Utxo { outpoint, value: codec::decode_amount_value(value), height }
             })
-        })
     }
 
     /// Balance of `address` from the stable set alone, summed directly
     /// over the address index — no `TxOut` is cloned or even looked up,
     /// so each entry is charged the cheaper
-    /// [`metering::STABLE_BALANCE_ENTRY`] rate.
+    /// [`metering::STABLE_BALANCE_ENTRY`] rate. Accumulation saturates at
+    /// [`Amount::MAX_MONEY`]: a hostile chain of max-value outputs clamps
+    /// instead of overflowing.
     pub fn balance(&self, address: &Address, meter: &mut Meter) -> Amount {
-        let Some(index) = self.by_address.get(address) else {
-            return Amount::ZERO;
-        };
-        index
-            .values()
-            .map(|value| {
-                meter.charge(metering::STABLE_BALANCE_ENTRY);
-                *value
-            })
-            .sum()
+        self.utxos_after(address, None).fold(Amount::ZERO, |total, utxo| {
+            meter.charge(metering::STABLE_BALANCE_ENTRY);
+            total.saturating_add(utxo.value)
+        })
     }
 
-    /// Number of distinct addresses indexed.
+    /// Number of distinct addresses indexed. O(index size) — the engine
+    /// keeps no per-address state; this is a diagnostics/test helper, not
+    /// a query-plane call.
     pub fn address_count(&self) -> usize {
-        self.by_address.len()
+        let mut count = 0;
+        let mut last: Vec<u8> = Vec::new();
+        for (key, _) in self.by_address.iter(&self.pool) {
+            let prefix = &key[..key.len() - codec::INDEX_KEY_SUFFIX_LEN];
+            if last != prefix {
+                count += 1;
+                last.clear();
+                last.extend_from_slice(prefix);
+            }
+        }
+        count
+    }
+
+    /// Streams the canonical snapshot bytes into `sink` — shared by
+    /// [`UtxoSet::serialize`] and [`UtxoSet::state_hash`] so the hash is
+    /// always the hash of the exact serialized bytes.
+    fn snapshot_into(&self, sink: &mut dyn FnMut(&[u8])) {
+        sink(SNAPSHOT_MAGIC);
+        sink(&SNAPSHOT_VERSION.to_be_bytes());
+        sink(&[codec::network_tag(self.network)]);
+        sink(&(self.pool.page_size() as u32).to_be_bytes());
+        sink(&self.pool.config().byte_budget.to_be_bytes());
+        sink(&self.next_height.to_be_bytes());
+        for map in [&self.by_outpoint, &self.by_address] {
+            sink(&map.len().to_be_bytes());
+            for (key, value) in map.iter(&self.pool) {
+                sink(&(key.len() as u16).to_be_bytes());
+                sink(key);
+                sink(&(value.len() as u16).to_be_bytes());
+                sink(value);
+            }
+        }
+    }
+
+    /// Serializes the set into the versioned upgrade snapshot: a fixed
+    /// header (magic, version, network, storage config, next height)
+    /// followed by both maps' entries in ascending key order. The layout
+    /// is a pure function of the logical content — two sets holding the
+    /// same UTXOs serialize byte-identically regardless of their page
+    /// layout history.
+    pub fn serialize(&self) -> Vec<u8> {
+        let stats = self.storage_stats();
+        let mut out = Vec::with_capacity(47 + stats.entry_bytes as usize + 4 * stats.entries as usize);
+        self.snapshot_into(&mut |bytes| out.extend_from_slice(bytes));
+        out
+    }
+
+    /// SHA-256d over the serialized snapshot, computed streaming (no
+    /// intermediate buffer) — the state fingerprint the determinism gate
+    /// compares across runs.
+    pub fn state_hash(&self) -> [u8; 32] {
+        let mut hasher = Sha256::new();
+        self.snapshot_into(&mut |bytes| hasher.update(bytes));
+        sha256(&hasher.finalize())
+    }
+
+    /// Rebuilds a set from [`UtxoSet::serialize`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Corrupt`] on malformed bytes or an unknown
+    /// version; [`StorageError::BudgetExhausted`] if the snapshot does
+    /// not fit its own declared budget.
+    pub fn deserialize(bytes: &[u8]) -> Result<UtxoSet, StorageError> {
+        let mut cursor = SnapshotReader { bytes, pos: 0 };
+        if cursor.take(8)? != SNAPSHOT_MAGIC {
+            return Err(StorageError::Corrupt("bad magic"));
+        }
+        if cursor.u16()? != SNAPSHOT_VERSION {
+            return Err(StorageError::Corrupt("unknown snapshot version"));
+        }
+        let network = codec::network_from_tag(cursor.u8()?)?;
+        let page_size = cursor.u32()? as usize;
+        let byte_budget = cursor.u64()?;
+        let next_height = cursor.u64()?;
+        let mut set = UtxoSet::with_config(network, StorageConfig { page_size, byte_budget });
+        set.next_height = next_height;
+        for map in [0, 1] {
+            let entries = cursor.u64()?;
+            for _ in 0..entries {
+                let klen = cursor.u16()? as usize;
+                let key = cursor.take(klen)?.to_vec();
+                let vlen = cursor.u16()? as usize;
+                let value = cursor.take(vlen)?.to_vec();
+                if map == 0 {
+                    set.by_outpoint.insert(&mut set.pool, &key, &value)?;
+                } else {
+                    set.by_address.insert(&mut set.pool, &key, &value)?;
+                }
+            }
+        }
+        if cursor.pos != bytes.len() {
+            return Err(StorageError::Corrupt("trailing bytes"));
+        }
+        Ok(set)
+    }
+}
+
+/// Minimal bounds-checked reader for snapshot deserialization.
+struct SnapshotReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapshotReader<'a> {
+    fn take(&mut self, len: usize) -> Result<&'a [u8], StorageError> {
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|end| *end <= self.bytes.len())
+            .ok_or(StorageError::Corrupt("truncated snapshot"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, StorageError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, StorageError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, StorageError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, StorageError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
     }
 }
 
@@ -353,6 +560,64 @@ mod tests {
     }
 
     #[test]
+    fn balance_saturates_instead_of_overflowing() {
+        // A hostile chain can mint outputs summing past MAX_MONEY — the
+        // set does not validate issuance (§III-C). The old `.sum()`
+        // accumulator panicked here; saturating accumulation clamps.
+        let (mut set, mut meter, mut breakdown) = fresh();
+        let near_max = Amount::MAX_MONEY.to_sat() - 10;
+        let tx = pay_tx(None, &[(7, near_max), (7, near_max), (7, 25)]);
+        set.ingest_block(&[tx], 0, &mut meter, &mut breakdown);
+        let balance = set.balance(&addr(7), &mut Meter::new());
+        assert_eq!(balance, Amount::MAX_MONEY);
+    }
+
+    #[test]
+    fn duplicate_outpoint_reinsert_evicts_stale_index_entry() {
+        // Pre-BIP34, two coinbase transactions could be byte-identical
+        // and thus share a txid: the later one overwrites the earlier
+        // outpoint at a new height. The old implementation stranded the
+        // height-0 key in `by_address`, double-counting the output in
+        // balance and pagination.
+        let (mut set, mut meter, mut breakdown) = fresh();
+        let coinbase = pay_tx(None, &[(1, 5000)]);
+        set.ingest_block(std::slice::from_ref(&coinbase), 0, &mut meter, &mut breakdown);
+        // Identical transaction ⇒ identical txid ⇒ same outpoint.
+        set.ingest_block(std::slice::from_ref(&coinbase), 1, &mut meter, &mut breakdown);
+
+        assert_eq!(set.len(), 1, "one outpoint, not two");
+        assert_eq!(
+            set.balance(&addr(1), &mut Meter::new()),
+            Amount::from_sat(5000),
+            "balance must not double-count the re-inserted outpoint"
+        );
+        let utxos = set.utxos_of(&addr(1), &mut Meter::new());
+        assert_eq!(utxos.len(), 1, "pagination must see exactly one entry");
+        assert_eq!(utxos[0].height, 1, "the re-insert wins");
+        // Spending it once empties the whole index.
+        let spend = pay_tx(Some(OutPoint::new(coinbase.txid(), 0)), &[(2, 4000)]);
+        set.ingest_block(&[spend], 2, &mut meter, &mut breakdown);
+        assert_eq!(set.balance(&addr(1), &mut Meter::new()), Amount::ZERO);
+        assert_eq!(set.address_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_outpoint_with_new_script_moves_the_index_entry() {
+        let (mut set, mut meter, mut breakdown) = fresh();
+        let first = pay_tx(None, &[(1, 5000)]);
+        let outpoint = OutPoint::new(first.txid(), 0);
+        set.ingest_block(&[first], 0, &mut meter, &mut breakdown);
+        // Re-insert the same outpoint paying a different address (txid
+        // collisions don't imply identical outputs for the storage
+        // layer): the old address must lose its entry.
+        let replacement = TxOut::new(Amount::from_sat(7000), addr(2).script_pubkey());
+        set.insert(outpoint, &replacement, 1, &mut meter, &mut breakdown).unwrap();
+        assert_eq!(set.balance(&addr(1), &mut Meter::new()), Amount::ZERO);
+        assert_eq!(set.balance(&addr(2), &mut Meter::new()), Amount::from_sat(7000));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
     fn op_return_outputs_never_stored() {
         let (mut set, mut meter, mut breakdown) = fresh();
         let mut tx = pay_tx(None, &[(1, 100)]);
@@ -389,11 +654,141 @@ mod tests {
     }
 
     #[test]
-    fn byte_size_tracks_utxo_count() {
+    fn byte_size_is_pages_actually_allocated() {
         let (mut set, mut meter, mut breakdown) = fresh();
-        assert_eq!(set.byte_size(), 0);
+        assert_eq!(set.byte_size(), 0, "no pages before the first insert");
         set.ingest_block(&[pay_tx(None, &[(1, 1), (2, 2), (3, 3)])], 0, &mut meter, &mut breakdown);
-        assert_eq!(set.byte_size(), 3 * metering::STABLE_BYTES_PER_UTXO);
+        let page_size = set.storage_config().page_size as u64;
+        assert_eq!(set.byte_size() % page_size, 0, "whole pages only");
+        assert_eq!(set.byte_size(), set.storage_stats().bytes_reserved);
+        // Two maps, each one leaf page at this size.
+        assert_eq!(set.byte_size(), 2 * page_size);
+        let stats = set.storage_stats();
+        assert!(stats.bytes_used > 0 && stats.bytes_used <= stats.bytes_reserved);
+        assert_eq!(stats.entries, 6, "3 outpoints + 3 index entries");
+    }
+
+    #[test]
+    fn byte_size_reflects_script_length() {
+        // The flat 650-bytes-per-UTXO model ignored script variance; the
+        // engine sizes entries by their serialized length, so fatter
+        // scripts fill pages faster.
+        let fill = |script_len: usize| -> u64 {
+            let mut set = UtxoSet::new(Network::Regtest);
+            let (mut meter, mut breakdown) = (Meter::new(), MeterBreakdown::new());
+            for height in 0..40u64 {
+                let tx = Transaction {
+                    version: 2,
+                    inputs: vec![TxIn::new(OutPoint::new(Txid([height as u8; 32]), 7777))],
+                    outputs: (0..50)
+                        .map(|_| {
+                            TxOut::new(
+                                Amount::from_sat(1000),
+                                Script::from_bytes(vec![0x51; script_len]),
+                            )
+                        })
+                        .collect(),
+                    lock_time: 0,
+                };
+                set.ingest_block(&[tx], height, &mut meter, &mut breakdown);
+            }
+            set.byte_size()
+        };
+        let thin = fill(22);
+        let fat = fill(500);
+        assert!(
+            fat >= 2 * thin,
+            "same UTXO count must cost more pages with fat scripts: {thin} vs {fat}"
+        );
+    }
+
+    #[test]
+    fn ingest_past_the_budget_fails_loudly_not_silently() {
+        let mut set = UtxoSet::with_config(
+            Network::Regtest,
+            StorageConfig { page_size: 512, byte_budget: 4 * 512 },
+        );
+        let (mut meter, mut breakdown) = (Meter::new(), MeterBreakdown::new());
+        let mut height = 0u64;
+        let error = loop {
+            let outputs: Vec<(u8, u64)> = (0..30).map(|i| (i as u8, 100)).collect();
+            match set.try_ingest_block(
+                &[pay_tx(None, &outputs)],
+                height,
+                &mut meter,
+                &mut breakdown,
+            ) {
+                Ok(()) => height += 1,
+                Err(error) => break error,
+            }
+            assert!(height < 1000, "budget must eventually exhaust");
+        };
+        assert!(matches!(error, StorageError::BudgetExhausted { .. }), "{error:?}");
+        assert_eq!(set.storage_stats().budget_headroom, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn infallible_ingest_panics_on_budget_exhaustion() {
+        let mut set = UtxoSet::with_config(
+            Network::Regtest,
+            StorageConfig { page_size: 512, byte_budget: 2 * 512 },
+        );
+        let (mut meter, mut breakdown) = (Meter::new(), MeterBreakdown::new());
+        for height in 0..1000u64 {
+            let outputs: Vec<(u8, u64)> = (0..30).map(|i| (i as u8, 100)).collect();
+            set.ingest_block(&[pay_tx(None, &outputs)], height, &mut meter, &mut breakdown);
+        }
+    }
+
+    #[test]
+    fn serialize_roundtrips_and_is_layout_independent() {
+        let (mut set, mut meter, mut breakdown) = fresh();
+        for height in 0..30u64 {
+            let tx = pay_tx(None, &[((height % 5) as u8, 100 + height), (9, 7)]);
+            set.ingest_block(&[tx], height, &mut meter, &mut breakdown);
+        }
+        let bytes = set.serialize();
+        assert_eq!(bytes, set.serialize(), "serialization is deterministic");
+
+        let restored = UtxoSet::deserialize(&bytes).unwrap();
+        assert_eq!(restored.len(), set.len());
+        assert_eq!(restored.next_height(), set.next_height());
+        assert_eq!(restored.network(), set.network());
+        for n in 0..5u8 {
+            assert_eq!(
+                restored.utxos_of(&addr(n), &mut Meter::new()),
+                set.utxos_of(&addr(n), &mut Meter::new()),
+                "address {n}"
+            );
+        }
+        // Round-trip is byte-identical and so is the state hash, even
+        // though the restored set's page layout history differs.
+        assert_eq!(restored.serialize(), bytes);
+        assert_eq!(restored.state_hash(), set.state_hash());
+    }
+
+    #[test]
+    fn deserialize_rejects_corrupt_snapshots() {
+        let (mut set, mut meter, mut breakdown) = fresh();
+        set.ingest_block(&[pay_tx(None, &[(1, 5)])], 0, &mut meter, &mut breakdown);
+        let good = set.serialize();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(UtxoSet::deserialize(&bad_magic).is_err());
+
+        let mut bad_version = good.clone();
+        bad_version[9] = 0xFF;
+        assert!(UtxoSet::deserialize(&bad_version).is_err());
+
+        assert!(UtxoSet::deserialize(&good[..good.len() - 3]).is_err(), "truncation");
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(UtxoSet::deserialize(&trailing).is_err(), "trailing bytes");
+
+        assert!(UtxoSet::deserialize(&good).is_ok(), "the original still parses");
     }
 
     #[test]

@@ -171,4 +171,25 @@ mod tests {
             assert!(rules_for(c).contains(&Rule::ForbidUnsafe), "{c}");
         }
     }
+
+    #[test]
+    fn storage_engine_sources_are_linted_under_the_full_canister_scope() {
+        // The paged storage engine *is* the replicated state: its pages
+        // hold the UTXO set every replica must agree on byte-for-byte.
+        // Guard against the module (a subdirectory, not a flat file)
+        // slipping out of discovery or into the lenient entry/test bucket
+        // where no-panic / no-float / no-HashMap would not apply.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = discover(&root).expect("workspace discovery");
+        for module in ["mod.rs", "page.rs", "btree.rs", "codec.rs"] {
+            let rel = format!("crates/canister/src/storage/{module}");
+            let file = files
+                .iter()
+                .find(|f| f.rel_path == rel)
+                .unwrap_or_else(|| panic!("{rel} not discovered"));
+            assert_eq!(file.ctx.crate_name, "canister", "{rel}");
+            assert!(!file.ctx.is_entry_or_test, "{rel} must get the strict rule scope");
+            assert!(!file.ctx.is_crate_root, "{rel}");
+        }
+    }
 }

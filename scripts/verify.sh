@@ -87,6 +87,34 @@ if ! grep -q '"schema_version": 1' BENCH_qps.json; then
     exit 1
 fi
 
+echo "==> storage determinism gate (same flags => byte-identical report + state hash)"
+for run in 1 2; do
+    cargo run -q --release --offline -p icbtc-bench --bin fig5_utxo_growth -- \
+        --seed 42 --blocks 80 --volume-scale 25 --budget-mib 64 --sample-every 20 \
+        --out "$OBS_TMP/utxo$run.json" --metrics-out "$OBS_TMP/utxo_metrics$run.json" \
+        >/dev/null 2>&1
+done
+if ! diff -q "$OBS_TMP/utxo1.json" "$OBS_TMP/utxo2.json" >/dev/null; then
+    echo "ERROR: same-flags storage reports differ:" >&2
+    diff "$OBS_TMP/utxo1.json" "$OBS_TMP/utxo2.json" >&2 || true
+    exit 1
+fi
+if ! diff -q "$OBS_TMP/utxo_metrics1.json" "$OBS_TMP/utxo_metrics2.json" >/dev/null; then
+    echo "ERROR: same-flags storage metrics snapshots differ:" >&2
+    diff "$OBS_TMP/utxo_metrics1.json" "$OBS_TMP/utxo_metrics2.json" | head -20 >&2 || true
+    exit 1
+fi
+for required in '"schema_version": 1' '"state_hash": "'; do
+    if ! grep -q "$required" "$OBS_TMP/utxo1.json"; then
+        echo "ERROR: storage report is missing $required" >&2
+        exit 1
+    fi
+    if ! grep -q "$required" BENCH_utxo.json; then
+        echo "ERROR: committed BENCH_utxo.json is missing $required" >&2
+        exit 1
+    fi
+done
+
 echo "==> verifying the dependency tree is workspace-only"
 if cargo tree --offline --prefix none | grep -v '^icbtc' | grep -q '[^[:space:]]'; then
     echo "ERROR: non-workspace dependency detected:" >&2
@@ -94,4 +122,4 @@ if cargo tree --offline --prefix none | grep -v '^icbtc' | grep -q '[^[:space:]]
     exit 1
 fi
 
-echo "OK: hermetic build + tests + lint + observability + chaos + query-plane determinism passed"
+echo "OK: hermetic build + tests + lint + observability + chaos + query-plane + storage determinism passed"
