@@ -49,7 +49,7 @@ impl Amount {
 
     /// Returns the amount as a floating-point bitcoin value, for reports.
     pub fn to_btc_f64(self) -> f64 { // icbtc-lint: allow(float) -- display-only conversion; consensus arithmetic stays in integer satoshis
-        self.0 as f64 / 1e8 // icbtc-lint: allow(float) -- display-only conversion
+        self.0 as f64 / 1e8
     }
 
     /// Checked addition; `None` if the sum exceeds [`Amount::MAX_MONEY`].

@@ -477,7 +477,7 @@ impl BitcoinCanisterState {
             let Some(block) = self.block(hash) else { continue };
             meter.charge(metering::UNSTABLE_BLOCK_SCAN);
             for tx in block.txdata.iter().filter(|t| !t.is_coinbase()) {
-                if let Some(fee) = self.resolve_fee(tx) {
+                if let Some(fee) = self.resolve_fee(tx, meter) {
                     let vsize = tx.vsize().max(1) as u64;
                     rates.push(fee.to_sat() * 1000 / vsize);
                 }
@@ -494,24 +494,27 @@ impl BitcoinCanisterState {
 
     /// Sums a transaction's input values if every input is resolvable
     /// against the stable set or an unstable block, returning the fee.
-    fn resolve_fee(&self, tx: &Transaction) -> Option<Amount> {
+    fn resolve_fee(&self, tx: &Transaction, meter: &mut Meter) -> Option<Amount> {
         let mut input_total = Amount::ZERO;
         for input in &tx.inputs {
             let op = input.previous_output;
+            meter.charge(metering::STABLE_UTXO_FETCH);
             let value = if let Some(utxo) = self.utxos().get(&op) {
                 utxo.value
             } else {
-                self.lookup_unstable_output(&op)?
+                self.lookup_unstable_output(&op, meter)?
             };
             input_total = input_total.checked_add(value)?;
         }
         input_total.checked_sub(tx.output_value())
     }
 
-    fn lookup_unstable_output(&self, outpoint: &OutPoint) -> Option<Amount> {
+    fn lookup_unstable_output(&self, outpoint: &OutPoint, meter: &mut Meter) -> Option<Amount> {
         for hash in self.tree().best_chain().iter().skip(1) {
             let block = self.block(hash)?;
+            meter.charge(metering::UNSTABLE_BLOCK_SCAN);
             for tx in &block.txdata {
+                meter.charge(metering::UNSTABLE_UTXO_FETCH);
                 if tx.txid() == outpoint.txid {
                     return tx.outputs.get(outpoint.vout as usize).map(|o| o.value);
                 }

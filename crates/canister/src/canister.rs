@@ -117,6 +117,11 @@ pub struct BitcoinCanister {
     fees: FeeSchedule,
     /// Total cycles burned by replicated calls since genesis.
     cycles_burned: Cycles,
+    /// Total instructions spent by replicated execution since genesis.
+    /// Kept as replicated state (not read back from the node-local
+    /// metrics registry) so `get_metrics` answers identically on every
+    /// replica.
+    instructions_total: u64,
     /// Tip-keyed query cache, wholesale-invalidated on ingest.
     qcache: QueryCache,
     /// Observability endpoint (metrics + trace), component `"canister"`.
@@ -138,6 +143,7 @@ impl BitcoinCanister {
             state,
             fees: FeeSchedule::default(),
             cycles_burned: 0,
+            instructions_total: 0,
             qcache: QueryCache::default(),
             obs,
         }
@@ -195,7 +201,7 @@ impl BitcoinCanister {
             unstable_blocks: self.state.unstable_block_count() as u64,
             blocks_ingested: self.state.blocks_stabilized(),
             is_synced: self.state.is_synced(),
-            instructions_total: self.obs.metrics.counter("canister_instructions_total"),
+            instructions_total: self.instructions_total,
             cycles_burned: self.cycles_burned,
         }
     }
@@ -226,6 +232,7 @@ impl BitcoinCanister {
         // replica ever serves a response computed at a superseded tip.
         let dropped = self.qcache.invalidate();
 
+        self.instructions_total = self.instructions_total.saturating_add(spent);
         let m = &mut self.obs.metrics;
         m.add("canister_blocks_ingested_total", report.blocks_accepted as u64);
         m.add("canister_headers_ingested_total", report.headers_accepted as u64);
@@ -421,6 +428,7 @@ impl StateMachine for BitcoinCanister {
         let spent = ctx.meter.instructions().saturating_sub(before);
         let failed = outcome.reply.is_err();
         self.cycles_burned = self.cycles_burned.saturating_add(outcome.cycles_charged);
+        self.instructions_total = self.instructions_total.saturating_add(spent);
         let m = &mut self.obs.metrics;
         m.inc_with("canister_calls_total", &[("method", method)]);
         if failed {

@@ -31,6 +31,12 @@ pub const PARSE_TX: u64 = 120_000;
 /// Instructions to validate one block header (hashing, target check).
 pub const VALIDATE_HEADER: u64 = 60_000;
 
+/// Instructions per ancestor header read while walking the chain for a
+/// difficulty retarget or median-time-past window. The walk is bounded
+/// by the retarget interval (2,016 headers on mainnet), so a single
+/// validation can read up to `2_016 * HEADER_WALK` on retarget blocks.
+pub const HEADER_WALK: u64 = 2_000;
+
 /// Flat instructions per `get_utxos`/`get_balance` call (dispatch,
 /// decoding, response assembly).
 pub const QUERY_BASE: u64 = 5_500_000;

@@ -116,6 +116,7 @@ impl QueryCache {
     }
 
     /// Looks up `key`, refreshing its recency on a hit.
+    // icbtc-lint: node-local -- cache contents depend on this replica's query history; replicated execution must never read them
     pub fn get(&mut self, key: &CacheKey) -> Option<CanisterReply> {
         self.clock += 1;
         let entry = self.entries.get_mut(key)?;
@@ -155,11 +156,13 @@ impl QueryCache {
     }
 
     /// Cached responses currently held.
+    // icbtc-lint: node-local -- per-replica cache occupancy; only observability may read it
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
     /// Returns `true` if nothing is cached.
+    // icbtc-lint: node-local -- per-replica cache occupancy; only observability may read it
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }

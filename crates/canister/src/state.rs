@@ -230,7 +230,12 @@ impl BitcoinCanisterState {
     // Validation (the same checks the adapter performs, §III-B/§III-C)
     // -----------------------------------------------------------------
 
-    fn validate_header(&self, header: &BlockHeader, now_unix: u32) -> Result<(), RejectReason> {
+    fn validate_header(
+        &self,
+        header: &BlockHeader,
+        now_unix: u32,
+        meter: &mut Meter,
+    ) -> Result<(), RejectReason> {
         let prev = header.prev_blockhash;
         if !self.tree.contains(&prev) {
             // Headers below the anchor cannot extend anything.
@@ -239,14 +244,14 @@ impl BitcoinCanisterState {
             }
             return Err(RejectReason::Orphan(prev));
         }
-        let expected = self.expected_bits(&prev);
+        let expected = self.expected_bits(&prev, meter);
         if header.bits != expected {
             return Err(RejectReason::BadDifficultyBits);
         }
         if !header.meets_pow_target() {
             return Err(RejectReason::BadProofOfWork);
         }
-        let mtp = self.median_time_past(&prev);
+        let mtp = self.median_time_past(&prev, meter);
         if header.time <= mtp || header.time > now_unix.saturating_add(2 * 60 * 60) {
             return Err(RejectReason::BadTimestamp);
         }
@@ -255,10 +260,11 @@ impl BitcoinCanisterState {
 
     /// Walks up to `count` ancestors of `hash` (inclusive), newest last,
     /// crossing from the tree into the stable chain as needed.
-    fn ancestor_headers(&self, hash: &BlockHash, count: usize) -> Vec<BlockHeader> {
+    fn ancestor_headers(&self, hash: &BlockHash, count: usize, meter: &mut Meter) -> Vec<BlockHeader> {
         let mut rev = Vec::with_capacity(count);
         let mut cursor = *hash;
         while rev.len() < count {
+            meter.charge(metering::HEADER_WALK);
             if let Some(header) = self.tree.header(&cursor) {
                 let height = self.tree.height(&cursor).expect("header in tree"); // icbtc-lint: allow(no-panic) -- invariant: cursor was just returned by tree.header on the line above
                 rev.push(header);
@@ -270,6 +276,7 @@ impl BitcoinCanisterState {
                     let mut h = height;
                     while rev.len() < count && h > 0 {
                         h -= 1;
+                        meter.charge(metering::HEADER_WALK);
                         rev.push(self.stable_headers[h as usize]);
                     }
                     break;
@@ -283,22 +290,22 @@ impl BitcoinCanisterState {
         rev
     }
 
-    fn expected_bits(&self, prev: &BlockHash) -> icbtc_bitcoin::CompactTarget {
+    fn expected_bits(&self, prev: &BlockHash, meter: &mut Meter) -> icbtc_bitcoin::CompactTarget {
         let params = self.params.network.params();
         let prev_header = self.tree.header(prev).expect("validated parent"); // icbtc-lint: allow(no-panic) -- invariant: caller checked tree.contains(prev) in validate_header
-        let prev_height = self.tree.height(prev).expect("validated parent"); // icbtc-lint: allow(no-panic) -- invariant: same containment check as prev_header above
+        let prev_height = self.tree.height(prev).expect("validated parent");
         let next_height = prev_height + 1;
         if !next_height.is_multiple_of(params.retarget_interval as u64) {
             return prev_header.bits;
         }
-        let span = self.ancestor_headers(prev, params.retarget_interval as usize);
+        let span = self.ancestor_headers(prev, params.retarget_interval as usize, meter);
         let first = span.first().expect("non-empty ancestry"); // icbtc-lint: allow(no-panic) -- invariant: ancestor_headers always returns at least `prev` itself
         let actual = prev_header.time.saturating_sub(first.time) as u64;
         retarget(prev_header.bits, actual.max(1), params.expected_timespan_secs(), params.pow_limit)
     }
 
-    fn median_time_past(&self, hash: &BlockHash) -> u32 {
-        let window = self.ancestor_headers(hash, 11);
+    fn median_time_past(&self, hash: &BlockHash, meter: &mut Meter) -> u32 {
+        let window = self.ancestor_headers(hash, 11, meter);
         median_time_past(&window.iter().map(|h| h.time).collect::<Vec<_>>())
     }
 
@@ -334,7 +341,7 @@ impl BitcoinCanisterState {
             let hash = block.block_hash();
             meter.charge(metering::VALIDATE_HEADER);
             if !self.tree.contains(&hash) {
-                if let Err(reason) = self.validate_header(&block.header, now_unix) {
+                if let Err(reason) = self.validate_header(&block.header, now_unix, meter) {
                     report.rejected.push(reason);
                     continue;
                 }
@@ -357,7 +364,7 @@ impl BitcoinCanisterState {
             if self.tree.contains(&hash) {
                 continue;
             }
-            match self.validate_header(&header, now_unix) {
+            match self.validate_header(&header, now_unix, meter) {
                 Ok(()) => {
                     let _ = self.tree.insert(header);
                     report.headers_accepted += 1;
@@ -385,7 +392,7 @@ impl BitcoinCanisterState {
                 .filter(|h| self.blocks.contains_key(h))
                 .max_by(|a, b| {
                     let da = self.tree.depth_work(a).expect("in tree"); // icbtc-lint: allow(no-panic) -- invariant: children() only yields members of the tree
-                    let db = self.tree.depth_work(b).expect("in tree"); // icbtc-lint: allow(no-panic) -- invariant: children() only yields members of the tree
+                    let db = self.tree.depth_work(b).expect("in tree");
                     da.cmp(&db)
                 })
                 .copied();

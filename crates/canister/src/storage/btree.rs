@@ -25,6 +25,8 @@
 //! emptied leaves stay chained and are refilled by later inserts — so no
 //! operation other than a split ever allocates.
 
+// icbtc-lint: allow-file(unmetered-loop) -- invariant: every loop here walks cells of a single 8 KiB page or descends a tree of depth O(log n); the per-entry cost is charged by UtxoSet at the call boundary (INSERT_OUTPUT_BASE / REMOVE_INPUT_BASE / STABLE_UTXO_FETCH), calibrated to include the page walks
+
 use super::page::{PagePool, NO_PAGE};
 use super::StorageError;
 

@@ -90,6 +90,16 @@ pub enum StorageError {
     },
     /// A serialized snapshot failed validation during deserialization.
     Corrupt(&'static str),
+    /// A stable block arrived at a height other than the expected next
+    /// one. Stable blocks extend a single finalized chain, so ingestion
+    /// order is a caller-upheld protocol invariant — violating it would
+    /// corrupt the height-keyed address index.
+    OutOfOrderIngestion {
+        /// The next height the set expects.
+        expected: u64,
+        /// The height the caller tried to ingest.
+        got: u64,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -106,6 +116,13 @@ impl fmt::Display for StorageError {
                 write!(f, "entry of {entry_bytes} bytes exceeds the {max_bytes}-byte cell cap")
             }
             StorageError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            StorageError::OutOfOrderIngestion { expected, got } => {
+                write!(
+                    f,
+                    "stable blocks must be ingested in order: expected height {expected}, \
+                     got {got}"
+                )
+            }
         }
     }
 }

@@ -92,7 +92,9 @@ impl PagePool {
         &self.pages[id as usize]
     }
 
-    /// Write access to a page.
+    /// Write access to a page. Same invariant as [`PagePool::page`]: ids
+    /// only come from [`allocate`](PagePool::allocate) results stored in
+    /// tree nodes, so the index is always in bounds.
     pub(crate) fn page_mut(&mut self, id: u32) -> &mut [u8] {
         &mut self.pages[id as usize]
     }

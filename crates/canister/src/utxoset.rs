@@ -173,14 +173,12 @@ impl UtxoSet {
     ///
     /// # Errors
     ///
-    /// [`StorageError::BudgetExhausted`] or
-    /// [`StorageError::EntryTooLarge`]. The block is then only partially
+    /// [`StorageError::OutOfOrderIngestion`] if `height` is not the
+    /// expected next height (rejected before touching any state), or
+    /// [`StorageError::BudgetExhausted`] / [`StorageError::EntryTooLarge`]
+    /// mid-block. After a mid-block error the block is only partially
     /// applied, so the set must be treated as poisoned and discarded —
     /// fail loudly, never continue past the budget.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `height` is not the expected next height.
     pub fn try_ingest_block(
         &mut self,
         transactions: &[Transaction],
@@ -188,7 +186,12 @@ impl UtxoSet {
         meter: &mut Meter,
         breakdown: &mut MeterBreakdown,
     ) -> Result<(), StorageError> {
-        assert_eq!(height, self.next_height, "stable blocks must be ingested in order");
+        if height != self.next_height {
+            return Err(StorageError::OutOfOrderIngestion {
+                expected: self.next_height,
+                got: height,
+            });
+        }
         for tx in transactions {
             meter.charge(metering::PARSE_TX);
             let txid = tx.txid();
@@ -647,10 +650,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "stable blocks must be ingested in order")]
     fn out_of_order_ingestion_panics() {
         let (mut set, mut meter, mut breakdown) = fresh();
         set.ingest_block(&[pay_tx(None, &[(1, 1)])], 5, &mut meter, &mut breakdown);
+    }
+
+    #[test]
+    fn out_of_order_ingestion_is_a_typed_error() {
+        let (mut set, mut meter, mut breakdown) = fresh();
+        let err = set
+            .try_ingest_block(&[pay_tx(None, &[(1, 1)])], 5, &mut meter, &mut breakdown)
+            .unwrap_err();
+        assert_eq!(err, StorageError::OutOfOrderIngestion { expected: 0, got: 5 });
+        // Rejected before touching any state: the set stays usable.
+        set.ingest_block(&[pay_tx(None, &[(1, 1)])], 0, &mut meter, &mut breakdown);
+        assert_eq!(set.next_height(), 1);
     }
 
     #[test]

@@ -288,7 +288,7 @@ impl HeaderTree {
         let removed: Vec<BlockHash> =
             self.nodes.keys().filter(|h| !keep_set.contains(h)).copied().collect();
         for hash in &removed {
-            let node = self.nodes.remove(hash).expect("listed for removal");
+            let node = self.nodes.remove(hash).expect("listed for removal"); // icbtc-lint: allow(no-panic) -- invariant: `removed` was collected from self.nodes.keys() two lines up and nothing mutates nodes in between
             self.children.remove(hash);
             if let Some(level) = self.by_height.get_mut(&node.height) {
                 level.retain(|h| h != hash);

@@ -1,0 +1,469 @@
+//! Whole-workspace analysis: per-file token rules, then the syntactic
+//! parser → call graph → dataflow rules pipeline, then centralized
+//! suppression application with usage tracking (which powers ICL014).
+//!
+//! The pipeline (DESIGN.md §6):
+//!
+//! 1. **Lex** every file once; locate test regions.
+//! 2. **Token rules** ICL001–ICL010 per file, under the crate scope
+//!    matrix ([`crate::workspace::rules_for`]).
+//! 3. **Parse** items/impls/fns/calls ([`crate::parser`]) for every
+//!    library source (entry points, tests and benches are seeded
+//!    entry code and stay out of the replicated call graph).
+//! 4. **Call graph** rooted at the update entry points
+//!    ([`crate::callgraph`]), then the dataflow rules:
+//!    * ICL011 panic reachability (accepts `allow(no-panic)`
+//!      suppressions, so one written invariant covers both views);
+//!    * ICL012 node-local taint (markers from [`crate::suppress`]);
+//!    * ICL013 metering completeness for `canister` loops.
+//! 5. **Suppressions** applied centrally; every `(directive, rule)`
+//!    pair that never matched a finding becomes an ICL014 violation.
+//!
+//! Everything is deterministic: inputs are sorted by path, the graph
+//! uses `BTreeMap`s and a deterministic BFS, so two runs over the same
+//! tree produce byte-identical reports (the verify.sh double-run gate).
+
+use crate::callgraph::{CallGraph, FnNode};
+use crate::engine::{
+    self, raw_findings, structural_suppression_violations, FileContext, FileReport, Suppressed,
+    Violation,
+};
+use crate::lexer::lex;
+use crate::parser::{self, StructDef};
+use crate::rules::{Finding, Rule};
+use crate::suppress::{self, Suppression};
+use crate::workspace::rules_for;
+use std::collections::BTreeSet;
+use std::time::Instant; // lint runs host-side; the wall-clock rule is not in this crate's scope
+
+/// One source file handed to [`analyze_workspace`].
+#[derive(Debug, Clone)]
+pub struct FileInput {
+    /// Workspace-relative, `/`-separated path (stable report key).
+    pub rel_path: String,
+    pub ctx: FileContext,
+    pub source: String,
+}
+
+/// The workspace-level result: per-file reports plus phase timings.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    /// `(rel_path, report)` sorted by path; every input appears.
+    pub reports: Vec<(String, FileReport)>,
+    /// `(phase or rule, microseconds)` — only rendered under `--timings`
+    /// so the default output stays byte-identical across runs.
+    pub timings_us: Vec<(&'static str, u128)>,
+}
+
+impl WorkspaceReport {
+    pub fn violation_count(&self) -> usize {
+        self.reports.iter().map(|(_, r)| r.violations.len()).sum()
+    }
+
+    pub fn suppressed_count(&self) -> usize {
+        self.reports.iter().map(|(_, r)| r.suppressed.len()).sum()
+    }
+}
+
+/// A dataflow finding before suppression: where it anchors plus its
+/// call-chain evidence.
+struct FlowFinding {
+    file_idx: usize,
+    finding: Finding,
+    chain: Vec<String>,
+}
+
+/// Runs the full pipeline over `inputs` (typically
+/// [`crate::workspace::discover`] + file reads, but tests feed
+/// in-memory sources — e.g. the seeded qcache-injection test).
+pub fn analyze_workspace(inputs: &[FileInput]) -> WorkspaceReport {
+    let mut order: Vec<usize> = (0..inputs.len()).collect();
+    order.sort_by(|&a, &b| inputs[a].rel_path.cmp(&inputs[b].rel_path));
+
+    let mut timings: Vec<(&'static str, u128)> = Vec::new();
+    let time = |label: &'static str, start: Instant, timings: &mut Vec<_>| {
+        timings.push((label, start.elapsed().as_micros()));
+    };
+
+    // Phase 1+2: lex, test regions, token rules, suppressions.
+    let t0 = Instant::now();
+    struct PerFile {
+        regions: Vec<(u32, u32)>,
+        token_findings: Vec<Finding>,
+        sups: Vec<Suppression>,
+        structural: Vec<Violation>,
+    }
+    let mut per_file: Vec<PerFile> = Vec::with_capacity(inputs.len());
+    for &i in &order {
+        let f = &inputs[i];
+        let tokens = lex(&f.source);
+        let regions = engine::test_regions(&tokens);
+        let active = rules_for(&f.ctx.crate_name);
+        let token_findings = raw_findings(&tokens, &regions, &f.ctx, &active);
+        let (sups, bad, _markers) = suppress::parse(&f.source);
+        let structural = structural_suppression_violations(&sups, &bad);
+        per_file.push(PerFile { regions, token_findings, sups, structural });
+    }
+    time("lex+token-rules", t0, &mut timings);
+
+    // Phase 3: parse library sources into fn items and struct defs.
+    let t0 = Instant::now();
+    let mut nodes: Vec<FnNode> = Vec::new();
+    let mut structs: Vec<StructDef> = Vec::new();
+    for (slot, &i) in order.iter().enumerate() {
+        let f = &inputs[i];
+        if f.ctx.is_entry_or_test {
+            continue;
+        }
+        let parsed = parser::parse_file(&f.source);
+        structs.extend(parsed.structs);
+        let regions = &per_file[slot].regions;
+        let in_tests = |line: u32| regions.iter().any(|&(s, e)| s <= line && line <= e);
+        for item in parsed.fns {
+            if in_tests(item.line) {
+                continue; // test helpers never join the replicated graph
+            }
+            nodes.push(FnNode {
+                file: f.rel_path.clone(),
+                crate_name: f.ctx.crate_name.clone(),
+                item,
+            });
+        }
+    }
+    time("parse", t0, &mut timings);
+
+    // Phase 4: call graph + reachability.
+    let t0 = Instant::now();
+    let graph = CallGraph::build(nodes, &structs);
+    time("callgraph", t0, &mut timings);
+
+    let file_slot = |path: &str| -> Option<usize> {
+        order.iter().position(|&i| inputs[i].rel_path == path)
+    };
+
+    // ICL011 — panic reachability.
+    let t0 = Instant::now();
+    let mut flow: Vec<FlowFinding> = Vec::new();
+    for n in 0..graph.nodes.len() {
+        if !graph.is_reachable(n) {
+            continue;
+        }
+        let node = &graph.nodes[n];
+        let chain = graph.chain(n);
+        let root = chain.first().cloned().unwrap_or_default();
+        for site in &node.item.panics {
+            if let Some(file_idx) = file_slot(&node.file) {
+                flow.push(FlowFinding {
+                    file_idx,
+                    finding: Finding {
+                        rule: Rule::PanicReachability,
+                        line: site.line,
+                        message: format!(
+                            "`{}` in `{}` is reachable from update entry `{root}`",
+                            site.what,
+                            node.qualified_name()
+                        ),
+                    },
+                    chain: chain.clone(),
+                });
+            }
+        }
+    }
+    time("ICL011-panic-reachability", t0, &mut timings);
+
+    // ICL012 — node-local taint. Anchors at the replicated call site
+    // (the BFS parent edge), where the fix belongs.
+    let t0 = Instant::now();
+    for (n, node) in graph.nodes.iter().enumerate() {
+        let Some(reason) = &node.item.node_local else { continue };
+        if !graph.is_reachable(n) {
+            continue;
+        }
+        let chain = graph.chain(n);
+        let root = chain.first().cloned().unwrap_or_default();
+        let (anchor_file, anchor_line) = match graph.parent_edge(n) {
+            Some((p, line)) => (graph.nodes[p].file.clone(), line),
+            None => (node.file.clone(), node.item.line),
+        };
+        if let Some(file_idx) = file_slot(&anchor_file) {
+            flow.push(FlowFinding {
+                file_idx,
+                finding: Finding {
+                    rule: Rule::NodeLocalTaint,
+                    line: anchor_line,
+                    message: format!(
+                        "node-local `{}` ({reason}) is reachable from update entry `{root}`",
+                        node.qualified_name()
+                    ),
+                },
+                chain,
+            });
+        }
+    }
+    time("ICL012-node-local-taint", t0, &mut timings);
+
+    // ICL013 — metering completeness for canister loops.
+    let t0 = Instant::now();
+    let metered = graph.metering_closure();
+    for (n, node) in graph.nodes.iter().enumerate() {
+        if node.crate_name != "canister"
+            || !graph.is_reachable(n)
+            || metered[n]
+            || node.item.loops.is_empty()
+        {
+            continue;
+        }
+        let chain = graph.chain(n);
+        let root = chain.first().cloned().unwrap_or_default();
+        let mut lines: Vec<u32> = node.item.loops.clone();
+        lines.sort_unstable();
+        lines.dedup();
+        for line in lines {
+            if let Some(file_idx) = file_slot(&node.file) {
+                flow.push(FlowFinding {
+                    file_idx,
+                    finding: Finding {
+                        rule: Rule::MeteringCompleteness,
+                        line,
+                        message: format!(
+                            "loop in `{}` on the update path from `{root}` records no metering::* constant in its call closure",
+                            node.qualified_name()
+                        ),
+                    },
+                    chain: chain.clone(),
+                });
+            }
+        }
+    }
+    time("ICL013-metering-completeness", t0, &mut timings);
+
+    // Phase 5: suppression application with usage tracking, then ICL014.
+    let t0 = Instant::now();
+    let mut reports: Vec<(String, FileReport)> = Vec::new();
+    for (slot, &i) in order.iter().enumerate() {
+        let f = &inputs[i];
+        let pf = &per_file[slot];
+        let mut report = FileReport::default();
+        report.violations.extend(pf.structural.iter().cloned());
+        // `(directive index, listed rule name)` pairs that matched.
+        let mut used: BTreeSet<(usize, String)> = BTreeSet::new();
+
+        let apply = |finding: &Finding,
+                         chain: &[String],
+                         report: &mut FileReport,
+                         used: &mut BTreeSet<(usize, String)>| {
+            let name = finding.rule.name();
+            // ICL011 accepts `no-panic` invariants: the written reason
+            // justifies the panic site, not the rule that saw it.
+            let alias =
+                if finding.rule == Rule::PanicReachability { Some("no-panic") } else { None };
+            let hit = pf.sups.iter().enumerate().find_map(|(k, s)| {
+                if s.covers(name, finding.line) {
+                    Some((k, name.to_string(), s))
+                } else if let Some(a) = alias {
+                    s.covers(a, finding.line).then(|| (k, a.to_string(), s))
+                } else {
+                    None
+                }
+            });
+            match hit {
+                Some((k, matched, s)) => {
+                    used.insert((k, matched));
+                    report.suppressed.push(Suppressed {
+                        rule: finding.rule,
+                        line: finding.line,
+                        reason: s.reason.clone(),
+                    });
+                }
+                None => report.violations.push(Violation {
+                    rule: finding.rule,
+                    line: finding.line,
+                    message: finding.message.clone(),
+                    chain: chain.to_vec(),
+                }),
+            }
+        };
+
+        for finding in &pf.token_findings {
+            apply(finding, &[], &mut report, &mut used);
+        }
+        for ff in flow.iter().filter(|ff| ff.file_idx == slot) {
+            apply(&ff.finding, &ff.chain, &mut report, &mut used);
+        }
+
+        // ICL014 — stale suppressions. Unknown rule names are already
+        // ICL009; `no-panic` directives count as used when ICL011
+        // consumed them.
+        for (k, s) in pf.sups.iter().enumerate() {
+            for r in &s.rules {
+                if Rule::from_name(r).is_none() {
+                    continue;
+                }
+                if !used.contains(&(k, r.clone())) {
+                    report.violations.push(Violation {
+                        rule: Rule::StaleSuppression,
+                        line: s.line,
+                        message: format!(
+                            "stale suppression: `{r}` does not fire on the covered line{}",
+                            if s.file_wide { "s (file-wide)" } else { "" }
+                        ),
+                        chain: Vec::new(),
+                    });
+                }
+            }
+        }
+
+        report.violations.sort_by_key(|v| (v.line, v.rule.id()));
+        report.suppressed.sort_by_key(|s| (s.line, s.rule.id()));
+        reports.push((f.rel_path.clone(), report));
+    }
+    time("suppressions+ICL014", t0, &mut timings);
+
+    WorkspaceReport { reports, timings_us: timings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(path: &str, krate: &str, src: &str) -> FileInput {
+        FileInput {
+            rel_path: path.to_string(),
+            ctx: FileContext {
+                crate_name: krate.to_string(),
+                is_crate_root: false,
+                is_entry_or_test: false,
+            },
+            source: src.to_string(),
+        }
+    }
+
+    fn violations_of<'a>(ws: &'a WorkspaceReport, path: &str) -> &'a Vec<Violation> {
+        &ws.reports.iter().find(|(p, _)| p == path).unwrap().1.violations
+    }
+
+    #[test]
+    fn panic_reachability_crosses_crates() {
+        let ws = analyze_workspace(&[
+            input(
+                "crates/canister/src/a.rs",
+                "canister",
+                "pub fn dispatch() { decode_header(b); }\n",
+            ),
+            input(
+                "crates/bitcoin/src/h.rs",
+                "bitcoin",
+                "pub fn decode_header(b: &[u8]) -> Header { parse(b).unwrap() }\n",
+            ),
+        ]);
+        let v = violations_of(&ws, "crates/bitcoin/src/h.rs");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::PanicReachability);
+        assert_eq!(v[0].chain, vec!["dispatch", "decode_header"]);
+    }
+
+    #[test]
+    fn no_panic_invariant_carries_over_to_icl011() {
+        let ws = analyze_workspace(&[input(
+            "crates/canister/src/a.rs",
+            "canister",
+            "pub fn try_ingest_block(x: Option<u32>) {\n    x.expect(\"seeded\"); // icbtc-lint: allow(no-panic) -- invariant: seeded by construction\n}\n",
+        )]);
+        let (_, r) = &ws.reports[0];
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        // Both the token rule (ICL006, canister is hot-path) and the
+        // reachability rule (ICL011) are waived by the one invariant.
+        assert_eq!(r.suppressed.len(), 2);
+    }
+
+    #[test]
+    fn unreachable_panics_are_not_icl011() {
+        let ws = analyze_workspace(&[input(
+            "crates/bitcoin/src/h.rs",
+            "bitcoin",
+            "pub fn diagnostics_only(x: Option<u32>) { x.unwrap(); }\n",
+        )]);
+        let (_, r) = &ws.reports[0];
+        // bitcoin is outside the ICL006 scope and the fn is unreachable
+        // from the update roots → clean.
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn node_local_taint_fires_at_the_replicated_call_site() {
+        let ws = analyze_workspace(&[input(
+            "crates/canister/src/c.rs",
+            "canister",
+            "// icbtc-lint: node-local -- contents differ per replica\n\
+             fn cache_peek() -> u32 { 0 }\n\
+             pub fn ingest_response() { let _ = cache_peek(); }\n\
+             pub fn execute_query() { let _ = other_peek(); }\n\
+             // icbtc-lint: node-local -- query plane only\n\
+             fn other_peek() -> u32 { 1 }\n",
+        )]);
+        let v = violations_of(&ws, "crates/canister/src/c.rs");
+        // Only the update-path read fires; the query-plane read is exempt
+        // because execute_query is not an update root.
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::NodeLocalTaint);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn metering_completeness_accepts_closure_charges() {
+        let ws = analyze_workspace(&[input(
+            "crates/canister/src/s.rs",
+            "canister",
+            "pub fn try_ingest_block(xs: &[u32]) {\n    for x in xs { apply(*x); }\n    for y in xs { free_scan(*y); }\n}\n\
+             fn apply(x: u32) { let _ = metering::PARSE_TX; }\n\
+             fn free_scan(_x: u32) { let mut n = 0; while n < 3 { n += 1; } }\n",
+        )]);
+        let v = violations_of(&ws, "crates/canister/src/s.rs");
+        // try_ingest_block's closure reaches metering via `apply`, so its
+        // own loops pass; `free_scan` has a loop and a charge-free
+        // closure → one finding.
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::MeteringCompleteness);
+        assert_eq!(v[0].line, 6);
+    }
+
+    #[test]
+    fn stale_suppression_is_a_finding() {
+        let ws = analyze_workspace(&[input(
+            "crates/canister/src/s.rs",
+            "canister",
+            "// icbtc-lint: allow(float) -- stale: the float is long gone\nfn clean() {}\n",
+        )]);
+        let v = violations_of(&ws, "crates/canister/src/s.rs");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::StaleSuppression);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn live_suppression_is_not_stale() {
+        let ws = analyze_workspace(&[input(
+            "crates/canister/src/s.rs",
+            "canister",
+            "fn f() -> u64 { let x = 1.5; x as u64 } // icbtc-lint: allow(float) -- reporting only\n",
+        )]);
+        let (_, r) = &ws.reports[0];
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert_eq!(r.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn double_run_is_identical() {
+        let inputs = [
+            input(
+                "crates/canister/src/a.rs",
+                "canister",
+                "pub fn dispatch() { helper(); }\nfn helper() { x.unwrap(); }\n",
+            ),
+            input("crates/bitcoin/src/b.rs", "bitcoin", "pub fn stray() { y.unwrap(); }\n"),
+        ];
+        let a = analyze_workspace(&inputs);
+        let b = analyze_workspace(&inputs);
+        assert_eq!(format!("{:?}", a.reports), format!("{:?}", b.reports));
+    }
+}

@@ -23,6 +23,9 @@ pub struct Violation {
     pub rule: Rule,
     pub line: u32,
     pub message: String,
+    /// Call-chain evidence (`root → … → site`) for the cross-procedural
+    /// rules (ICL011–013); empty for token-level findings.
+    pub chain: Vec<String>,
 }
 
 /// A finding that was waived, kept for reporting (`--json` includes them
@@ -129,49 +132,13 @@ fn is_test_attr(tokens: &[Token], i: usize) -> bool {
 pub fn analyze_source(source: &str, ctx: &FileContext, active: &[Rule]) -> FileReport {
     let tokens = lex(source);
     let regions = test_regions(&tokens);
-    let in_tests = |line: u32| regions.iter().any(|&(s, e)| s <= line && line <= e);
-
-    let mut findings: Vec<Finding> = Vec::new();
-    // Token-level rules.
-    let scannable: Vec<Rule> = active
-        .iter()
-        .copied()
-        .filter(|r| !matches!(r, Rule::ForbidUnsafe | Rule::SuppressionReason))
-        .filter(|r| !ctx.is_entry_or_test || r.applies_in_tests())
-        .collect();
-    for f in scan(&tokens, &scannable) {
-        if !f.rule.applies_in_tests() && in_tests(f.line) {
-            continue;
-        }
-        findings.push(f);
-    }
-    // Crate-root structural rule.
-    if ctx.is_crate_root && active.contains(&Rule::ForbidUnsafe) {
-        if let Some(f) = check_crate_root(&tokens) {
-            findings.push(f);
-        }
-    }
+    let findings = raw_findings(&tokens, &regions, ctx, active);
 
     // Suppressions.
-    let (sups, bad) = suppress::parse(source);
+    let (sups, bad, _markers) = suppress::parse(source);
     let mut report = FileReport::default();
-    for b in bad {
-        report.violations.push(Violation {
-            rule: Rule::SuppressionReason,
-            line: b.line,
-            message: b.message,
-        });
-    }
-    for s in &sups {
-        for r in &s.rules {
-            if Rule::from_name(r).is_none() {
-                report.violations.push(Violation {
-                    rule: Rule::SuppressionReason,
-                    line: s.line,
-                    message: format!("unknown rule `{r}` in suppression"),
-                });
-            }
-        }
+    for v in structural_suppression_violations(&sups, &bad) {
+        report.violations.push(v);
     }
     for f in findings {
         match sups.iter().find(|s| s.covers(f.rule.name(), f.line)) {
@@ -180,13 +147,77 @@ pub fn analyze_source(source: &str, ctx: &FileContext, active: &[Rule]) -> FileR
                 line: f.line,
                 reason: s.reason.clone(),
             }),
-            None => {
-                report.violations.push(Violation { rule: f.rule, line: f.line, message: f.message })
-            }
+            None => report.violations.push(Violation {
+                rule: f.rule,
+                line: f.line,
+                message: f.message,
+                chain: Vec::new(),
+            }),
         }
     }
     report.violations.sort_by_key(|v| (v.line, v.rule.id()));
     report
+}
+
+/// Token-level findings for one file, pre-suppression: the scoped rule
+/// scan plus the crate-root check, with test-region and entry-point
+/// exemptions applied. Shared by [`analyze_source`] and the workspace
+/// analysis in [`crate::analysis`].
+pub fn raw_findings(
+    tokens: &[Token],
+    regions: &[(u32, u32)],
+    ctx: &FileContext,
+    active: &[Rule],
+) -> Vec<Finding> {
+    let in_tests = |line: u32| regions.iter().any(|&(s, e)| s <= line && line <= e);
+    let mut findings: Vec<Finding> = Vec::new();
+    let scannable: Vec<Rule> = active
+        .iter()
+        .copied()
+        .filter(|r| !matches!(r, Rule::ForbidUnsafe | Rule::SuppressionReason))
+        .filter(|r| !ctx.is_entry_or_test || r.applies_in_tests())
+        .collect();
+    for f in scan(tokens, &scannable) {
+        if !f.rule.applies_in_tests() && in_tests(f.line) {
+            continue;
+        }
+        findings.push(f);
+    }
+    if ctx.is_crate_root && active.contains(&Rule::ForbidUnsafe) {
+        if let Some(f) = check_crate_root(tokens) {
+            findings.push(f);
+        }
+    }
+    findings
+}
+
+/// ICL009 violations for malformed directives and unknown rule names.
+pub fn structural_suppression_violations(
+    sups: &[suppress::Suppression],
+    bad: &[suppress::BadSuppression],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for b in bad {
+        out.push(Violation {
+            rule: Rule::SuppressionReason,
+            line: b.line,
+            message: b.message.clone(),
+            chain: Vec::new(),
+        });
+    }
+    for s in sups {
+        for r in &s.rules {
+            if Rule::from_name(r).is_none() {
+                out.push(Violation {
+                    rule: Rule::SuppressionReason,
+                    line: s.line,
+                    message: format!("unknown rule `{r}` in suppression"),
+                    chain: Vec::new(),
+                });
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]

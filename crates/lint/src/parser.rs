@@ -1,0 +1,857 @@
+//! Lightweight syntactic front end: items, impl blocks, fn signatures,
+//! call and path expressions — no type inference.
+//!
+//! The parser walks the [`crate::lexer`] token stream once and extracts
+//! exactly what the call-graph layer ([`crate::callgraph`]) needs:
+//!
+//! * **fn items** with their name, enclosing `impl` type, body line span,
+//!   return-type hint, and typed parameters;
+//! * **struct definitions** as `field → type` maps, so receiver chains
+//!   like `self.state.utxos.balance(…)` resolve through fields;
+//! * **call sites**: bare calls, `path::fn(…)`, `Type::method(…)`, and
+//!   method calls with their receiver chain (`self.qcache.get(…)`);
+//! * **panic-class sites** (`.unwrap()`, `.expect()`, `panic!` family),
+//!   **loops** (`for`/`while`/`loop`) and **metering references**
+//!   (`metering::*`, `.charge(…)`, `.charge_per_byte(…)`);
+//! * **node-local markers** (`// icbtc-lint: node-local -- <why>`)
+//!   attached to the fn defined directly below (or on) the marker line.
+//!
+//! Everything here is an approximation by design — generics, macros and
+//! trait dispatch are skipped, not modeled. The resolution rules in
+//! [`crate::callgraph`] are written so that the approximation errs
+//! towards *missing* edges for ambiguous names (documented
+//! under-approximation) rather than inventing wrong ones.
+
+use crate::lexer::{lex_with_comments, Token, TokenKind};
+use crate::suppress;
+
+/// One receiver-chain segment of a method call, left to right.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainSeg {
+    /// `.field` access.
+    Field(String),
+    /// `.helper()` intermediate call (resolved via return-type hints).
+    Call(String),
+}
+
+/// Where a method call's receiver chain starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainRoot {
+    /// `self.…` — resolved against the enclosing impl type.
+    SelfVar,
+    /// A named local/param (`meter.charge(…)`) — resolved if the name
+    /// has a typed parameter or `let x: T` / `let x = T::…` binding.
+    Var(String),
+    /// Anything else (parenthesised expression, literal, macro output).
+    Expr,
+}
+
+/// One call expression inside a fn body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// `helper(…)` or `module::helper(…)` — a free-function call.
+    Free(String),
+    /// `Type::method(…)` (`Self::` is rewritten to the impl type).
+    Qualified { ty: String, method: String },
+    /// `recv.method(…)` with the parsed receiver chain.
+    Method { root: ChainRoot, chain: Vec<ChainSeg>, method: String },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    pub line: u32,
+    pub callee: Callee,
+}
+
+/// A token that can panic at runtime (`.unwrap()`, `panic!`, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicSite {
+    pub line: u32,
+    /// Display form, e.g. `".unwrap()"` or `"panic!"`.
+    pub what: String,
+}
+
+/// One parsed fn item (with a body; trait method *declarations* are
+/// skipped so they never shadow the implementing methods).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Enclosing `impl` type (`impl Foo` / `impl Trait for Foo` → `Foo`).
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Last line of the body.
+    pub end_line: u32,
+    /// Return-type hint: the payload type for `Result<T, _>`/`Option<T>`,
+    /// otherwise the last type-ish path segment. `None` for `()`.
+    pub ret: Option<String>,
+    /// `param name → type hint` for typed, non-self parameters.
+    pub params: Vec<(String, String)>,
+    /// Reason text if a `node-local` marker sits on/above the signature.
+    pub node_local: Option<String>,
+    pub calls: Vec<CallSite>,
+    pub loops: Vec<u32>,
+    pub panics: Vec<PanicSite>,
+    /// Whether the body references `metering::*` or `.charge*(…)`.
+    pub has_metering: bool,
+}
+
+/// A struct definition: `field name → first capitalised type segment`.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    pub name: String,
+    pub fields: Vec<(String, String)>,
+}
+
+/// Everything extracted from one source file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    pub fns: Vec<FnItem>,
+    pub structs: Vec<StructDef>,
+}
+
+/// Keywords that can directly precede a `(` without being a call.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "for", "loop", "return", "in", "as", "move", "ref", "let",
+    "fn", "impl", "pub", "use", "mod", "where", "break", "continue", "await", "dyn", "crate",
+    "super", "box", "yield", "static", "const", "type", "trait", "enum", "struct", "union",
+];
+
+/// Parses one file. Never panics: unknown constructs are skipped.
+pub fn parse_file(source: &str) -> ParsedFile {
+    let (tokens, _comments) = lex_with_comments(source);
+    let (_, _, markers) = suppress::parse(source);
+    let mut out = ParsedFile::default();
+    parse_items(&tokens, 0, tokens.len(), None, &markers, &mut out);
+    out
+}
+
+/// Index of the matching close brace for the open brace at `open`
+/// (falls back to `end` when unbalanced — truncated/hostile input).
+fn match_brace(tokens: &[Token], open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < end {
+        if tokens[i].is_punct('{') {
+            depth += 1;
+        } else if tokens[i].is_punct('}') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    end.saturating_sub(1)
+}
+
+/// Skips a `<…>` generic list starting at `i` (which must be `<`),
+/// returning the index just past the matching `>`. Bails out at `{`/`;`
+/// so malformed input cannot loop.
+fn skip_generics(tokens: &[Token], mut i: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    while i < end {
+        let t = &tokens[i];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            depth -= 1;
+            if depth <= 0 {
+                return i + 1;
+            }
+        } else if t.is_punct('{') || t.is_punct(';') {
+            return i;
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Recursive item-level walk over `tokens[start..end]`.
+fn parse_items(
+    tokens: &[Token],
+    start: usize,
+    end: usize,
+    impl_type: Option<&str>,
+    markers: &[suppress::NodeLocalMarker],
+    out: &mut ParsedFile,
+) {
+    let mut i = start;
+    while i < end {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident {
+            // A stray block (const initialiser, static table) is opaque.
+            if t.is_punct('{') {
+                i = match_brace(tokens, i, end) + 1;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "impl" => {
+                let (ty, body_open) = parse_impl_header(tokens, i + 1, end);
+                match body_open {
+                    Some(open) => {
+                        let close = match_brace(tokens, open, end);
+                        parse_items(tokens, open + 1, close, ty.as_deref(), markers, out);
+                        i = close + 1;
+                    }
+                    None => i += 1,
+                }
+            }
+            "mod" if tokens.get(i + 1).is_some_and(|n| n.kind == TokenKind::Ident) => {
+                // Inline module: recurse (names stay flat per crate).
+                if tokens.get(i + 2).is_some_and(|n| n.is_punct('{')) {
+                    let close = match_brace(tokens, i + 2, end);
+                    parse_items(tokens, i + 3, close, None, markers, out);
+                    i = close + 1;
+                } else {
+                    i += 2;
+                }
+            }
+            "struct" if tokens.get(i + 1).is_some_and(|n| n.kind == TokenKind::Ident) => {
+                let name = tokens[i + 1].text.clone();
+                let mut j = i + 2;
+                if tokens.get(j).is_some_and(|n| n.is_punct('<')) {
+                    j = skip_generics(tokens, j, end);
+                }
+                // `where` clauses may precede the body.
+                while j < end && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                    j += 1;
+                }
+                if j < end && tokens[j].is_punct('{') {
+                    let close = match_brace(tokens, j, end);
+                    out.structs
+                        .push(StructDef { name, fields: parse_fields(tokens, j + 1, close) });
+                    i = close + 1;
+                } else {
+                    i = j + 1; // tuple/unit struct
+                }
+            }
+            "enum" | "trait" | "union" => {
+                // Opaque: skip to (and over) the body so variant paylods
+                // and default methods are not misread as call sites.
+                let mut j = i + 1;
+                while j < end && !tokens[j].is_punct('{') && !tokens[j].is_punct(';') {
+                    j += 1;
+                }
+                if j < end && tokens[j].is_punct('{') {
+                    i = match_brace(tokens, j, end) + 1;
+                } else {
+                    i = j + 1;
+                }
+            }
+            "fn" if tokens.get(i + 1).is_some_and(|n| n.kind == TokenKind::Ident) => {
+                let after = parse_fn(tokens, i, end, impl_type, markers, out);
+                i = after;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Parses the header after an `impl` keyword; returns the impl type's
+/// last path segment and the index of the body's `{`.
+fn parse_impl_header(tokens: &[Token], mut i: usize, end: usize) -> (Option<String>, Option<usize>) {
+    if tokens.get(i).is_some_and(|t| t.is_punct('<')) {
+        i = skip_generics(tokens, i, end);
+    }
+    let mut ty: Option<String> = None;
+    while i < end {
+        let t = &tokens[i];
+        if t.is_punct('{') {
+            return (ty, Some(i));
+        }
+        if t.is_punct(';') {
+            return (ty, None);
+        }
+        if t.is_ident("for") {
+            // `impl Trait for Type` — the type comes after `for`.
+            ty = None;
+            i += 1;
+            continue;
+        }
+        if t.is_ident("where") {
+            // Type is settled; scan forward for the body.
+            while i < end && !tokens[i].is_punct('{') && !tokens[i].is_punct(';') {
+                i += 1;
+            }
+            continue;
+        }
+        if t.kind == TokenKind::Ident && ty.is_none() {
+            // Take the last segment of the (possibly qualified) path.
+            let mut name = t.text.clone();
+            let mut j = i + 1;
+            while j + 1 < end && tokens[j].is_punct(':') && tokens[j + 1].is_punct(':') {
+                if let Some(seg) = tokens.get(j + 2).filter(|s| s.kind == TokenKind::Ident) {
+                    name = seg.text.clone();
+                    j += 3;
+                } else {
+                    break;
+                }
+            }
+            if tokens.get(j).is_some_and(|n| n.is_punct('<')) {
+                j = skip_generics(tokens, j, end);
+            }
+            ty = Some(name);
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    (ty, None)
+}
+
+/// Parses `field: Type` pairs inside a struct body.
+fn parse_fields(tokens: &[Token], start: usize, end: usize) -> Vec<(String, String)> {
+    let mut fields = Vec::new();
+    let mut i = start;
+    while i < end {
+        let t = &tokens[i];
+        // Skip attributes on fields.
+        if t.is_punct('#') && tokens.get(i + 1).is_some_and(|n| n.is_punct('[')) {
+            let mut depth = 0usize;
+            i += 1;
+            while i < end {
+                if tokens[i].is_punct('[') {
+                    depth += 1;
+                } else if tokens[i].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind == TokenKind::Ident
+            && !t.is_ident("pub")
+            && !t.is_ident("crate")
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && !tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            let name = t.text.clone();
+            // Type span: until a `,` at zero angle depth, or the end.
+            let mut j = i + 2;
+            let mut angle = 0i32;
+            let mut ty: Option<String> = None;
+            while j < end {
+                let u = &tokens[j];
+                if u.is_punct('<') {
+                    angle += 1;
+                } else if u.is_punct('>') {
+                    angle -= 1;
+                } else if u.is_punct(',') && angle <= 0 {
+                    break;
+                } else if ty.is_none()
+                    && u.kind == TokenKind::Ident
+                    && u.text.starts_with(|c: char| c.is_ascii_uppercase())
+                {
+                    ty = Some(u.text.clone());
+                }
+                j += 1;
+            }
+            if let Some(ty) = ty {
+                fields.push((name, ty));
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    fields
+}
+
+/// Parses one `fn` item starting at the `fn` keyword (`tokens[at]`).
+/// Pushes a [`FnItem`] when the fn has a body; returns the index just
+/// past the item.
+fn parse_fn(
+    tokens: &[Token],
+    at: usize,
+    end: usize,
+    impl_type: Option<&str>,
+    markers: &[suppress::NodeLocalMarker],
+    out: &mut ParsedFile,
+) -> usize {
+    let name = tokens[at + 1].text.clone();
+    let fn_line = tokens[at].line;
+    let mut i = at + 2;
+    if tokens.get(i).is_some_and(|t| t.is_punct('<')) {
+        i = skip_generics(tokens, i, end);
+    }
+    // Parameter list.
+    let mut params = Vec::new();
+    if tokens.get(i).is_some_and(|t| t.is_punct('(')) {
+        let mut depth = 0i32;
+        let open = i;
+        while i < end {
+            if tokens[i].is_punct('(') {
+                depth += 1;
+            } else if tokens[i].is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            i += 1;
+        }
+        params = parse_params(tokens, open + 1, i.min(end));
+        i += 1;
+    }
+    // Return type hint.
+    let mut ret: Option<String> = None;
+    if tokens.get(i).is_some_and(|t| t.is_punct('-'))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('>'))
+    {
+        let span_start = i + 2;
+        let mut j = span_start;
+        while j < end
+            && !tokens[j].is_punct('{')
+            && !tokens[j].is_punct(';')
+            && !tokens[j].is_ident("where")
+        {
+            j += 1;
+        }
+        ret = ret_hint(&tokens[span_start..j]);
+        i = j;
+    }
+    // `where` clause.
+    while i < end && !tokens[i].is_punct('{') && !tokens[i].is_punct(';') {
+        i += 1;
+    }
+    if i >= end || tokens[i].is_punct(';') {
+        return i + 1; // trait method declaration — no body, no node
+    }
+    let close = match_brace(tokens, i, end);
+    let node_local = markers
+        .iter()
+        .find(|m| m.line == fn_line || m.line + 1 == fn_line)
+        .map(|m| m.reason.clone());
+    let mut item = FnItem {
+        name,
+        impl_type: impl_type.map(str::to_string),
+        line: fn_line,
+        end_line: tokens.get(close).map(|t| t.line).unwrap_or(fn_line),
+        ret,
+        params,
+        node_local,
+        calls: Vec::new(),
+        loops: Vec::new(),
+        panics: Vec::new(),
+        has_metering: false,
+    };
+    scan_body(tokens, i + 1, close, impl_type, &mut item);
+    out.fns.push(item);
+    close + 1
+}
+
+/// `name: Type` pairs from a parameter list (skips `self` receivers and
+/// pattern parameters).
+fn parse_params(tokens: &[Token], start: usize, end: usize) -> Vec<(String, String)> {
+    // Same shape as struct fields: `ident : Type` separated by commas.
+    parse_fields(tokens, start, end)
+        .into_iter()
+        .filter(|(n, _)| n != "self")
+        .collect()
+}
+
+/// Return-type hint: for `Result<T, _>` / `Option<T>` the first generic
+/// argument's first capitalised segment, otherwise the last capitalised
+/// segment of the span.
+fn ret_hint(span: &[Token]) -> Option<String> {
+    let first = span.iter().find(|t| t.kind == TokenKind::Ident)?;
+    if (first.is_ident("Result") || first.is_ident("Option"))
+        && span.iter().any(|t| t.is_punct('<'))
+    {
+        // First capitalised ident *after* the wrapper, before a `,`.
+        let mut seen_wrapper = false;
+        for t in span {
+            if !seen_wrapper {
+                seen_wrapper = std::ptr::eq(t, first);
+                continue;
+            }
+            if t.is_punct(',') {
+                break;
+            }
+            if t.kind == TokenKind::Ident && t.text.starts_with(|c: char| c.is_ascii_uppercase()) {
+                return Some(t.text.clone());
+            }
+        }
+        return None;
+    }
+    span.iter()
+        .rev()
+        .find(|t| {
+            t.kind == TokenKind::Ident && t.text.starts_with(|c: char| c.is_ascii_uppercase())
+        })
+        .map(|t| t.text.clone())
+}
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Scans a fn body for calls, loops, panic sites and metering references.
+fn scan_body(tokens: &[Token], start: usize, end: usize, impl_type: Option<&str>, item: &mut FnItem) {
+    // Minimal local-type environment: typed params plus `let x: T` /
+    // `let x = T::…` bindings (last binding wins, matching shadowing).
+    let mut var_types: Vec<(String, String)> = item.params.clone();
+    let mut i = start;
+    while i < end {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let next = tokens.get(i + 1);
+        match t.text.as_str() {
+            "for" | "while" | "loop"
+                if !next.is_some_and(|n| n.is_punct('<')) // HRTB `for<'a>`
+                    =>
+            {
+                item.loops.push(t.line);
+            }
+            "unwrap" | "expect"
+                if i > start
+                    && tokens[i - 1].is_punct('.')
+                    && next.is_some_and(|n| n.is_punct('(')) =>
+            {
+                item.panics.push(PanicSite { line: t.line, what: format!(".{}()", t.text) });
+            }
+            "charge" | "charge_per_byte"
+                if i > start
+                    && tokens[i - 1].is_punct('.')
+                    && next.is_some_and(|n| n.is_punct('(')) =>
+            {
+                item.has_metering = true;
+                if let Some(call) = method_call(tokens, start, i, impl_type, &var_types) {
+                    item.calls.push(call);
+                }
+            }
+            "metering"
+                if next.is_some_and(|n| n.is_punct(':'))
+                    && tokens.get(i + 2).is_some_and(|n| n.is_punct(':')) =>
+            {
+                item.has_metering = true;
+            }
+            "let" => {
+                // `let NAME : Type = …` or `let NAME = Type::…` /
+                // `let mut NAME …`.
+                let mut j = i + 1;
+                if tokens.get(j).is_some_and(|n| n.is_ident("mut")) {
+                    j += 1;
+                }
+                if let Some(name_tok) = tokens.get(j).filter(|n| n.kind == TokenKind::Ident) {
+                    let name = name_tok.text.clone();
+                    if tokens.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                        && !tokens.get(j + 2).is_some_and(|n| n.is_punct(':'))
+                    {
+                        if let Some(ty) = tokens[j + 2..end.min(j + 10)]
+                            .iter()
+                            .take_while(|u| !u.is_punct('=') && !u.is_punct(';'))
+                            .find(|u| {
+                                u.kind == TokenKind::Ident
+                                    && u.text.starts_with(|c: char| c.is_ascii_uppercase())
+                            })
+                        {
+                            var_types.retain(|(n, _)| n != &name);
+                            var_types.push((name, ty.text.clone()));
+                        }
+                    } else if tokens.get(j + 1).is_some_and(|n| n.is_punct('='))
+                        && tokens.get(j + 2).is_some_and(|n| {
+                            n.kind == TokenKind::Ident
+                                && n.text.starts_with(|c: char| c.is_ascii_uppercase())
+                        })
+                        && tokens.get(j + 3).is_some_and(|n| n.is_punct(':'))
+                        && tokens.get(j + 4).is_some_and(|n| n.is_punct(':'))
+                    {
+                        var_types.retain(|(n, _)| n != &name);
+                        var_types.push((name, tokens[j + 2].text.clone()));
+                    }
+                }
+            }
+            _ => {}
+        }
+        // Macro invocation: `ident ! (`.
+        if next.is_some_and(|n| n.is_punct('!'))
+            && tokens
+                .get(i + 2)
+                .is_some_and(|n| n.is_punct('(') || n.is_punct('[') || n.is_punct('{'))
+            && !(i > 0 && tokens[i - 1].is_ident("macro_rules"))
+        {
+            if PANIC_MACROS.contains(&t.text.as_str()) {
+                item.panics.push(PanicSite { line: t.line, what: format!("{}!", t.text) });
+            }
+            i += 1;
+            continue;
+        }
+        // Call expression: `ident (`.
+        if next.is_some_and(|n| n.is_punct('(')) && !(i > 0 && tokens[i - 1].is_ident("fn")) {
+            let prev_dot = i > start && tokens[i - 1].is_punct('.');
+            let prev_path = i >= 2 && tokens[i - 1].is_punct(':') && tokens[i - 2].is_punct(':');
+            if prev_dot {
+                // `.unwrap(`/`.expect(`/`.charge(` already handled above.
+                if !matches!(t.text.as_str(), "unwrap" | "expect" | "charge" | "charge_per_byte")
+                {
+                    if let Some(call) = method_call(tokens, start, i, impl_type, &var_types) {
+                        item.calls.push(call);
+                    }
+                }
+            } else if prev_path {
+                if let Some(call) = path_call(tokens, i, impl_type) {
+                    item.calls.push(call);
+                }
+            } else if !NON_CALL_KEYWORDS.contains(&t.text.as_str())
+                && t.text.starts_with(|c: char| c.is_ascii_lowercase() || c == '_')
+            {
+                // Bare lowercase ident: free-function call. Uppercase
+                // bare idents (`Some(…)`, tuple structs) are constructors.
+                item.calls.push(CallSite { line: t.line, callee: Callee::Free(t.text.clone()) });
+            }
+        }
+        i += 1;
+    }
+    item.loops.dedup();
+}
+
+/// Builds a [`Callee::Qualified`]/[`Callee::Free`] for a `path::name(`
+/// call whose final ident sits at `i`.
+fn path_call(tokens: &[Token], i: usize, impl_type: Option<&str>) -> Option<CallSite> {
+    // Walk the path backwards: `… seg :: seg :: name(`.
+    let mut segs: Vec<String> = vec![tokens[i].text.clone()];
+    let mut j = i;
+    while j >= 3 && tokens[j - 1].is_punct(':') && tokens[j - 2].is_punct(':') {
+        let seg = &tokens[j - 3];
+        if seg.kind == TokenKind::Ident {
+            segs.push(seg.text.clone());
+            j -= 3;
+        } else if seg.is_punct('>') {
+            // Turbofish / qualified generics — give up on the full path
+            // but keep what we have.
+            break;
+        } else {
+            break;
+        }
+    }
+    segs.reverse();
+    let line = tokens[i].line;
+    let method = segs.last()?.clone();
+    let qualifier = segs.get(segs.len().wrapping_sub(2));
+    match qualifier {
+        Some(q) if q == "Self" => impl_type.map(|ty| CallSite {
+            line,
+            callee: Callee::Qualified { ty: ty.to_string(), method },
+        }),
+        Some(q) if q.starts_with(|c: char| c.is_ascii_uppercase()) => Some(CallSite {
+            line,
+            callee: Callee::Qualified { ty: q.clone(), method },
+        }),
+        _ => Some(CallSite { line, callee: Callee::Free(method) }),
+    }
+}
+
+/// Builds a [`Callee::Method`] for `recv.method(` whose method ident
+/// sits at `i`, by walking the receiver chain backwards.
+fn method_call(
+    tokens: &[Token],
+    start: usize,
+    i: usize,
+    _impl_type: Option<&str>,
+    var_types: &[(String, String)],
+) -> Option<CallSite> {
+    let line = tokens[i].line;
+    let method = tokens[i].text.clone();
+    let mut chain: Vec<ChainSeg> = Vec::new();
+    let mut j = i as isize - 2; // token before the `.`
+    let root = loop {
+        if j < start as isize {
+            break ChainRoot::Expr;
+        }
+        let t = &tokens[j as usize];
+        if t.is_punct('?') {
+            j -= 1;
+            continue;
+        }
+        if t.is_punct(')') {
+            // Match back to the opening paren, then expect the call name.
+            let mut depth = 0i32;
+            let mut k = j;
+            while k >= start as isize {
+                if tokens[k as usize].is_punct(')') {
+                    depth += 1;
+                } else if tokens[k as usize].is_punct('(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k -= 1;
+            }
+            if k <= start as isize {
+                break ChainRoot::Expr;
+            }
+            let name_idx = k - 1;
+            let name = &tokens[name_idx as usize];
+            if name.kind != TokenKind::Ident {
+                break ChainRoot::Expr;
+            }
+            chain.push(ChainSeg::Call(name.text.clone()));
+            if name_idx > start as isize && tokens[(name_idx - 1) as usize].is_punct('.') {
+                j = name_idx - 2;
+                continue;
+            }
+            // The call itself is the chain root (`helper().method()`).
+            break ChainRoot::Expr;
+        }
+        if t.kind == TokenKind::Ident {
+            let prev_is_dot = j > start as isize && tokens[(j - 1) as usize].is_punct('.');
+            if prev_is_dot {
+                chain.push(ChainSeg::Field(t.text.clone()));
+                j -= 2;
+                continue;
+            }
+            if t.is_ident("self") {
+                break ChainRoot::SelfVar;
+            }
+            break ChainRoot::Var(t.text.clone());
+        }
+        break ChainRoot::Expr;
+    };
+    chain.reverse();
+    // Resolve a typed local root into a virtual `self`-like chain by
+    // prefixing the variable's type as a qualified first hop: the
+    // callgraph layer understands `Var` roots via `var_types`, so just
+    // record the resolved type name in the root.
+    let root = match root {
+        ChainRoot::Var(name) => match var_types.iter().rev().find(|(n, _)| n == &name) {
+            Some((_, ty)) => ChainRoot::Var(ty.clone()),
+            None => ChainRoot::Var(name),
+        },
+        other => other,
+    };
+    Some(CallSite { line, callee: Callee::Method { root, chain, method } })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(src)
+    }
+
+    #[test]
+    fn extracts_fn_items_with_impl_types() {
+        let p = parse(
+            "struct Foo { bar: Baz }\n\
+             impl Foo {\n    pub fn go(&self) -> u32 { 1 }\n}\n\
+             impl fmt::Debug for Foo { fn fmt(&self) {} }\n\
+             fn free_fn() {}\n",
+        );
+        let names: Vec<_> =
+            p.fns.iter().map(|f| (f.impl_type.clone(), f.name.clone())).collect();
+        assert_eq!(
+            names,
+            vec![
+                (Some("Foo".into()), "go".into()),
+                (Some("Foo".into()), "fmt".into()),
+                (None, "free_fn".into()),
+            ]
+        );
+        assert_eq!(p.structs[0].fields, vec![("bar".to_string(), "Baz".to_string())]);
+    }
+
+    #[test]
+    fn receiver_chains_resolve_through_fields_and_calls() {
+        let p = parse(
+            "impl C {\n fn go(&mut self) { self.qcache.get(k); self.utxos().balance(a); }\n}\n",
+        );
+        let calls = &p.fns[0].calls;
+        assert_eq!(
+            calls[0].callee,
+            Callee::Method {
+                root: ChainRoot::SelfVar,
+                chain: vec![ChainSeg::Field("qcache".into())],
+                method: "get".into()
+            }
+        );
+        // `self.utxos()` is recorded as its own call *and* as the
+        // receiver hop of `.balance(…)`.
+        assert!(calls.iter().any(|c| c.callee
+            == Callee::Method {
+                root: ChainRoot::SelfVar,
+                chain: vec![],
+                method: "utxos".into()
+            }));
+        assert!(calls.iter().any(|c| c.callee
+            == Callee::Method {
+                root: ChainRoot::SelfVar,
+                chain: vec![ChainSeg::Call("utxos".into())],
+                method: "balance".into()
+            }));
+    }
+
+    #[test]
+    fn qualified_free_and_bare_calls() {
+        let p = parse(
+            "fn f(m: &mut Meter) { OutPoint::new(t, 0); codec::outpoint_key(&o); helper(); m.charge(x); }\n",
+        );
+        let calls = &p.fns[0].calls;
+        assert!(matches!(&calls[0].callee, Callee::Qualified { ty, method }
+            if ty == "OutPoint" && method == "new"));
+        assert!(matches!(&calls[1].callee, Callee::Free(n) if n == "outpoint_key"));
+        assert!(matches!(&calls[2].callee, Callee::Free(n) if n == "helper"));
+        // `m.charge(x)` resolves m through the typed param and marks metering.
+        assert!(matches!(&calls[3].callee, Callee::Method { root: ChainRoot::Var(ty), .. }
+            if ty == "Meter"));
+        assert!(p.fns[0].has_metering);
+    }
+
+    #[test]
+    fn panic_sites_and_loops() {
+        let p = parse(
+            "fn f(x: Option<u32>) {\n x.unwrap();\n for i in 0..3 { }\n panic!(\"no\");\n while y { }\n}\n",
+        );
+        let f = &p.fns[0];
+        assert_eq!(f.panics.len(), 2);
+        assert_eq!(f.panics[0].what, ".unwrap()");
+        assert_eq!(f.panics[1].what, "panic!");
+        assert_eq!(f.loops, vec![3, 5]);
+    }
+
+    #[test]
+    fn ret_hints_unwrap_result_and_option() {
+        let p = parse(
+            "fn a() -> Result<GetUtxosResponse, ApiError> { q() }\n\
+             fn b() -> Option<&'static Block> { None }\n\
+             fn c() -> &UtxoSet { u() }\n",
+        );
+        assert_eq!(p.fns[0].ret.as_deref(), Some("GetUtxosResponse"));
+        assert_eq!(p.fns[1].ret.as_deref(), Some("Block"));
+        assert_eq!(p.fns[2].ret.as_deref(), Some("UtxoSet"));
+    }
+
+    #[test]
+    fn node_local_marker_attaches_to_the_fn_below() {
+        let p = parse(
+            "// icbtc-lint: node-local -- per-replica cache\nfn get() {}\nfn other() {}\n",
+        );
+        assert_eq!(p.fns[0].node_local.as_deref(), Some("per-replica cache"));
+        assert!(p.fns[1].node_local.is_none());
+    }
+
+    #[test]
+    fn trait_method_declarations_have_no_body_and_no_node() {
+        let p = parse("trait T { fn decl(&self); fn with_default(&self) { x.unwrap(); } }\n");
+        // The whole trait body is opaque.
+        assert!(p.fns.is_empty());
+    }
+
+    #[test]
+    fn never_panics_on_garbage() {
+        for src in ["fn", "impl {", "fn f(", "struct S {", "fn f() { a.b.(", "}}}{{{", "fn f() -> {"] {
+            let _ = parse_file(src);
+        }
+    }
+}

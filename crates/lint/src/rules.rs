@@ -62,6 +62,37 @@ pub enum Rule {
     /// instead. Bench binaries and tests are seeded entry points and
     /// remain exempt.
     PrintOutput,
+    /// ICL011 — cross-procedural panic reachability. Any
+    /// `unwrap()`/`expect()`/`panic!`-class site *transitively reachable*
+    /// from a replicated update entry point (`dispatch`/`execute`,
+    /// `ingest_response`/`process_response`, `ingest_block`/
+    /// `try_ingest_block`) is flagged wherever it lives — including
+    /// crates outside the per-file `no-panic` scope, such as `bitcoin`
+    /// and `core`. A trap anywhere on the update path aborts the round's
+    /// message on every replica (paper §III), so the whole call graph is
+    /// in scope, not just the hot-path crates. Findings carry the full
+    /// call chain from the entry point; `allow(no-panic)` suppressions
+    /// carry over so one written invariant covers both rules.
+    PanicReachability,
+    /// ICL012 — node-local taint. A function marked
+    /// `// icbtc-lint: node-local -- <why>` at its definition (the query
+    /// cache, obs registry reads, trace reads) must be unreachable from
+    /// replicated update execution: its result depends on per-replica
+    /// state, so reading it on the update path forks replicated state.
+    /// Query-plane reads are exempt — queries are served per-replica by
+    /// design (paper §III-D).
+    NodeLocalTaint,
+    /// ICL013 — metering completeness. Every loop (`for`/`while`/`loop`)
+    /// in the `canister` crate reachable from an update entry point must
+    /// record a `metering::*` constant somewhere in its function's call
+    /// closure, so the §IV-B instruction cost model cannot silently
+    /// drift from the code it prices.
+    MeteringCompleteness,
+    /// ICL014 — stale suppression. An `allow(<rule>)` directive on a
+    /// line where that rule no longer produces a finding is itself a
+    /// finding: dead suppressions rot as code moves, and a stale written
+    /// invariant is worse than none.
+    StaleSuppression,
 }
 
 pub const ALL_RULES: &[Rule] = &[
@@ -75,6 +106,10 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::ForbidUnsafe,
     Rule::SuppressionReason,
     Rule::PrintOutput,
+    Rule::PanicReachability,
+    Rule::NodeLocalTaint,
+    Rule::MeteringCompleteness,
+    Rule::StaleSuppression,
 ];
 
 impl Rule {
@@ -90,6 +125,10 @@ impl Rule {
             Rule::ForbidUnsafe => "ICL008",
             Rule::SuppressionReason => "ICL009",
             Rule::PrintOutput => "ICL010",
+            Rule::PanicReachability => "ICL011",
+            Rule::NodeLocalTaint => "ICL012",
+            Rule::MeteringCompleteness => "ICL013",
+            Rule::StaleSuppression => "ICL014",
         }
     }
 
@@ -106,6 +145,10 @@ impl Rule {
             Rule::ForbidUnsafe => "forbid-unsafe",
             Rule::SuppressionReason => "suppression-reason",
             Rule::PrintOutput => "print-output",
+            Rule::PanicReachability => "panic-reachable",
+            Rule::NodeLocalTaint => "node-local-taint",
+            Rule::MeteringCompleteness => "unmetered-loop",
+            Rule::StaleSuppression => "stale-suppression",
         }
     }
 
@@ -133,6 +176,10 @@ impl Rule {
             Rule::ForbidUnsafe => "crate root missing #![forbid(unsafe_code)]",
             Rule::SuppressionReason => "malformed lint suppression",
             Rule::PrintOutput => "stdout/stderr write bypassing the observability layer",
+            Rule::PanicReachability => "panic site reachable from a replicated update entry point",
+            Rule::NodeLocalTaint => "node-local function reachable from replicated execution",
+            Rule::MeteringCompleteness => "unmetered loop on a replicated update path",
+            Rule::StaleSuppression => "suppression for a rule that no longer fires here",
         }
     }
 }

@@ -37,6 +37,21 @@ pub struct BadSuppression {
     pub message: String,
 }
 
+/// A `node-local` definition marker: the function defined on this line
+/// (or the next) depends on per-replica state and must never be called
+/// from replicated update execution (rule ICL012).
+///
+/// ```text
+/// // icbtc-lint: node-local -- tip-keyed cache; contents differ per replica
+/// pub fn get(&mut self, key: CacheKey) -> Option<&CanisterReply> { … }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeLocalMarker {
+    /// 1-based line of the comment.
+    pub line: u32,
+    pub reason: String,
+}
+
 const MARKER: &str = "icbtc-lint:";
 const FILE_WIDE_WINDOW: u32 = 40;
 
@@ -48,15 +63,28 @@ const FILE_WIDE_WINDOW: u32 = 40;
 /// directive must be the first thing in its comment (doc-comment markers
 /// and whitespace aside); prose that merely *mentions* the marker
 /// mid-sentence is ignored.
-pub fn parse(source: &str) -> (Vec<Suppression>, Vec<BadSuppression>) {
+pub fn parse(source: &str) -> (Vec<Suppression>, Vec<BadSuppression>, Vec<NodeLocalMarker>) {
     let mut ok = Vec::new();
     let mut bad = Vec::new();
+    let mut markers = Vec::new();
     for (line, text) in crate::lexer::lex_with_comments(source).1 {
         // `line_comment` strips the leading `//`; also strip the third
         // doc-comment char (`/` or `!`) and leading whitespace.
         let text = text.strip_prefix(['/', '!']).unwrap_or(&text);
         let Some(rest) = text.trim_start().strip_prefix(MARKER) else { continue };
         let rest = rest.trim_start();
+        if let Some(tail) = rest.strip_prefix("node-local") {
+            let reason = tail.trim_start().strip_prefix("--").map(|r| r.trim()).unwrap_or("");
+            if reason.is_empty() {
+                bad.push(BadSuppression {
+                    line,
+                    message: "node-local marker requires a reason: `-- <why per-replica>`".into(),
+                });
+            } else {
+                markers.push(NodeLocalMarker { line, reason: reason.to_string() });
+            }
+            continue;
+        }
         let (file_wide, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
             (true, r)
         } else if let Some(r) = rest.strip_prefix("allow") {
@@ -64,7 +92,7 @@ pub fn parse(source: &str) -> (Vec<Suppression>, Vec<BadSuppression>) {
         } else {
             bad.push(BadSuppression {
                 line,
-                message: format!("unknown directive after `{MARKER}` (expected `allow(…)` or `allow-file(…)`)"),
+                message: format!("unknown directive after `{MARKER}` (expected `allow(…)`, `allow-file(…)` or `node-local`)"),
             });
             continue;
         };
@@ -101,7 +129,7 @@ pub fn parse(source: &str) -> (Vec<Suppression>, Vec<BadSuppression>) {
         }
         ok.push(Suppression { rules, line, file_wide, reason: reason.to_string() });
     }
-    (ok, bad)
+    (ok, bad, markers)
 }
 
 impl Suppression {
@@ -124,7 +152,7 @@ mod tests {
 let x = 1.0; // icbtc-lint: allow(float) -- reporting only
 // icbtc-lint: allow-file(no-panic) -- fixture
 ";
-        let (ok, bad) = parse(src);
+        let (ok, bad, _) = parse(src);
         assert!(bad.is_empty());
         assert_eq!(ok.len(), 2);
         assert!(!ok[0].file_wide);
@@ -135,19 +163,32 @@ let x = 1.0; // icbtc-lint: allow(float) -- reporting only
 
     #[test]
     fn reason_is_mandatory() {
-        let (ok, bad) = parse("// icbtc-lint: allow(float)\n");
+        let (ok, bad, _) = parse("// icbtc-lint: allow(float)\n");
         assert!(ok.is_empty());
         assert_eq!(bad.len(), 1);
-        let (ok, bad) = parse("// icbtc-lint: allow(float) -- \n");
+        let (ok, bad, _) = parse("// icbtc-lint: allow(float) -- \n");
         assert!(ok.is_empty());
         assert_eq!(bad.len(), 1);
     }
 
     #[test]
     fn marker_inside_string_is_ignored() {
-        let (ok, bad) = parse("let s = \"icbtc-lint: allow(float) -- nope\";\n");
+        let (ok, bad, markers) = parse("let s = \"icbtc-lint: allow(float) -- nope\";\n");
         assert!(ok.is_empty());
         assert!(bad.is_empty());
+        assert!(markers.is_empty());
+    }
+
+    #[test]
+    fn node_local_marker_parses_and_requires_reason() {
+        let (ok, bad, markers) =
+            parse("// icbtc-lint: node-local -- per-replica cache\nfn get() {}\n");
+        assert!(ok.is_empty());
+        assert!(bad.is_empty());
+        assert_eq!(markers, vec![NodeLocalMarker { line: 1, reason: "per-replica cache".into() }]);
+        let (_, bad, markers) = parse("// icbtc-lint: node-local\nfn get() {}\n");
+        assert!(markers.is_empty());
+        assert_eq!(bad.len(), 1);
     }
 
     #[test]

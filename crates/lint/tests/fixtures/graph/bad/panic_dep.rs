@@ -1,0 +1,6 @@
+// ICL011 site (crate `bitcoin`): ICL006 no-panic is not scoped to this
+// crate, so only the reachability rule fires here.
+pub fn decode_header(raw: &[u8]) -> u64 {
+    let first = raw.first().copied();
+    first.unwrap() as u64
+}

@@ -1,0 +1,10 @@
+// ICL012 clean pair: the node-local read is only reachable from the
+// query plane, which runs on a single replica.
+// icbtc-lint: node-local -- per-replica cache occupancy, for observability only
+pub fn cache_len() -> usize {
+    0
+}
+
+pub fn query(_raw: &[u8]) -> usize {
+    cache_len()
+}

@@ -1,0 +1,8 @@
+// ICL011 clean pair (crate `bitcoin`): the panic *is* reachable from an
+// update root in the driver file, but the site carries an invariant-
+// backed `allow(no-panic)` — the token-rule suppression carries over to
+// the reachability rule.
+pub fn decode_header(raw: &[u8]) -> u64 {
+    let first = raw.first().copied();
+    first.unwrap() as u64 // icbtc-lint: allow(no-panic) -- invariant: caller validated raw is non-empty
+}

@@ -1,0 +1,6 @@
+// ICL011 clean pair: the same dependency panic exists, but no update
+// entry point reaches it — query-plane reads are exempt by graph
+// structure, not by annotation.
+pub fn query(raw: &[u8]) -> u64 {
+    decode_header(raw)
+}

@@ -295,11 +295,13 @@ impl MetricsRegistry {
     }
 
     /// Reads an unlabelled counter (0 if never recorded).
+    // icbtc-lint: node-local -- metrics are per-replica observability state; replicated execution must never read them back
     pub fn counter(&self, name: &'static str) -> u64 {
         self.counter_with(name, &[])
     }
 
     /// Reads a labelled counter (0 if never recorded).
+    // icbtc-lint: node-local -- metrics are per-replica observability state; replicated execution must never read them back
     pub fn counter_with(
         &self,
         name: &'static str,
@@ -309,26 +311,31 @@ impl MetricsRegistry {
     }
 
     /// Sums a counter across all label sets sharing `name`.
+    // icbtc-lint: node-local -- metrics are per-replica observability state; replicated execution must never read them back
     pub fn counter_total(&self, name: &'static str) -> u64 {
         self.counters.iter().filter(|(k, _)| k.name == name).map(|(_, v)| *v).sum()
     }
 
     /// Reads an unlabelled gauge (0 if never set).
+    // icbtc-lint: node-local -- metrics are per-replica observability state; replicated execution must never read them back
     pub fn gauge(&self, name: &'static str) -> i64 {
         self.gauge_with(name, &[])
     }
 
     /// Reads a labelled gauge (0 if never set).
+    // icbtc-lint: node-local -- metrics are per-replica observability state; replicated execution must never read them back
     pub fn gauge_with(&self, name: &'static str, labels: &[(&'static str, &'static str)]) -> i64 {
         self.gauges.get(&Key::new(name, labels)).copied().unwrap_or(0)
     }
 
     /// Reads an unlabelled histogram, if any observation was recorded.
+    // icbtc-lint: node-local -- metrics are per-replica observability state; replicated execution must never read them back
     pub fn histogram(&self, name: &'static str) -> Option<&FixedHistogram> {
         self.histogram_with(name, &[])
     }
 
     /// Reads a labelled histogram, if any observation was recorded.
+    // icbtc-lint: node-local -- metrics are per-replica observability state; replicated execution must never read them back
     pub fn histogram_with(
         &self,
         name: &'static str,
@@ -338,11 +345,13 @@ impl MetricsRegistry {
     }
 
     /// Returns `true` if nothing has been recorded.
+    // icbtc-lint: node-local -- metrics are per-replica observability state; replicated execution must never read them back
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
     /// Number of distinct (name, labels) series across all metric kinds.
+    // icbtc-lint: node-local -- metrics are per-replica observability state; replicated execution must never read them back
     pub fn len(&self) -> usize {
         self.counters.len() + self.gauges.len() + self.histograms.len()
     }
@@ -374,6 +383,7 @@ impl MetricsRegistry {
     }
 
     /// Renders the snapshot as aligned text tables (for reports).
+    // icbtc-lint: node-local -- metrics are per-replica observability state; replicated execution must never read them back
     pub fn snapshot_text(&self) -> String {
         let mut out = String::new();
         if !self.counters.is_empty() {
@@ -417,6 +427,7 @@ impl MetricsRegistry {
     ///
     /// Every value is an integer and every list is walked in `BTreeMap`
     /// order, so equal registries render byte-identical strings.
+    // icbtc-lint: node-local -- metrics are per-replica observability state; replicated execution must never read them back
     pub fn snapshot_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");

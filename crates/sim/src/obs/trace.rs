@@ -193,16 +193,19 @@ impl Trace {
     }
 
     /// Records currently held (oldest first).
+    // icbtc-lint: node-local -- trace buffers are per-replica diagnostics; replicated execution must never read them
     pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
         self.records.iter()
     }
 
     /// Number of records currently held.
+    // icbtc-lint: node-local -- per-replica trace occupancy
     pub fn len(&self) -> usize {
         self.records.len()
     }
 
     /// Returns `true` if no records are held.
+    // icbtc-lint: node-local -- per-replica trace occupancy
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }
@@ -213,6 +216,7 @@ impl Trace {
     }
 
     /// Number of records evicted (or never stored, when capacity is 0).
+    // icbtc-lint: node-local -- per-replica drop count depends on local buffer pressure
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
@@ -223,6 +227,7 @@ impl Trace {
     }
 
     /// Dumps held records as JSONL, one record per line, oldest first.
+    // icbtc-lint: node-local -- trace dumps are per-replica diagnostics
     pub fn dump_jsonl(&self) -> String {
         let mut out = String::new();
         for record in &self.records {

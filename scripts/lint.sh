@@ -1,15 +1,46 @@
 #!/usr/bin/env bash
 # Run the in-repo static analyzer (icbtc-lint) over the workspace.
 #
-#   scripts/lint.sh            human-readable report
-#   scripts/lint.sh --json     machine-readable report (schema_version 1,
-#                              documented in DESIGN.md §"Static analysis")
+#   scripts/lint.sh                 human-readable report
+#   scripts/lint.sh --json          machine-readable report (schema_version 2,
+#                                   documented in DESIGN.md §"Static analysis")
+#   scripts/lint.sh --timings       append per-phase wall times (also valid
+#                                   with --json: adds a timings_us object)
+#   scripts/lint.sh --changed-only  report findings only for .rs files that
+#                                   differ from HEAD (analysis still covers
+#                                   the whole workspace, so cross-file
+#                                   dataflow findings stay sound)
 #   scripts/lint.sh --list-rules
 #
 # Exit codes: 0 clean, 1 unsuppressed violations, 2 usage/IO error.
-# All flags are forwarded to the binary unchanged.
+# All other flags are forwarded to the binary unchanged.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-exec cargo run -q --release --offline -p icbtc-lint --bin icbtc-lint -- --root . "$@"
+ARGS=()
+CHANGED_ONLY=0
+for arg in "$@"; do
+    if [ "$arg" = "--changed-only" ]; then
+        CHANGED_ONLY=1
+    else
+        ARGS+=("$arg")
+    fi
+done
+
+if [ "$CHANGED_ONLY" = "1" ]; then
+    # Changed = modified/added vs HEAD plus untracked, .rs only. The
+    # analyzer still parses the whole workspace (the call graph needs every
+    # file); --only merely scopes which files are *reported*.
+    CHANGED=$( { git diff --name-only HEAD -- '*.rs'; \
+                 git ls-files --others --exclude-standard -- '*.rs'; } | sort -u )
+    if [ -z "$CHANGED" ]; then
+        echo "icbtc-lint: no changed .rs files vs HEAD — nothing to report"
+        exit 0
+    fi
+    while IFS= read -r file; do
+        ARGS+=("--only" "$file")
+    done <<< "$CHANGED"
+fi
+
+exec cargo run -q --release --offline -p icbtc-lint --bin icbtc-lint -- --root . "${ARGS[@]+"${ARGS[@]}"}"

@@ -15,8 +15,27 @@ cargo build --release --offline
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
-echo "==> icbtc-lint (determinism / replicated-state static analysis)"
-cargo run -q --release --offline -p icbtc-lint --bin icbtc-lint -- --root .
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+
+echo "==> icbtc-lint (determinism / replicated-state static analysis, double run)"
+# The analyzer itself must be deterministic: two runs over the same tree
+# must emit byte-identical JSON (timings are only rendered under
+# --timings, which is deliberately off here).
+for run in 1 2; do
+    cargo run -q --release --offline -p icbtc-lint --bin icbtc-lint -- --root . --json \
+        > "$OBS_TMP/lint$run.json"
+done
+if ! diff -q "$OBS_TMP/lint1.json" "$OBS_TMP/lint2.json" >/dev/null; then
+    echo "ERROR: two icbtc-lint runs over the same tree differ:" >&2
+    diff "$OBS_TMP/lint1.json" "$OBS_TMP/lint2.json" | head -20 >&2 || true
+    exit 1
+fi
+if ! grep -q '"violation_count":0' "$OBS_TMP/lint1.json"; then
+    echo "ERROR: icbtc-lint found violations:" >&2
+    cargo run -q --release --offline -p icbtc-lint --bin icbtc-lint -- --root . >&2 || true
+    exit 1
+fi
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
@@ -26,8 +45,6 @@ else
 fi
 
 echo "==> observability determinism gate (same seed => byte-identical output)"
-OBS_TMP="$(mktemp -d)"
-trap 'rm -rf "$OBS_TMP"' EXIT
 for run in 1 2; do
     cargo run -q --release --offline -p icbtc-bench --bin obs_trace -- \
         --seed 42 --rounds 120 --json --trace-out "$OBS_TMP/trace$run.jsonl" \
