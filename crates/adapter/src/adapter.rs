@@ -459,7 +459,9 @@ impl BitcoinAdapter {
                 // violations score the sender; once the ban lands the
                 // rest of its batch is discarded.
                 self.obs.metrics.add("adapter_headers_received_total", headers.len() as u64);
+                let validate = self.obs.prof.enter("header_validate");
                 for header in headers {
+                    self.obs.prof.add(80);
                     match self.store.accept_header(header, now_unix) {
                         Ok(_) => self.obs.metrics.inc("adapter_headers_accepted_total"),
                         Err(err) => {
@@ -471,6 +473,7 @@ impl BitcoinAdapter {
                         }
                     }
                 }
+                self.obs.prof.exit(validate);
             }
             Message::Inv(items) => {
                 let mut wanted = Vec::new();
@@ -499,10 +502,21 @@ impl BitcoinAdapter {
             Message::BlockMsg(block) => {
                 let hash = block.block_hash();
                 self.inflight_blocks.remove(&hash);
+                // A fetched body completes its getdata round-trip; the
+                // header-first check inside is a nested frame.
+                let roundtrip = self.obs.prof.enter("getdata_roundtrip");
+                let body_cost =
+                    80 + block.txdata.iter().map(|t| t.vsize() as u64).sum::<u64>();
+                self.obs.prof.add(body_cost);
+                let validate = self.obs.prof.enter("header_validate");
+                self.obs.prof.add(80);
+                self.obs.prof.exit(validate);
                 // Header-first: a block whose header does not validate is
                 // discarded together with its body; hard violations
                 // score the sender.
-                match self.store.accept_block(*block, now_unix) {
+                let outcome = self.store.accept_block(*block, now_unix);
+                self.obs.prof.exit(roundtrip);
+                match outcome {
                     Ok(_) => self.obs.metrics.inc("adapter_blocks_received_total"),
                     Err(err) => {
                         self.obs.metrics.inc("adapter_blocks_rejected_total");
@@ -573,6 +587,11 @@ impl BitcoinAdapter {
         }
         let conn = *self.rng.choose(&conns);
         self.obs.metrics.inc_with("adapter_getdata_sent_total", &[("item", "block")]);
+        // The request half of a getdata round-trip (36-byte inv entry);
+        // the reply half is accounted when the body arrives.
+        let roundtrip = self.obs.prof.enter("getdata_roundtrip");
+        self.obs.prof.add(36);
+        self.obs.prof.exit(roundtrip);
         net.send_external(conn, Message::GetData(vec![Inventory::Block(hash)]));
         self.inflight_blocks
             .insert(hash, InflightBlock { conn, requested_at: net.now(), attempts });
@@ -603,6 +622,7 @@ impl BitcoinAdapter {
             ],
         );
         self.obs.metrics.inc("adapter_requests_total");
+        let serve = self.obs.prof.enter("handle_request");
         // Lines 1–3: cache and advertise outbound transactions.
         for tx in &request.transactions {
             let txid = self.txcache.insert(tx.clone(), now);
@@ -680,6 +700,10 @@ impl BitcoinAdapter {
         for hash in to_fetch {
             self.request_block(net, hash);
         }
+        // Serving cost is modeled as the bytes assembled into the
+        // response (plus one unit so empty responses still register).
+        self.obs.prof.add(1 + response_bytes as u64);
+        self.obs.prof.exit(serve);
         let m = &mut self.obs.metrics;
         m.add("adapter_response_blocks_total", blocks.len() as u64);
         m.add("adapter_response_bytes_total", response_bytes as u64);

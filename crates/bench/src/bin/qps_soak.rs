@@ -223,6 +223,14 @@ fn main() {
     let invalidations = metrics.counter("canister_qcache_invalidations_total");
     let hit_permille = hits.saturating_mul(1000) / (hits + misses).max(1);
 
+    // Profiler-guided hot-path record: the cache hit path used to
+    // re-serialize the reply at a flat QUERY_CACHE_HIT; it now charges
+    // the probe plus a per-byte copy of the size serialized once at
+    // fill. "before" is modeled from the retained constant, "after" is
+    // the measured hit-path cost.
+    let hit_instructions_after = metrics.counter("canister_qcache_hit_instructions_total");
+    let hit_instructions_before = hits.saturating_mul(icbtc::canister::metering::QUERY_CACHE_HIT);
+
     let elapsed_nanos = subnet.now().saturating_since(SimTime::ZERO).as_nanos().max(1);
     let requests_per_sec = completed.saturating_mul(1_000_000_000) / elapsed_nanos;
     let p50 = latencies_ms.percentile(50.0).round() as u64;
@@ -253,6 +261,13 @@ fn main() {
          \u{20} \"cache_hit_permille\": {hit_permille},\n\
          \u{20} \"query_instructions_total\": {instructions_total},\n\
          \u{20} \"instructions_per_request\": {per_request},\n\
+         \u{20} \"hot_path\": {{\n\
+         \u{20}   \"optimization\": \"qcache_hit_precomputed_serialized_size\",\n\
+         \u{20}   \"hit_instructions_before\": {hit_before},\n\
+         \u{20}   \"hit_instructions_after\": {hit_after},\n\
+         \u{20}   \"hit_instructions_per_hit_before\": {per_hit_before},\n\
+         \u{20}   \"hit_instructions_per_hit_after\": {per_hit_after}\n\
+         \u{20} }},\n\
          \u{20} \"ingests\": {ingests},\n\
          \u{20} \"errors\": {errors}\n\
          }}",
@@ -276,6 +291,10 @@ fn main() {
         hit_permille = hit_permille,
         instructions_total = instructions_total,
         per_request = instructions_total / completed.max(1),
+        hit_before = hit_instructions_before,
+        hit_after = hit_instructions_after,
+        per_hit_before = icbtc::canister::metering::QUERY_CACHE_HIT,
+        per_hit_after = hit_instructions_after / hits.max(1),
         ingests = ingests,
         errors = errors,
     );

@@ -102,6 +102,27 @@ impl Message {
         }
     }
 
+    /// Modeled service cost of encoding or decoding this message, in
+    /// abstract work units roughly proportional to wire size. Drives the
+    /// btcnet/adapter profiler frames; purely an observability model,
+    /// never part of protocol behavior.
+    pub fn modeled_cost(&self) -> u64 {
+        match self {
+            Message::GetAddr => 1,
+            Message::Addr(a) => 1 + a.len() as u64,
+            Message::GetHeaders { locator, .. } => 1 + locator.len() as u64,
+            Message::Headers(h) => 1 + 80 * h.len() as u64,
+            Message::Inv(i) | Message::GetData(i) | Message::NotFound(i) => {
+                1 + 36 * i.len() as u64
+            }
+            Message::BlockMsg(b) => {
+                80 + b.txdata.iter().map(|t| t.vsize() as u64).sum::<u64>()
+            }
+            Message::TxMsg(t) => t.vsize() as u64,
+            Message::Ping(_) | Message::Pong(_) => 1,
+        }
+    }
+
     /// Short tag for tracing and tests.
     pub fn kind(&self) -> &'static str {
         match self {

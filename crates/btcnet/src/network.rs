@@ -421,6 +421,11 @@ impl BtcNetwork {
     /// applied here, at send time, with a fixed RNG draw order so the
     /// schedule is a pure function of (seed, plan).
     fn schedule_delivery(&mut self, from: PeerRef, to: PeerRef, msg: Message) {
+        // Every outbound message is encoded exactly once here; nested
+        // under `event_dispatch` when sent while handling a delivery.
+        let encode = self.obs.prof.enter("msg_encode");
+        self.obs.prof.add(msg.modeled_cost());
+        self.obs.prof.exit(encode);
         let mut delay = self.sample_latency();
         let link = self.faults.link;
         if link.is_active(self.now) {
@@ -647,6 +652,14 @@ impl BtcNetwork {
                     }
                     self.messages_delivered += 1;
                     self.obs.metrics.inc_with("btcnet_messages_total", &[("type", msg.kind())]);
+                    // Profile the delivery: decode cost is the message's
+                    // modeled size; replies encoded while handling nest
+                    // under this frame via `schedule_delivery`.
+                    let dispatch = self.obs.prof.enter("event_dispatch");
+                    self.obs.prof.add(1);
+                    let decode = self.obs.prof.enter("msg_decode");
+                    self.obs.prof.add(msg.modeled_cost());
+                    self.obs.prof.exit(decode);
                     match to {
                         PeerRef::Node(id) => {
                             let intercepted = match self.misbehavior_for(id, from) {
@@ -674,6 +687,7 @@ impl BtcNetwork {
                             }
                         }
                     }
+                    self.obs.prof.exit(dispatch);
                 }
                 NetEvent::PartitionStart(i) => {
                     if let Some(p) = self.faults.partitions.get(i) {

@@ -175,6 +175,20 @@ fn decode_page(bytes: &[u8]) -> Option<PageToken> {
     })
 }
 
+/// Charges the flat per-query base cost, attributed to its two profiler
+/// frames: call dispatch and response-envelope serialization. The two
+/// parts sum to [`metering::QUERY_BASE`] and are charged at the same
+/// site the flat constant used to be, so metered totals are unchanged on
+/// every path — frames only re-attribute.
+fn charge_query_base(meter: &mut Meter) {
+    let dispatch = meter.frame("query_dispatch");
+    meter.charge(metering::QUERY_DISPATCH);
+    meter.frame_end(dispatch);
+    let serialize = meter.frame("response_serialize");
+    meter.charge(metering::RESPONSE_SERIALIZE_BASE);
+    meter.frame_end(serialize);
+}
+
 /// Returns `true` if `utxo` sorts strictly after the `(height,
 /// outpoint)` cursor in pagination order (height descending, then
 /// outpoint ascending).
@@ -295,7 +309,7 @@ impl BitcoinCanisterState {
         page_size: usize,
         meter: &mut Meter,
     ) -> Result<GetUtxosResponse, ApiError> {
-        meter.charge(metering::QUERY_BASE);
+        charge_query_base(meter);
         if !self.is_synced() {
             return Err(ApiError::NotSynced);
         }
@@ -308,7 +322,9 @@ impl BitcoinCanisterState {
                 (token.min_confirmations, Some(token))
             }
         };
+        let overlay_frame = meter.frame("unstable_overlay");
         let overlay = self.unstable_overlay(address, min_confirmations, meter)?;
+        meter.frame_end(overlay_frame);
         let cursor = match token {
             Some(token) => {
                 if token.tip != overlay.tip_hash {
@@ -319,6 +335,7 @@ impl BitcoinCanisterState {
             None => None,
         };
 
+        let scan = meter.frame("range_scan");
         let created = overlay.created.iter().filter(|u| after_cursor(u, cursor)).cloned();
         let stable = self
             .utxos()
@@ -336,6 +353,7 @@ impl BitcoinCanisterState {
             }
             page.push(utxo);
         }
+        meter.frame_end(scan);
         let next_page = match (more, page.last()) {
             (true, Some(last)) => {
                 Some(encode_page(min_confirmations, &overlay.tip_hash, last))
@@ -381,14 +399,17 @@ impl BitcoinCanisterState {
         min_confirmations: u32,
         meter: &mut Meter,
     ) -> Result<GetBalanceResponse, ApiError> {
-        meter.charge(metering::QUERY_BASE);
+        charge_query_base(meter);
         if !self.is_synced() {
             return Err(ApiError::NotSynced);
         }
+        let overlay_frame = meter.frame("unstable_overlay");
         let overlay = self.unstable_overlay(address, min_confirmations, meter)?;
+        meter.frame_end(overlay_frame);
         // Saturating accumulation: the canister does not validate
         // issuance (§III-C), so a hostile chain of max-value outputs
         // must clamp at MAX_MONEY, not panic the query.
+        let scan = meter.frame("range_scan");
         let stable = self
             .utxos()
             .utxos_after(address, None)
@@ -397,6 +418,7 @@ impl BitcoinCanisterState {
                 meter.charge(metering::STABLE_BALANCE_ENTRY);
                 total.saturating_add(u.value)
             });
+        meter.frame_end(scan);
         let unstable = overlay
             .created
             .iter()
@@ -441,7 +463,7 @@ impl BitcoinCanisterState {
         end_height: u64,
         meter: &mut Meter,
     ) -> Result<GetBlockHeadersResponse, ApiError> {
-        meter.charge(metering::QUERY_BASE);
+        charge_query_base(meter);
         if !self.is_synced() {
             return Err(ApiError::NotSynced);
         }
@@ -469,7 +491,7 @@ impl BitcoinCanisterState {
     /// blocks whose inputs the canister can resolve. Returns an empty
     /// vector when no fees are observable.
     pub fn get_current_fee_percentiles(&self, meter: &mut Meter) -> Vec<u64> {
-        meter.charge(metering::QUERY_BASE);
+        charge_query_base(meter);
         let tree = self.tree();
         let best = tree.best_chain();
         let mut rates: Vec<u64> = Vec::new();

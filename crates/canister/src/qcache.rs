@@ -60,6 +60,10 @@ pub enum CacheKey {
 #[derive(Debug, Clone)]
 struct CacheEntry {
     reply: CanisterReply,
+    /// Serialized reply size, computed once at insert so a hit charges a
+    /// per-byte copy instead of re-serializing the response from scratch
+    /// (the profiler-guided hot-path win — see `metering`).
+    serialized_bytes: u64,
     last_used: u64,
 }
 
@@ -115,17 +119,23 @@ impl QueryCache {
         }
     }
 
-    /// Looks up `key`, refreshing its recency on a hit.
+    /// Looks up `key`, refreshing its recency on a hit. A hit returns the
+    /// cached reply together with its serialized byte size (recorded at
+    /// insert), so the caller can charge a per-byte copy rather than a
+    /// full re-serialization.
     // icbtc-lint: node-local -- cache contents depend on this replica's query history; replicated execution must never read them
-    pub fn get(&mut self, key: &CacheKey) -> Option<CanisterReply> {
+    pub fn get(&mut self, key: &CacheKey) -> Option<(CanisterReply, u64)> {
         self.clock += 1;
         let entry = self.entries.get_mut(key)?;
         entry.last_used = self.clock;
-        Some(entry.reply.clone())
+        Some((entry.reply.clone(), entry.serialized_bytes))
     }
 
     /// Inserts a reply, evicting the least-recently-used entry when at
-    /// capacity. Returns how many entries were evicted (0 or 1).
+    /// capacity. The reply's serialized size is computed once here — the
+    /// miss path just produced and serialized the response anyway — and
+    /// stored alongside it for the hit path's per-byte copy charge.
+    /// Returns how many entries were evicted (0 or 1).
     pub fn insert(&mut self, key: CacheKey, reply: CanisterReply) -> u64 {
         if self.capacity == 0 {
             return 0;
@@ -143,7 +153,8 @@ impl QueryCache {
                 evicted = 1;
             }
         }
-        self.entries.insert(key, CacheEntry { reply, last_used: self.clock });
+        let serialized_bytes = reply.serialized_size();
+        self.entries.insert(key, CacheEntry { reply, serialized_bytes, last_used: self.clock });
         evicted
     }
 
@@ -194,7 +205,9 @@ mod tests {
         let mut cache = QueryCache::with_capacity(8);
         assert!(cache.get(&key(1, 0)).is_none());
         cache.insert(key(1, 0), reply(5));
-        assert_eq!(cache.get(&key(1, 0)), Some(reply(5)));
+        let (hit, bytes) = cache.get(&key(1, 0)).unwrap();
+        assert_eq!(hit, reply(5));
+        assert_eq!(bytes, reply(5).serialized_size(), "size recorded at insert");
         assert_eq!(cache.invalidate(), 1);
         assert!(cache.get(&key(1, 0)).is_none());
         assert!(cache.is_empty());

@@ -339,18 +339,29 @@ impl BitcoinCanisterState {
         let mut report = IngestReport::default();
         for block in response.blocks {
             let hash = block.block_hash();
+            let validate = meter.frame("header_validate");
             meter.charge(metering::VALIDATE_HEADER);
             if !self.tree.contains(&hash) {
                 if let Err(reason) = self.validate_header(&block.header, now_unix, meter) {
+                    meter.frame_end(validate);
                     report.rejected.push(reason);
                     continue;
                 }
             }
+            meter.frame_end(validate);
             if let Err(reason) = self.block_valid(&block) {
                 report.rejected.push(reason);
                 continue;
             }
-            meter.charge(block.txdata.len() as u64 * metering::PARSE_TX);
+            // PARSE_TX = TX_HASHING + TX_DECODE, charged at the same site
+            // as the old flat per-transaction constant, split into the two
+            // frames so the profiler can attribute the parts.
+            let hashing = meter.frame("hashing");
+            meter.charge(block.txdata.len() as u64 * metering::TX_HASHING);
+            meter.frame_end(hashing);
+            let decode = meter.frame("tx_decode");
+            meter.charge(block.txdata.len() as u64 * metering::TX_DECODE);
+            meter.frame_end(decode);
             let _ = self.tree.insert(block.header);
             if self.blocks.insert(hash, block).is_none() {
                 report.blocks_accepted += 1;
@@ -360,8 +371,10 @@ impl BitcoinCanisterState {
 
         for header in response.next {
             let hash = header.block_hash();
+            let validate = meter.frame("header_validate");
             meter.charge(metering::VALIDATE_HEADER);
             if self.tree.contains(&hash) {
+                meter.frame_end(validate);
                 continue;
             }
             match self.validate_header(&header, now_unix, meter) {
@@ -371,6 +384,7 @@ impl BitcoinCanisterState {
                 }
                 Err(reason) => report.rejected.push(reason),
             }
+            meter.frame_end(validate);
         }
 
         self.update_synced();
@@ -406,7 +420,9 @@ impl BitcoinCanisterState {
             let block = self.blocks.remove(&next_hash).expect("candidate has body"); // icbtc-lint: allow(no-panic) -- invariant: candidate was filtered on blocks.contains_key four lines up
             let mut breakdown = MeterBreakdown::new();
             let height = self.anchor_height() + 1;
+            let ingest = meter.frame("ingest_block");
             self.utxos.ingest_block(&block.txdata, height, meter, &mut breakdown);
+            meter.frame_end(ingest);
             for (label, value) in breakdown.entries() {
                 self.ingestion_breakdown.add(label, *value);
             }

@@ -193,8 +193,13 @@ impl UtxoSet {
             });
         }
         for tx in transactions {
-            meter.charge(metering::PARSE_TX);
+            let hashing = meter.frame("hashing");
+            meter.charge(metering::TX_HASHING);
             let txid = tx.txid();
+            meter.frame_end(hashing);
+            let decode = meter.frame("tx_decode");
+            meter.charge(metering::TX_DECODE);
+            meter.frame_end(decode);
             if !tx.is_coinbase() {
                 for input in &tx.inputs {
                     // Unknown outpoints (spends of non-standard or foreign
@@ -221,10 +226,25 @@ impl UtxoSet {
         meter: &mut Meter,
         breakdown: &mut MeterBreakdown,
     ) -> Result<(), StorageError> {
-        let cost = metering::INSERT_OUTPUT_BASE
+        // All three cost parts are charged up front — before the fallible
+        // storage operations — exactly where the single flat charge used
+        // to be, so metered totals are unchanged on every path (including
+        // budget-exhaustion errors). The frames only re-attribute.
+        let script_cost = metering::INSERT_SCRIPT_PARSE
             + output.script_pubkey.len() as u64 * metering::INSERT_OUTPUT_PER_BYTE;
-        meter.charge(cost);
-        breakdown.add("output_insertion", cost);
+        let script_parse = meter.frame("script_parse");
+        meter.charge(script_cost);
+        meter.frame_end(script_parse);
+        let apply = meter.frame("utxo_apply");
+        meter.charge(metering::INSERT_OUTPOINT);
+        meter.frame_end(apply);
+        let index = meter.frame("by_address_index");
+        meter.charge(metering::INSERT_BY_ADDRESS);
+        meter.frame_end(index);
+        breakdown.add(
+            "output_insertion",
+            script_cost + metering::INSERT_OUTPOINT + metering::INSERT_BY_ADDRESS,
+        );
         let key = codec::outpoint_key(&outpoint);
         let value = codec::utxo_value(height, output.value, output.script_pubkey.as_bytes());
         let previous = self.by_outpoint.insert(&mut self.pool, &key, &value)?;
@@ -252,7 +272,18 @@ impl UtxoSet {
     }
 
     fn remove(&mut self, outpoint: &OutPoint, meter: &mut Meter, breakdown: &mut MeterBreakdown) {
-        meter.charge(metering::REMOVE_INPUT_BASE);
+        // As in `insert`: the three parts are charged unconditionally up
+        // front (the old flat charge applied on all paths, misses
+        // included), so the split is charge-neutral everywhere.
+        let script_parse = meter.frame("script_parse");
+        meter.charge(metering::REMOVE_SCRIPT_PARSE);
+        meter.frame_end(script_parse);
+        let apply = meter.frame("utxo_apply");
+        meter.charge(metering::REMOVE_OUTPOINT);
+        meter.frame_end(apply);
+        let index = meter.frame("by_address_index");
+        meter.charge(metering::REMOVE_BY_ADDRESS);
+        meter.frame_end(index);
         breakdown.add("input_removal", metering::REMOVE_INPUT_BASE);
         let key = codec::outpoint_key(outpoint);
         let Some(value) = self.by_outpoint.remove(&mut self.pool, &key) else {

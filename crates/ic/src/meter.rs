@@ -6,20 +6,42 @@
 //! for each operation, with per-operation constants calibrated against
 //! the magnitudes the paper reports (see EXPERIMENTS.md).
 
+use icbtc_sim::obs::{FrameToken, Profiler};
+
 /// An instruction counter for one message execution.
+///
+/// The meter doubles as the clock of a [`Profiler`]: opening a frame with
+/// [`Meter::frame`] snapshots the instruction counter, and closing it
+/// with [`Meter::frame_end`] attributes every instruction charged in
+/// between to that frame (minus nested frames). Frame accounting never
+/// changes the instruction total, so metered costs — and therefore
+/// replicated state — are identical with or without profiling.
 ///
 /// # Examples
 ///
 /// ```
 /// use icbtc_ic::Meter;
 /// let mut meter = Meter::new();
+/// let frame = meter.frame("hashing");
 /// meter.charge(1_000);
 /// meter.charge_per_byte(32, 10);
+/// meter.frame_end(frame);
 /// assert_eq!(meter.instructions(), 1_320);
+/// assert_eq!(meter.profile().root_total(), 1_320);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, Eq)]
 pub struct Meter {
     instructions: u64,
+    prof: Profiler,
+}
+
+// Meter equality is instruction-count equality: the profiler only
+// re-attributes charges to frames, it never changes what was charged, so
+// it stays out of the comparison (and out of replicated-state checks).
+impl PartialEq for Meter {
+    fn eq(&self, other: &Meter) -> bool {
+        self.instructions == other.instructions
+    }
 }
 
 impl Meter {
@@ -43,9 +65,36 @@ impl Meter {
         self.instructions
     }
 
-    /// Resets the counter and returns the previous total.
+    /// Resets the counter and returns the previous total. The profile is
+    /// left in place; harvest it separately with [`Meter::take_profile`].
     pub fn take(&mut self) -> u64 {
         std::mem::take(&mut self.instructions)
+    }
+
+    /// Opens a profiler frame clocked on this meter's instruction
+    /// counter. Close it with [`Meter::frame_end`].
+    pub fn frame(&mut self, name: &'static str) -> FrameToken {
+        self.prof.enter_at(name, self.instructions)
+    }
+
+    /// Closes a frame opened by [`Meter::frame`], attributing the
+    /// instructions charged since then (exits of nested frames that were
+    /// skipped by early returns are healed at the same clock).
+    pub fn frame_end(&mut self, token: FrameToken) {
+        self.prof.exit_at(token, self.instructions);
+    }
+
+    /// The instruction-attribution profile accumulated so far.
+    // icbtc-lint: node-local -- profiles are per-replica diagnostics
+    pub fn profile(&self) -> &Profiler {
+        &self.prof
+    }
+
+    /// Takes the accumulated profile, leaving an empty one — the harvest
+    /// point where a component folds a per-message profile into its
+    /// longer-lived `Obs` profiler.
+    pub fn take_profile(&mut self) -> Profiler {
+        std::mem::take(&mut self.prof)
     }
 }
 
@@ -103,6 +152,34 @@ mod tests {
         assert_eq!(m.instructions(), 27);
         assert_eq!(m.take(), 27);
         assert_eq!(m.instructions(), 0);
+    }
+
+    #[test]
+    fn frames_attribute_charges_without_changing_totals() {
+        let mut plain = Meter::new();
+        plain.charge(100);
+        plain.charge(40);
+
+        let mut framed = Meter::new();
+        let outer = framed.frame("outer");
+        framed.charge(100);
+        let inner = framed.frame("inner");
+        framed.charge(40);
+        framed.frame_end(inner);
+        framed.frame_end(outer);
+
+        // Frame accounting never perturbs the replicated-visible total.
+        assert_eq!(plain, framed);
+        assert_eq!(framed.profile().root_total(), 140);
+        let frames = framed.profile().frames();
+        let outer = frames.iter().find(|f| f.path == "outer").unwrap();
+        let inner = frames.iter().find(|f| f.path == "outer;inner").unwrap();
+        assert_eq!(outer.self_units, 100);
+        assert_eq!(inner.self_units, 40);
+
+        let harvested = framed.take_profile();
+        assert_eq!(harvested.root_total(), 140);
+        assert!(framed.profile().is_empty());
     }
 
     #[test]

@@ -329,6 +329,11 @@ impl<S: StateMachine> Subnet<S> {
         self.total_instructions += payload_instructions;
         self.obs.metrics.add("ic_payload_instructions_total", payload_instructions);
         self.obs.metrics.add("ic_instructions_total", payload_instructions);
+        // Attribute the round payload's modeled execution time
+        // (nanoseconds) to the subnet profiler.
+        let frame = self.obs.prof.enter("payload_execution");
+        self.obs.prof.add(self.latency.execution_time(payload_instructions).as_nanos());
+        self.obs.prof.exit(frame);
 
         let batch = self.pool.take_ready(info.finalized_at);
         let mut results = Vec::with_capacity(batch.len());
@@ -345,6 +350,11 @@ impl<S: StateMachine> Subnet<S> {
             self.obs.metrics.observe("ic_message_instructions", instructions);
             let response_path = self.latency.sample_response_path(&mut self.rng);
             let exec_time = self.latency.execution_time(instructions);
+            // Attribute the modeled service time (nanoseconds) to the
+            // subnet profiler so the report covers the ic layer too.
+            let frame = self.obs.prof.enter("message_execution");
+            self.obs.prof.add(exec_time.as_nanos());
+            self.obs.prof.exit(frame);
             results.push(CallResult {
                 id: ready.id,
                 output,
@@ -378,8 +388,19 @@ impl<S: StateMachine> Subnet<S> {
             self.obs.metrics.inc("ic_queries_executed_total");
             self.obs.metrics.add("ic_query_instructions_total", instructions);
             self.obs.metrics.observe("ic_query_instructions", instructions);
-            let service = self.latency.execution_time(instructions)
-                + self.latency.transfer_time(S::output_bytes(&output));
+            let exec_time = self.latency.execution_time(instructions);
+            let transfer_time = self.latency.transfer_time(S::output_bytes(&output));
+            let service = exec_time + transfer_time;
+            // Modeled query service time (nanoseconds), split into its
+            // execution and response-transfer parts.
+            let frame = self.obs.prof.enter("query_service");
+            let exec_frame = self.obs.prof.enter("execution");
+            self.obs.prof.add(exec_time.as_nanos());
+            self.obs.prof.exit(exec_frame);
+            let transfer_frame = self.obs.prof.enter("transfer");
+            self.obs.prof.add(transfer_time.as_nanos());
+            self.obs.prof.exit(transfer_frame);
+            self.obs.prof.exit(frame);
             let lane = (0..self.query_lanes.len())
                 .min_by_key(|&lane| self.query_lanes[lane])
                 .unwrap_or(0);
@@ -433,6 +454,18 @@ impl<S: StateMachine> Subnet<S> {
         let result = run(&mut self.state, &mut meter);
         let instructions = meter.take();
         let bytes = response_bytes(&result);
+        // Same service-time attribution as the batched query plane:
+        // modeled execution plus response transfer, in nanoseconds.
+        let exec_time = self.latency.execution_time(instructions);
+        let transfer_time = self.latency.transfer_time(bytes);
+        let frame = self.obs.prof.enter("query_service");
+        let exec_frame = self.obs.prof.enter("execution");
+        self.obs.prof.add(exec_time.as_nanos());
+        self.obs.prof.exit(exec_frame);
+        let transfer_frame = self.obs.prof.enter("transfer");
+        self.obs.prof.add(transfer_time.as_nanos());
+        self.obs.prof.exit(transfer_frame);
+        self.obs.prof.exit(frame);
         let latency = self.latency.sample_query(&mut self.rng, instructions, bytes);
         (result, instructions, latency)
     }

@@ -109,6 +109,26 @@ fn good_node_local_read_from_query_plane() {
 }
 
 #[test]
+fn bad_profiler_read_on_update_path() {
+    let inputs = vec![input(
+        "canister",
+        "prof_taint.rs",
+        include_str!("fixtures/graph/bad/profiler_read_taint.rs"),
+    )];
+    assert_eq!(ws_ids(&inputs), vec!["ICL012"]);
+}
+
+#[test]
+fn good_profiler_read_from_query_plane() {
+    let inputs = vec![input(
+        "canister",
+        "prof_taint.rs",
+        include_str!("fixtures/graph/good/profiler_read_taint.rs"),
+    )];
+    assert_eq!(ws_ids(&inputs), Vec::<&str>::new());
+}
+
+#[test]
 fn bad_unmetered_loop_on_update_path() {
     let inputs =
         vec![input("canister", "scan.rs", include_str!("fixtures/graph/bad/unmetered_loop.rs"))];

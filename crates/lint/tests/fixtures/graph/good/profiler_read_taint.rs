@@ -1,0 +1,11 @@
+// ICL012 clean pair: the profiler read feeds a diagnostics endpoint on
+// the query plane, which runs on a single replica — exactly how
+// `profile_report()` is meant to be consumed.
+// icbtc-lint: node-local -- profile reports are per-replica diagnostics
+pub fn profile_root_total() -> u64 {
+    0
+}
+
+pub fn query_profile(_raw: &[u8]) -> u64 {
+    profile_root_total()
+}

@@ -1,6 +1,6 @@
 //! `icbtc-obs`: deterministic observability for the simulation runtime.
 //!
-//! Two halves, both zero-dependency and fully deterministic:
+//! Three parts, all zero-dependency and fully deterministic:
 //!
 //! * [`MetricsRegistry`] — monotonic counters, gauges, and fixed-bucket
 //!   histograms with static label sets. Storage is `BTreeMap`-backed so a
@@ -9,6 +9,9 @@
 //! * [`Trace`] — structured `span_start` / `span_end` / `event` records
 //!   stamped with sim-time (never wall-clock) and a monotonic sequence
 //!   number, held in a ring buffer and dumpable as JSONL.
+//! * [`Profiler`] — a sampling-free hierarchical frame profiler that
+//!   attributes metered instructions / modeled service units to a stack
+//!   of named frames, with per-frame self/total cost and call counts.
 //!
 //! Every runtime layer (adapter, canister, IC subnet, btcnet) owns an
 //! [`Obs`] instance; benches and tests read experiment numbers back out of
@@ -24,9 +27,11 @@
 //! * Trace sequence numbers are assigned in call order; a given seed
 //!   produces the identical call order and therefore identical dumps.
 
+mod prof;
 mod registry;
 mod trace;
 
+pub use prof::{FrameStat, FrameToken, ProfScope, Profiler};
 pub use registry::{
     FixedHistogram, MetricsRegistry, DEFAULT_BOUNDS, INSTRUCTION_BOUNDS, SNAPSHOT_SCHEMA_VERSION,
 };
@@ -53,6 +58,8 @@ pub struct Obs {
     pub metrics: MetricsRegistry,
     /// Ring-buffered structured trace.
     pub trace: Trace,
+    /// Deterministic hierarchical frame profiler.
+    pub prof: Profiler,
 }
 
 impl Obs {
@@ -63,7 +70,11 @@ impl Obs {
 
     /// Creates an endpoint whose trace ring buffer holds `capacity` records.
     pub fn with_trace_capacity(component: &'static str, capacity: usize) -> Obs {
-        Obs { metrics: MetricsRegistry::new(), trace: Trace::new(component, capacity) }
+        Obs {
+            metrics: MetricsRegistry::new(),
+            trace: Trace::new(component, capacity),
+            prof: Profiler::new(),
+        }
     }
 
     /// The component tag stamped on every trace record.

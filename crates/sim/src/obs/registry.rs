@@ -181,6 +181,51 @@ impl FixedHistogram {
         }
     }
 
+    /// Estimates the quantile at `permille` (500 = p50, 990 = p99) by
+    /// locating the bucket holding the rank-`⌈permille·count/1000⌉`
+    /// observation and interpolating linearly inside it. Integer-only
+    /// math; the error is bounded by the width of that bucket. Returns 0
+    /// for an empty histogram.
+    pub fn quantile_permille(&self, permille: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let permille = permille.min(1000);
+        let rank = permille.saturating_mul(self.count).div_ceil(1000).max(1);
+        let mut cum = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                // Bucket value range, tightened by the observed min/max.
+                let lo = if idx == 0 { self.min() } else { self.bounds[idx - 1] };
+                let hi = if idx < self.bounds.len() { self.bounds[idx].min(self.max) } else { self.max };
+                let lo = lo.min(hi);
+                let pos = rank - cum; // 1..=c within this bucket
+                let est = lo + (hi - lo).saturating_mul(pos) / c;
+                return est.clamp(self.min(), self.max);
+            }
+            cum += c;
+        }
+        self.max
+    }
+
+    /// Estimated median (see [`FixedHistogram::quantile_permille`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile_permille(500)
+    }
+
+    /// Estimated 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile_permille(900)
+    }
+
+    /// Estimated 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile_permille(990)
+    }
+
     fn merge(&mut self, other: &FixedHistogram) {
         if self.bounds != other.bounds {
             return;
@@ -461,6 +506,12 @@ impl MetricsRegistry {
             push_entry_prefix(&mut out, &mut first);
             push_name_labels(&mut out, key);
             out.push_str(&format!(", \"count\": {}, \"sum\": {}", hist.count(), hist.sum()));
+            out.push_str(&format!(
+                ", \"p50\": {}, \"p90\": {}, \"p99\": {}",
+                hist.p50(),
+                hist.p90(),
+                hist.p99()
+            ));
             out.push_str(", \"bounds\": [");
             for (i, b) in hist.bounds().iter().enumerate() {
                 if i > 0 {
@@ -573,6 +624,90 @@ mod tests {
         assert_eq!(h.min(), 1);
         assert_eq!(h.max(), 1000);
         assert!((h.mean() - 255.5).abs() < 1e-9);
+    }
+
+    /// Exact percentile of a value set, matching the estimator's rank
+    /// convention: the rank-`⌈permille·count/1000⌉` smallest value.
+    fn oracle(values: &mut [u64], permille: u64) -> u64 {
+        values.sort_unstable();
+        let rank = (permille * values.len() as u64).div_ceil(1000).max(1);
+        values[rank as usize - 1]
+    }
+
+    /// Width of the histogram bucket that contains `value` — the
+    /// estimator's documented error bound.
+    fn bucket_width(bounds: &[u64], value: u64) -> u64 {
+        let idx = bounds.partition_point(|&b| b < value);
+        let lo = if idx == 0 { 0 } else { bounds[idx - 1] };
+        let hi = if idx < bounds.len() { bounds[idx] } else { u64::MAX };
+        hi - lo
+    }
+
+    #[test]
+    fn percentiles_are_exact_on_bucket_aligned_uniform() {
+        let mut m = MetricsRegistry::new();
+        let mut values: Vec<u64> = (1..=1000).collect();
+        for &v in &values {
+            m.observe("lat", v);
+        }
+        let h = m.histogram("lat").unwrap();
+        // Uniform 1..=1000 interpolates exactly on the 1-2-5 ladder.
+        assert_eq!(h.p50(), oracle(&mut values, 500));
+        assert_eq!(h.p90(), oracle(&mut values, 900));
+        assert_eq!(h.p99(), oracle(&mut values, 990));
+    }
+
+    #[test]
+    fn percentiles_within_bucket_width_of_oracle_on_skewed_distributions() {
+        // Heavy head, long tail: 900 small values, 100 spread large ones.
+        let mut values: Vec<u64> = Vec::new();
+        values.extend(std::iter::repeat_n(37u64, 900));
+        values.extend((0..100).map(|i| 10_000 + 137 * i));
+        let mut m = MetricsRegistry::new();
+        for &v in &values {
+            m.observe("lat", v);
+        }
+        let h = m.histogram("lat").unwrap();
+        for permille in [500, 900, 990] {
+            let exact = oracle(&mut values, permille);
+            let est = h.quantile_permille(permille);
+            let band = bucket_width(DEFAULT_BOUNDS, exact);
+            assert!(
+                est.abs_diff(exact) <= band,
+                "p{permille}: estimate {est} vs oracle {exact} exceeds bucket width {band}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_clamp_to_observed_range() {
+        let mut m = MetricsRegistry::new();
+        for _ in 0..1000 {
+            m.observe("lat", 42);
+        }
+        let h = m.histogram("lat").unwrap();
+        // A point mass never interpolates outside [min, max].
+        assert_eq!((h.p50(), h.p90(), h.p99()), (42, 42, 42));
+        let empty = MetricsRegistry::new();
+        assert!(empty.histogram("lat").is_none());
+    }
+
+    #[test]
+    fn snapshot_json_includes_integer_percentiles() {
+        let mut m = MetricsRegistry::new();
+        m.register_histogram("lat", &[10, 100]);
+        for v in [1, 10, 11, 99] {
+            m.observe("lat", v);
+        }
+        let json = m.snapshot_json();
+        let h = m.histogram("lat").unwrap();
+        assert!(json.contains(&format!(
+            "\"p50\": {}, \"p90\": {}, \"p99\": {}",
+            h.p50(),
+            h.p90(),
+            h.p99()
+        )));
+        assert!(!json.contains('.'), "percentiles must render as integers");
     }
 
     #[test]

@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# Perf-trajectory regression gate: compares a freshly generated bench
+# report against a committed baseline, metric by metric, with per-metric
+# tolerance bands, and emits a machine-readable verdict line per metric
+# plus a final summary line:
+#
+#   scripts/perfdiff.sh CANDIDATE.json BASELINE.json
+#
+#   {"metric":"requests_per_sec","baseline":253,"candidate":249,...,"verdict":"pass"}
+#   ...
+#   {"perfdiff":"pass","bench":"qps_soak","checked":7,"failed":0}
+#
+# Exit status 0 iff every checked metric is inside its band. The metric
+# set and bands are keyed on the report's "bench" field:
+#
+#   qps_soak          requests_per_sec ±10%, latency p50/p90/p99 ±15%,
+#                     instructions_per_request ±10%, cache_hit_permille
+#                     ±10%, errors exact; hot_path per-hit cost must not
+#                     regress past its recorded pre-optimization value.
+#   fig5_utxo_growth  utxo_count ±5%, pages_allocated ±10%,
+#                     bytes_per_utxo ±10%, state_hash exact.
+#
+# Both files must carry schema_version 1 and the same bench tag. The
+# parser is awk-only (no jq) so the gate runs anywhere the repo builds;
+# it relies on the reports' stable one-key-per-line formatting.
+set -euo pipefail
+
+if [ "$#" -ne 2 ]; then
+    echo "usage: perfdiff.sh CANDIDATE.json BASELINE.json" >&2
+    exit 2
+fi
+CANDIDATE="$1"
+BASELINE="$2"
+for f in "$CANDIDATE" "$BASELINE"; do
+    if [ ! -f "$f" ]; then
+        echo "ERROR: perfdiff: no such report: $f" >&2
+        exit 2
+    fi
+done
+
+# Extracts the value of a top-level (or uniquely named) integer field.
+field() { # field FILE NAME -> integer (empty if absent)
+    awk -v name="\"$2\":" '
+        $1 == name { v = $2; sub(/,$/, "", v); print v; exit }
+    ' "$1"
+}
+
+# Extracts a string field (without quotes).
+sfield() { # sfield FILE NAME -> string (empty if absent)
+    awk -v name="\"$2\":" '
+        $1 == name { v = $2; sub(/,$/, "", v); gsub(/"/, "", v); print v; exit }
+    ' "$1"
+}
+
+for f in "$CANDIDATE" "$BASELINE"; do
+    if [ "$(field "$f" schema_version)" != "1" ]; then
+        echo "ERROR: perfdiff: $f is not a schema_version 1 report" >&2
+        exit 2
+    fi
+done
+BENCH="$(sfield "$CANDIDATE" bench)"
+if [ "$BENCH" != "$(sfield "$BASELINE" bench)" ]; then
+    echo "ERROR: perfdiff: bench mismatch: $BENCH vs $(sfield "$BASELINE" bench)" >&2
+    exit 2
+fi
+
+CHECKED=0
+FAILED=0
+
+# check METRIC TOLERANCE_PERMILLE — band is relative to the baseline;
+# a zero baseline demands an exactly-zero candidate.
+check() {
+    local metric="$1" tol="$2"
+    local base cand
+    base="$(field "$BASELINE" "$metric")"
+    cand="$(field "$CANDIDATE" "$metric")"
+    if [ -z "$base" ] || [ -z "$cand" ]; then
+        echo "{\"metric\":\"$metric\",\"verdict\":\"fail\",\"error\":\"missing in candidate or baseline\"}"
+        FAILED=$((FAILED + 1))
+        CHECKED=$((CHECKED + 1))
+        return
+    fi
+    local delta abs_delta verdict
+    delta=$(( base == 0 ? (cand == 0 ? 0 : 1000000) : ( (cand - base) * 1000 ) / base ))
+    abs_delta=$(( delta < 0 ? -delta : delta ))
+    verdict=pass
+    if [ "$abs_delta" -gt "$tol" ]; then
+        verdict=fail
+        FAILED=$((FAILED + 1))
+    fi
+    CHECKED=$((CHECKED + 1))
+    echo "{\"metric\":\"$metric\",\"baseline\":$base,\"candidate\":$cand,\"delta_permille\":$delta,\"tolerance_permille\":$tol,\"verdict\":\"$verdict\"}"
+}
+
+# check_exact_string METRIC — byte equality of a string field.
+check_exact_string() {
+    local metric="$1"
+    local base cand verdict
+    base="$(sfield "$BASELINE" "$metric")"
+    cand="$(sfield "$CANDIDATE" "$metric")"
+    verdict=pass
+    if [ -z "$base" ] || [ "$base" != "$cand" ]; then
+        verdict=fail
+        FAILED=$((FAILED + 1))
+    fi
+    CHECKED=$((CHECKED + 1))
+    echo "{\"metric\":\"$metric\",\"baseline\":\"$base\",\"candidate\":\"$cand\",\"verdict\":\"$verdict\"}"
+}
+
+case "$BENCH" in
+qps_soak)
+    check requests_per_sec 100
+    check latency_ms_p50 150
+    check latency_ms_p90 150
+    check latency_ms_p99 150
+    check instructions_per_request 100
+    check cache_hit_permille 100
+    check errors 0
+    # The profiler-guided hit-path optimization must hold: the realized
+    # per-hit cost may never drift back above the recorded flat cost of
+    # the pre-optimization hit path.
+    before="$(field "$CANDIDATE" hit_instructions_per_hit_before)"
+    after="$(field "$CANDIDATE" hit_instructions_per_hit_after)"
+    verdict=pass
+    if [ -z "$before" ] || [ -z "$after" ] || [ "$after" -ge "$before" ]; then
+        verdict=fail
+        FAILED=$((FAILED + 1))
+    fi
+    CHECKED=$((CHECKED + 1))
+    echo "{\"metric\":\"hot_path_per_hit_improvement\",\"before\":${before:-null},\"after\":${after:-null},\"verdict\":\"$verdict\"}"
+    ;;
+fig5_utxo_growth)
+    check utxo_count 50
+    check pages_allocated 100
+    check bytes_per_utxo 100
+    check_exact_string state_hash
+    ;;
+*)
+    echo "ERROR: perfdiff: unknown bench tag \"$BENCH\"" >&2
+    exit 2
+    ;;
+esac
+
+VERDICT=pass
+if [ "$FAILED" -gt 0 ]; then
+    VERDICT=fail
+fi
+echo "{\"perfdiff\":\"$VERDICT\",\"bench\":\"$BENCH\",\"checked\":$CHECKED,\"failed\":$FAILED}"
+[ "$VERDICT" = pass ]

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Deterministic hot-path profile: boots the four-layer simulation, runs
+# a fixed mine/sync/query scenario, and prints the merged frame-tree
+# report (top-N self-cost table + collapsed-stack flamegraph lines).
+#
+#   scripts/profile.sh [--seed N] [--blocks N] [--queries N] [--top N] [--out PATH]
+#
+# Thin wrapper over the prof_report bench binary; all flags pass
+# through. Same flags => byte-identical report (scripts/verify.sh runs
+# it twice and diffs the outputs as the profiler determinism gate).
+# The collapsed-stack section is flamegraph.pl-compatible:
+#
+#   scripts/profile.sh | sed -n '/## collapsed stacks/,$p' | tail -n +2 > stacks.txt
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+exec cargo run -q --release --offline -p icbtc-bench --bin prof_report -- "$@"

@@ -103,6 +103,31 @@ if ! grep -q '"schema_version": 1' BENCH_qps.json; then
     echo "ERROR: committed BENCH_qps.json is missing schema_version 1" >&2
     exit 1
 fi
+if ! grep -q '"hot_path"' BENCH_qps.json; then
+    echo "ERROR: committed BENCH_qps.json is missing the hot_path section" >&2
+    exit 1
+fi
+
+echo "==> perf trajectory gate (fresh qps report inside tolerance of committed baseline)"
+scripts/perfdiff.sh "$OBS_TMP/qps1.json" BENCH_qps_gate.json
+
+echo "==> profiler determinism gate (same flags => byte-identical profile report)"
+for run in 1 2; do
+    cargo run -q --release --offline -p icbtc-bench --bin prof_report -- \
+        --seed 42 --blocks 6 --queries 32 --out "$OBS_TMP/prof$run.txt" \
+        >/dev/null 2>&1
+done
+if ! diff -q "$OBS_TMP/prof1.txt" "$OBS_TMP/prof2.txt" >/dev/null; then
+    echo "ERROR: same-seed profile reports differ:" >&2
+    diff "$OBS_TMP/prof1.txt" "$OBS_TMP/prof2.txt" | head -20 >&2 || true
+    exit 1
+fi
+for required in 'root_total:' '## collapsed stacks' 'canister;' 'subnet;'; do
+    if ! grep -q "$required" "$OBS_TMP/prof1.txt"; then
+        echo "ERROR: profile report is missing $required" >&2
+        exit 1
+    fi
+done
 
 echo "==> storage determinism gate (same flags => byte-identical report + state hash)"
 for run in 1 2; do
@@ -132,6 +157,9 @@ for required in '"schema_version": 1' '"state_hash": "'; do
     fi
 done
 
+echo "==> storage perf trajectory gate (fresh utxo report inside tolerance of committed baseline)"
+scripts/perfdiff.sh "$OBS_TMP/utxo1.json" BENCH_utxo_gate.json
+
 echo "==> verifying the dependency tree is workspace-only"
 if cargo tree --offline --prefix none | grep -v '^icbtc' | grep -q '[^[:space:]]'; then
     echo "ERROR: non-workspace dependency detected:" >&2
@@ -139,4 +167,4 @@ if cargo tree --offline --prefix none | grep -v '^icbtc' | grep -q '[^[:space:]]
     exit 1
 fi
 
-echo "OK: hermetic build + tests + lint + observability + chaos + query-plane + storage determinism passed"
+echo "OK: hermetic build + tests + lint + observability + chaos + query-plane + storage determinism + profiler + perf trajectory passed"

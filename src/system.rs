@@ -205,7 +205,42 @@ impl System {
         }
         merged.merge_from(&self.subnet.obs().metrics);
         merged.merge_from(&self.canister().obs().metrics);
+        // Surface silent trace loss: each component's ring-buffer drop
+        // count becomes a labelled gauge, so a snapshot shows whether any
+        // trace dump is missing records. Adapters share a component tag
+        // and aggregate by summing.
+        let mut dropped: std::collections::BTreeMap<&'static str, i64> =
+            std::collections::BTreeMap::new();
+        for obs in std::iter::once(self.btc.obs())
+            .chain(self.adapters.iter().map(|a| a.obs()))
+            .chain(std::iter::once(self.subnet.obs()))
+            .chain(std::iter::once(self.canister().obs()))
+        {
+            *dropped.entry(obs.component()).or_insert(0) += obs.trace.dropped() as i64;
+        }
+        for (component, count) in dropped {
+            merged.set_gauge_with("trace_dropped_records", &[("component", component)], count);
+        }
         merged
+    }
+
+    /// Renders the system-wide deterministic profile report: every
+    /// component's frame profiler merged into one tree under a
+    /// per-component root child (`canister;…`, `subnet;…`, `adapter;…`,
+    /// `btcnet;…`), then rendered as a top-`top_n` self-cost table plus
+    /// collapsed-stack flamegraph lines. Canister frames are denominated
+    /// in metered instructions; the other layers in modeled service
+    /// units. Byte-identical across same-seed runs.
+    // icbtc-lint: node-local -- profile reports are per-replica diagnostics
+    pub fn profile_report(&self, top_n: usize) -> String {
+        let mut merged = icbtc_sim::obs::Profiler::new();
+        merged.merge_under("canister", &self.canister().obs().prof);
+        merged.merge_under("subnet", &self.subnet.obs().prof);
+        for adapter in &self.adapters {
+            merged.merge_under("adapter", &adapter.obs().prof);
+        }
+        merged.merge_under("btcnet", &self.btc.obs().prof);
+        merged.render_report(top_n)
     }
 
     /// Dumps every layer's trace as JSONL: btcnet, adapter 0 (the others
@@ -435,14 +470,9 @@ impl System {
 /// Rough serialized size of a canister reply, for the query latency
 /// model's transfer term.
 fn estimate_response_bytes(outcome: &CallOutcome) -> usize {
-    use icbtc_canister::CanisterReply;
+    // Single source of truth with the query cache's per-byte accounting.
     match &outcome.reply {
-        Ok(CanisterReply::Utxos(r)) => 64 + r.utxos.len() * 48,
-        Ok(CanisterReply::Balance(_)) => 16,
-        Ok(CanisterReply::TransactionSent(_)) => 32,
-        Ok(CanisterReply::FeePercentiles(p)) => 8 * p.len(),
-        Ok(CanisterReply::BlockHeaders(r)) => 16 + r.headers.len() * 80,
-        Ok(CanisterReply::Metrics(_)) => 72,
+        Ok(reply) => reply.serialized_size() as usize,
         Err(_) => 32,
     }
 }

@@ -109,3 +109,111 @@ fn get_metrics_mirrors_state_without_mutating_it() {
     let after = system.canister().obs().metrics.snapshot_json();
     assert_eq!(before, after, "get_metrics query must not mutate the registry");
 }
+
+/// Boots a deployment, funds a wallet, syncs, and issues a few cached
+/// queries so the profile covers both the ingest and query hot paths.
+fn run_profiled(seed: u64) -> System {
+    let mut system = System::new(SystemConfig::regtest(seed));
+    let wallet = Wallet::new("prof-probe");
+    let address = wallet.address(&system);
+    system.fund_address(&address, 8);
+    assert!(system.sync_canister(5000), "canister failed to sync");
+    for _ in 0..3 {
+        system.query_cached(CanisterCall::GetBalance { address, min_confirmations: 0 });
+    }
+    system
+}
+
+#[test]
+fn profile_report_is_deterministic_and_names_hot_paths() {
+    let a = run_profiled(42);
+    let b = run_profiled(42);
+
+    let report = a.profile_report(25);
+    assert_eq!(
+        report,
+        b.profile_report(25),
+        "same-seed profile reports must be byte-identical"
+    );
+    assert_eq!(report, a.profile_report(25), "rendering a report must be read-only");
+
+    // Every layer contributes a subtree.
+    for component in ["canister;", "subnet;", "adapter;", "btcnet;"] {
+        assert!(report.contains(component), "report is missing the {component} subtree");
+    }
+    // The named hot paths show up with nonzero self attribution: a
+    // collapsed-stack line is only emitted when self_units > 0.
+    let collapsed = report
+        .split("## collapsed stacks\n")
+        .nth(1)
+        .expect("report must contain a collapsed-stacks section");
+    for frame in ["hashing", "script_parse", "response_serialize", "cache_lookup"] {
+        assert!(
+            collapsed.lines().any(|l| l.contains(frame)),
+            "no nonzero self attribution for hot-path frame {frame}"
+        );
+    }
+}
+
+#[test]
+fn profile_self_costs_sum_to_root_total() {
+    let system = run_profiled(42);
+    let report = system.profile_report(10);
+
+    let header = report
+        .lines()
+        .find(|l| l.starts_with("frames: "))
+        .expect("report must carry a frames/max_depth/root_total header");
+    let root_total: u64 = header
+        .rsplit("root_total: ")
+        .next()
+        .unwrap()
+        .trim()
+        .parse()
+        .expect("root_total must be an integer");
+    assert!(root_total > 0, "a synced run must account nonzero work");
+
+    // Collapsed stacks list every frame with self > 0; zero-self frames
+    // contribute nothing, so the line values must sum exactly to the
+    // root total (the profiler's core invariant, checked end to end).
+    let collapsed = report.split("## collapsed stacks\n").nth(1).unwrap();
+    let sum: u64 = collapsed
+        .lines()
+        .filter(|l| !l.is_empty())
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(sum, root_total, "Σ self over all frames must equal the root total");
+}
+
+#[test]
+fn trace_overflow_is_surfaced_as_dropped_records_gauge() {
+    // Long enough that at least one component's trace ring (capacity
+    // 4096) wraps — each consensus round emits a span-start/span-end
+    // pair, so 2300 rounds overflow the subnet and canister rings. The
+    // merged registry must then report the loss rather than silently
+    // truncating the JSONL dump.
+    let mut system = System::new(SystemConfig::regtest(9));
+    system.btc_mut().run_until(SimTime::from_secs(3600));
+    system.run_rounds(2300);
+    let metrics = system.merged_metrics();
+
+    let components = ["btcnet", "adapter", "ic", "canister"];
+    let total: i64 = components
+        .into_iter()
+        .map(|c| metrics.gauge_with("trace_dropped_records", &[("component", c)]))
+        .sum();
+    assert!(total > 0, "six sim-hours must overflow at least one 4096-record trace ring");
+    // The gauge must agree with the rings' own drop counters.
+    let expected = system.btc().obs().trace.dropped()
+        + system.subnet().obs().trace.dropped()
+        + system.canister().obs().trace.dropped();
+    assert!(
+        total as u64 >= expected,
+        "merged gauge ({total}) must cover the visible components' drops ({expected})"
+    );
+
+    // A short run drops nothing and still exposes the gauge (at zero).
+    let fresh = run(7, 10);
+    let fresh_metrics = fresh.merged_metrics();
+    assert_eq!(fresh_metrics.gauge_with("trace_dropped_records", &[("component", "btcnet")]), 0);
+}
