@@ -4,6 +4,7 @@
 //! typed method interface, instruction metering per call, and cycles
 //! charges per the fee schedule (§IV-B).
 
+use icbtc_bitcoin::hash::{sha256, Sha256};
 use icbtc_bitcoin::Address;
 use icbtc_core::GetSuccessorsResponse;
 use icbtc_ic::cycles::{Cycles, FeeSchedule};
@@ -15,6 +16,14 @@ use crate::api::{ApiError, GetBalanceResponse, GetMetricsResponse, GetUtxosRespo
 use crate::metering;
 use crate::qcache::QueryCache;
 use crate::state::{BitcoinCanisterState, IngestReport};
+use crate::storage::StorageError;
+use crate::utxoset::SnapshotReader;
+
+/// Magic prefix of the canister checkpoint envelope, wrapping the
+/// full-state snapshot plus the replicated counters.
+const CHECKPOINT_MAGIC: &[u8; 8] = b"ICBTCCKP";
+/// Bumped on any layout change; restores reject other versions.
+const CHECKPOINT_VERSION: u16 = 1;
 
 /// A call into the Bitcoin canister's API.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -222,6 +231,71 @@ impl BitcoinCanister {
         }
     }
 
+    /// Streams the checkpoint envelope: magic, version, the replicated
+    /// counters, then the length-prefixed full-state snapshot. Exactly
+    /// the replicated portion of the canister — the query cache, the
+    /// profiler, and the metrics/trace registries are node-local and
+    /// deliberately absent, which is what makes an upgrade equivalent to
+    /// dropping them.
+    fn checkpoint_into(&self, sink: &mut dyn FnMut(&[u8])) {
+        sink(CHECKPOINT_MAGIC);
+        sink(&CHECKPOINT_VERSION.to_be_bytes());
+        sink(&self.cycles_burned.to_be_bytes());
+        sink(&self.instructions_total.to_be_bytes());
+        let state_bytes = self.state.serialize();
+        sink(&(state_bytes.len() as u64).to_be_bytes());
+        sink(&state_bytes);
+    }
+
+    /// The canister checkpoint as one contiguous buffer — what
+    /// `pre_upgrade` writes to stable memory and what the subnet's
+    /// periodic checkpointer stores for crash catch-up.
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.checkpoint_into(&mut |bytes| out.extend_from_slice(bytes));
+        out
+    }
+
+    /// Composite SHA-256d over the checkpoint stream — the per-round
+    /// fingerprint the shadow-replica divergence detector compares.
+    /// Covers replicated state only, so two replicas with different
+    /// query-cache or profiler contents still hash identically.
+    pub fn state_hash(&self) -> [u8; 32] {
+        let mut hasher = Sha256::new();
+        self.checkpoint_into(&mut |bytes| hasher.update(bytes));
+        sha256(&hasher.finalize())
+    }
+
+    /// Rebuilds a canister from [`BitcoinCanister::checkpoint_bytes`], as
+    /// `post_upgrade` or a crash-restarted replica would: replicated
+    /// state and counters are restored, node-local state (query cache,
+    /// profiler, metrics, trace) starts empty.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Corrupt`] on a bad magic, version, embedded state
+    /// snapshot, or trailing bytes.
+    pub fn restore(bytes: &[u8]) -> Result<BitcoinCanister, StorageError> {
+        let mut cursor = SnapshotReader { bytes, pos: 0 };
+        if cursor.take(8)? != CHECKPOINT_MAGIC {
+            return Err(StorageError::Corrupt("bad checkpoint magic"));
+        }
+        if cursor.u16()? != CHECKPOINT_VERSION {
+            return Err(StorageError::Corrupt("unsupported checkpoint version"));
+        }
+        let cycles_burned = cursor.u128()?;
+        let instructions_total = cursor.u64()?;
+        let state_len = cursor.u64()? as usize;
+        let state = BitcoinCanisterState::deserialize(cursor.take(state_len)?)?;
+        if cursor.pos != bytes.len() {
+            return Err(StorageError::Corrupt("trailing bytes in checkpoint"));
+        }
+        let mut canister = BitcoinCanister::from_state(state);
+        canister.cycles_burned = cycles_burned;
+        canister.instructions_total = instructions_total;
+        Ok(canister)
+    }
+
     /// Ingests one adapter response (Algorithm 2) with full observability:
     /// records blocks/headers accepted, stabilizations, instruction costs,
     /// and refreshed state gauges, wrapped in a `canister.ingest` span.
@@ -246,6 +320,28 @@ impl BitcoinCanister {
         let report = self.state.process_response(response, now_unix, ctx.meter);
         ctx.meter.frame_end(frame);
         let spent = ctx.meter.instructions().saturating_sub(before);
+
+        if report.duplicate_dropped {
+            // The response was a redelivered copy of the last one applied
+            // (a restarted replica's adapter catching up): replicated
+            // state is untouched, so the tip-keyed cache stays valid and
+            // only the metered probe cost is recorded.
+            self.instructions_total = self.instructions_total.saturating_add(spent);
+            let m = &mut self.obs.metrics;
+            m.inc("canister_ingest_duplicate_dropped_total");
+            m.add("canister_instructions_total", spent);
+            m.observe("canister_ingest_instructions", spent);
+            self.obs.prof.merge_from(&ctx.meter.take_profile());
+            self.obs.trace.span_end(
+                span,
+                ctx.now,
+                &[
+                    ("duplicate_dropped", FieldValue::U64(1)),
+                    ("instructions", FieldValue::U64(spent)),
+                ],
+            );
+            return report;
+        }
 
         // Ingestion is the only operation that can change a query's
         // answer: wholesale-invalidate the tip-keyed query cache so no
@@ -519,6 +615,19 @@ impl StateMachine for BitcoinCanister {
             Err(_) => 32,
         }
     }
+
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        Some(self.checkpoint_bytes())
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), &'static str> {
+        *self = BitcoinCanister::restore(bytes).map_err(|_| "corrupt checkpoint")?;
+        Ok(())
+    }
+
+    fn state_fingerprint(&self) -> Option<[u8; 32]> {
+        Some(self.state_hash())
+    }
 }
 
 #[cfg(test)]
@@ -586,6 +695,107 @@ mod tests {
         let c = canister();
         let outcome = c.query(&CanisterCall::GetFeePercentiles, &mut Meter::new());
         assert_eq!(outcome.reply, Ok(CanisterReply::FeePercentiles(Vec::new())));
+    }
+
+    #[test]
+    fn checkpoint_restores_replicated_state_and_drops_node_local_state() {
+        let mut c = canister();
+        let call = CanisterCall::GetBalance { address: addr(1), min_confirmations: 0 };
+        // Burn some replicated work and fill the query cache.
+        let mut meter = Meter::new();
+        let mut ctx =
+            ExecutionContext { meter: &mut meter, now: icbtc_sim::SimTime::ZERO, round: 1 };
+        let outcome = c.execute(call.clone(), &mut ctx);
+        assert!(outcome.reply.is_ok());
+        c.query_cached(&call, &mut Meter::new());
+        assert_eq!(c.query_cache().len(), 1);
+
+        let bytes = c.checkpoint_bytes();
+        let restored = BitcoinCanister::restore(&bytes).unwrap();
+        // Replicated portion is identical...
+        assert_eq!(restored.state_hash(), c.state_hash());
+        assert_eq!(restored.cycles_burned(), c.cycles_burned());
+        assert_eq!(restored.get_metrics(), c.get_metrics());
+        assert_eq!(restored.checkpoint_bytes(), bytes);
+        // ...while node-local state starts empty: the cache entry filled
+        // at the *same tip* pre-upgrade is gone, so the post-restore
+        // canister can never serve a pre-upgrade reply.
+        assert!(restored.query_cache().is_empty());
+        assert_eq!(restored.obs().metrics.snapshot_json(), canister().obs().metrics.snapshot_json());
+
+        // Corruption is rejected, not misread.
+        assert!(BitcoinCanister::restore(&bytes[..bytes.len() - 1]).is_err());
+        let mut bad = bytes.clone();
+        bad[3] ^= 0x40;
+        assert!(BitcoinCanister::restore(&bad).is_err());
+    }
+
+    #[test]
+    fn state_hash_ignores_node_local_state() {
+        let mut c = canister();
+        let before = c.state_hash();
+        c.query_cached(
+            &CanisterCall::GetBalance { address: addr(2), min_confirmations: 0 },
+            &mut Meter::new(),
+        );
+        assert_eq!(c.query_cache().len(), 1);
+        assert_eq!(c.state_hash(), before, "query-cache fills must not move the hash");
+    }
+
+    #[test]
+    fn duplicate_ingest_is_counted_and_keeps_the_cache() {
+        use icbtc_btcnet::miner::mine_block_on;
+        use icbtc_btcnet::ChainStore;
+
+        let mut chain = ChainStore::new(Network::Regtest);
+        let block = mine_block_on(
+            &chain,
+            chain.tip_hash(),
+            Vec::new(),
+            icbtc_bitcoin::Script::new_p2wpkh(&[9; 20]),
+            0,
+        );
+        chain.accept_block(block.clone(), 2_000_000_000).unwrap();
+        let response = GetSuccessorsResponse { blocks: vec![block], next: Vec::new() };
+
+        let mut c = canister();
+        let apply = |c: &mut BitcoinCanister, response: GetSuccessorsResponse| {
+            let mut meter = Meter::new();
+            let mut ctx =
+                ExecutionContext { meter: &mut meter, now: icbtc_sim::SimTime::ZERO, round: 1 };
+            c.ingest_response(response, 2_000_000_000, &mut ctx)
+        };
+        let first = apply(&mut c, response.clone());
+        assert!(!first.duplicate_dropped);
+        // The probe itself is metered replicated work, so the *canister*
+        // hash (which covers instruction counters) legitimately moves;
+        // the Bitcoin state underneath must not.
+        let hash_after_first = c.state().state_hash();
+
+        // Fill the cache after the first ingest.
+        let call = CanisterCall::GetBalance { address: addr(1), min_confirmations: 0 };
+        c.query_cached(&call, &mut Meter::new());
+        assert_eq!(c.query_cache().len(), 1);
+
+        // Redelivery (a restarted replica's adapter catching up): a
+        // metered no-op that keeps the still-valid cache.
+        let second = apply(&mut c, response);
+        assert!(second.duplicate_dropped);
+        assert_eq!(c.state().state_hash(), hash_after_first);
+        assert_eq!(c.query_cache().len(), 1, "duplicate drop must not invalidate");
+        let snapshot = c.obs().metrics.snapshot_json();
+        assert!(
+            snapshot.contains(
+                "\"name\": \"canister_ingest_duplicate_dropped_total\", \"labels\": {}, \"value\": 1"
+            ),
+            "{snapshot}"
+        );
+        assert!(
+            snapshot.contains(
+                "\"name\": \"canister_qcache_invalidations_total\", \"labels\": {}, \"value\": 1"
+            ),
+            "only the first ingest invalidates: {snapshot}"
+        );
     }
 
     #[test]

@@ -124,6 +124,22 @@ pub const SEND_TX_BASE: u64 = 2_000_000;
 /// Instructions per byte of a submitted transaction.
 pub const SEND_TX_PER_BYTE: u64 = 8_000;
 
+/// Flat instructions for the ingest dedup probe: fetching the best tip
+/// and initializing the response-fingerprint hash. Charged only for
+/// non-empty responses, so idle rounds cost exactly what they did
+/// before the idempotence guard existed.
+pub const INGEST_DEDUP_PROBE: u64 = 25_000;
+
+/// Instructions per block or header hashed into the response
+/// fingerprint (the hashes are already computed; this is the absorb).
+pub const INGEST_DEDUP_PER_ITEM: u64 = 4_000;
+
+/// Instructions per snapshot byte to rebuild a canister from a
+/// checkpoint during crash catch-up — deserialization plus structural
+/// re-validation. Used by the recovery harness to convert checkpoint
+/// size into restart latency (MTTR).
+pub const CHECKPOINT_RESTORE_PER_BYTE: u64 = 25;
+
 /// The *production* canister's stable-storage bytes per UTXO: key, value,
 /// address-index entry, allocator and replication overhead. Calibrated to
 /// Figure 5: ≈ 103 GiB for ≈ 170 M UTXOs ⇒ ≈ 650 bytes each.

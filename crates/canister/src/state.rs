@@ -10,6 +10,8 @@
 
 use std::collections::BTreeMap;
 
+use icbtc_bitcoin::encode::{Decodable, Encodable};
+use icbtc_bitcoin::hash::{sha256, Sha256};
 use icbtc_bitcoin::pow::{median_time_past, retarget};
 use icbtc_bitcoin::{Block, BlockHash, BlockHeader, Transaction, Txid};
 use icbtc_core::stability::HeaderTree;
@@ -17,7 +19,8 @@ use icbtc_core::{GetSuccessorsRequest, GetSuccessorsResponse, IntegrationParams}
 use icbtc_ic::{Meter, MeterBreakdown};
 
 use crate::metering;
-use crate::utxoset::UtxoSet;
+use crate::storage::{codec, StorageError};
+use crate::utxoset::{SnapshotReader, UtxoSet};
 
 /// Why a header or block from the adapter was rejected. Rejections are
 /// not errors of the canister — malicious replicas may relay garbage —
@@ -51,6 +54,11 @@ pub struct IngestReport {
     pub rejected: Vec<RejectReason>,
     /// Blocks that became stable and were folded into the UTXO set.
     pub stabilized: Vec<BlockHash>,
+    /// The response was byte-identical (same tip, same block and header
+    /// hashes) to the most recently applied one and was dropped without
+    /// re-applying — the idempotence guard a restarted replica relies on
+    /// when the adapter re-delivers the last response after catch-up.
+    pub duplicate_dropped: bool,
 }
 
 /// The replicated state of the Bitcoin canister.
@@ -85,6 +93,11 @@ pub struct BitcoinCanisterState {
     ingestion_breakdown: MeterBreakdown,
     /// Total blocks folded into the stable set.
     blocks_stabilized: u64,
+    /// The best-chain tip after the last non-empty adapter response was
+    /// applied, paired with that response's content fingerprint.
+    /// Replicated state: every replica must agree on whether a
+    /// redelivered response is a duplicate.
+    last_response_fingerprint: Option<(BlockHash, [u8; 32])>,
 }
 
 impl BitcoinCanisterState {
@@ -106,6 +119,7 @@ impl BitcoinCanisterState {
             synced: true,
             ingestion_breakdown: breakdown,
             blocks_stabilized: 1,
+            last_response_fingerprint: None,
         }
     }
 
@@ -325,6 +339,33 @@ impl BitcoinCanisterState {
     // Algorithm 2
     // -----------------------------------------------------------------
 
+    /// Deterministic content fingerprint of a non-empty adapter
+    /// response: SHA-256d over the block hashes and the upcoming-header
+    /// hashes. `None` for the empty response, which carries no state
+    /// transition to deduplicate. The probe is metered so the dedup
+    /// check itself is replicated work.
+    fn response_fingerprint(
+        &self,
+        response: &GetSuccessorsResponse,
+        meter: &mut Meter,
+    ) -> Option<[u8; 32]> {
+        if response.blocks.is_empty() && response.next.is_empty() {
+            return None;
+        }
+        meter.charge(metering::INGEST_DEDUP_PROBE);
+        let mut hasher = Sha256::new();
+        hasher.update(&(response.blocks.len() as u64).to_be_bytes());
+        for block in &response.blocks {
+            meter.charge(metering::INGEST_DEDUP_PER_ITEM);
+            hasher.update(&block.block_hash().0);
+        }
+        for header in &response.next {
+            meter.charge(metering::INGEST_DEDUP_PER_ITEM);
+            hasher.update(&header.block_hash().0);
+        }
+        Some(sha256(&hasher.finalize()))
+    }
+
     /// Processes an adapter response `(B, N)` per **Algorithm 2**:
     /// validates and stores each block, advances the anchor while any
     /// child of it is difficulty-based δ-stable (folding stabilized
@@ -337,6 +378,22 @@ impl BitcoinCanisterState {
         meter: &mut Meter,
     ) -> IngestReport {
         let mut report = IngestReport::default();
+        // Idempotence guard: a response identical to the most recently
+        // applied one *at the same tip* is dropped as a metered no-op.
+        // Without this, an adapter re-delivering the last response after
+        // a replica restart (or a replayed post-checkpoint ingest log
+        // running one entry past the live state) would double-charge the
+        // per-transaction parse costs for every duplicate block.
+        let probe = meter.frame("dedup_probe");
+        let fingerprint = self.response_fingerprint(&response, meter);
+        meter.frame_end(probe);
+        if let Some(content) = fingerprint {
+            let (tip, _) = self.best_tip();
+            if self.last_response_fingerprint == Some((tip, content)) {
+                report.duplicate_dropped = true;
+                return report;
+            }
+        }
         for block in response.blocks {
             let hash = block.block_hash();
             let validate = meter.frame("header_validate");
@@ -387,6 +444,12 @@ impl BitcoinCanisterState {
             meter.frame_end(validate);
         }
 
+        if let Some(content) = fingerprint {
+            // Keyed at the *post-apply* tip: a redelivered copy of this
+            // response arrives when the live tip is exactly this one.
+            let (tip, _) = self.best_tip();
+            self.last_response_fingerprint = Some((tip, content));
+        }
         self.update_synced();
         report
     }
@@ -487,6 +550,242 @@ impl BitcoinCanisterState {
         self.blocks.clear();
         self.blocks_stabilized = anchor_height + 1;
         self.synced = true;
+    }
+
+    // -----------------------------------------------------------------
+    // Full-state snapshot envelope (checkpoints & upgrades)
+    // -----------------------------------------------------------------
+
+    /// Streams the canonical full-state snapshot into `sink`: magic,
+    /// version, the integration parameters, the UTXO-set snapshot, the
+    /// stable header chain, the unstable header tree, the unstable block
+    /// bodies, the outbound queue, and the bookkeeping scalars. The same
+    /// byte stream backs [`BitcoinCanisterState::serialize`] and the
+    /// streamed [`BitcoinCanisterState::state_hash`], so the hash
+    /// commits to exactly what a restore rebuilds.
+    fn snapshot_into(&self, sink: &mut dyn FnMut(&[u8])) {
+        sink(STATE_MAGIC);
+        sink(&STATE_VERSION.to_be_bytes());
+        sink(&[codec::network_tag(self.params.network)]);
+        sink(&self.params.stability_delta.to_be_bytes());
+        sink(&self.params.tau.to_be_bytes());
+        sink(&(self.params.connections as u64).to_be_bytes());
+        sink(&(self.params.addr_low_watermark as u64).to_be_bytes());
+        sink(&(self.params.addr_high_watermark as u64).to_be_bytes());
+        sink(&self.params.bulk_sync_height.to_be_bytes());
+        sink(&self.params.tx_cache_expiry_secs.to_be_bytes());
+        let utxo_bytes = self.utxos.serialize();
+        sink(&(utxo_bytes.len() as u64).to_be_bytes());
+        sink(&utxo_bytes);
+        sink(&(self.stable_headers.len() as u64).to_be_bytes());
+        for header in &self.stable_headers {
+            sink(&header.encode_to_vec());
+        }
+        // Unstable headers, excluding the root (the anchor is already the
+        // last stable header), sorted by (height, hash) so parents
+        // precede children and a restore can reinsert in stream order.
+        let mut unstable: Vec<(u64, BlockHash)> = self
+            .tree
+            .hashes()
+            .filter(|h| **h != self.tree.root())
+            .map(|h| {
+                let height = self.tree.height(h).expect("hash from tree"); // icbtc-lint: allow(no-panic) -- invariant: h was just yielded by tree.hashes()
+                (height, *h)
+            })
+            .collect();
+        unstable.sort();
+        sink(&(unstable.len() as u64).to_be_bytes());
+        for (_, hash) in &unstable {
+            let header = self.tree.header(hash).expect("hash from tree"); // icbtc-lint: allow(no-panic) -- invariant: hash was collected from tree.hashes() above
+            sink(&header.encode_to_vec());
+        }
+        sink(&(self.blocks.len() as u64).to_be_bytes());
+        for block in self.blocks.values() {
+            let bytes = block.encode_to_vec();
+            sink(&(bytes.len() as u64).to_be_bytes());
+            sink(&bytes);
+        }
+        sink(&(self.outbound.len() as u64).to_be_bytes());
+        for tx in &self.outbound {
+            let bytes = tx.encode_to_vec();
+            sink(&(bytes.len() as u64).to_be_bytes());
+            sink(&bytes);
+        }
+        sink(&[self.synced as u8]);
+        let entries = self.ingestion_breakdown.entries();
+        sink(&(entries.len() as u64).to_be_bytes());
+        for (label, value) in entries {
+            sink(&(label.len() as u16).to_be_bytes());
+            sink(label.as_bytes());
+            sink(&value.to_be_bytes());
+        }
+        sink(&self.blocks_stabilized.to_be_bytes());
+        match &self.last_response_fingerprint {
+            None => sink(&[0u8]),
+            Some((tip, content)) => {
+                sink(&[1u8]);
+                sink(&tip.0);
+                sink(content);
+            }
+        }
+    }
+
+    /// The full-state snapshot as one contiguous buffer — what a canister
+    /// upgrade writes to stable memory in `pre_upgrade`.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.snapshot_into(&mut |bytes| out.extend_from_slice(bytes));
+        out
+    }
+
+    /// Composite SHA-256d over the snapshot stream, computed without
+    /// materializing the buffer. Two states are behaviorally identical
+    /// for every replicated API iff their hashes match, which is what the
+    /// shadow-replica divergence detector compares every round.
+    pub fn state_hash(&self) -> [u8; 32] {
+        let mut hasher = Sha256::new();
+        self.snapshot_into(&mut |bytes| hasher.update(bytes));
+        sha256(&hasher.finalize())
+    }
+
+    /// Rebuilds a state from [`BitcoinCanisterState::serialize`] bytes,
+    /// validating every structural invariant a live state maintains.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Corrupt`] on a bad magic/version/network tag, a
+    /// stable chain that is empty, does not link, or disagrees with the
+    /// UTXO set's height, an unstable header without its parent, a block
+    /// body without its header, or trailing bytes.
+    pub fn deserialize(bytes: &[u8]) -> Result<BitcoinCanisterState, StorageError> {
+        let mut cursor = SnapshotReader { bytes, pos: 0 };
+        if cursor.take(8)? != STATE_MAGIC {
+            return Err(StorageError::Corrupt("bad state magic"));
+        }
+        if cursor.u16()? != STATE_VERSION {
+            return Err(StorageError::Corrupt("unsupported state snapshot version"));
+        }
+        let network = codec::network_from_tag(cursor.u8()?)?;
+        let mut params = IntegrationParams::for_network(network);
+        params.stability_delta = cursor.u64()?;
+        params.tau = cursor.u64()?;
+        params.connections = cursor.u64()? as usize;
+        params.addr_low_watermark = cursor.u64()? as usize;
+        params.addr_high_watermark = cursor.u64()? as usize;
+        params.bulk_sync_height = cursor.u64()?;
+        params.tx_cache_expiry_secs = cursor.u64()?;
+        let utxo_len = cursor.u64()? as usize;
+        let utxos = UtxoSet::deserialize(cursor.take(utxo_len)?)?;
+        if utxos.network() != network {
+            return Err(StorageError::Corrupt("utxo snapshot network mismatch"));
+        }
+        let stable_count = cursor.u64()? as usize;
+        if stable_count == 0 {
+            return Err(StorageError::Corrupt("empty stable chain"));
+        }
+        if stable_count as u64 != utxos.next_height() {
+            return Err(StorageError::Corrupt("stable chain length disagrees with utxo height"));
+        }
+        let mut stable_headers: Vec<BlockHeader> = Vec::new();
+        for _ in 0..stable_count {
+            let header = BlockHeader::decode_exact(cursor.take(80)?)
+                .map_err(|_| StorageError::Corrupt("bad stable header"))?;
+            if let Some(prev) = stable_headers.last() {
+                if header.prev_blockhash != prev.block_hash() {
+                    return Err(StorageError::Corrupt("stable headers do not chain"));
+                }
+            }
+            stable_headers.push(header);
+        }
+        let anchor = *stable_headers.last().expect("non-empty"); // icbtc-lint: allow(no-panic) -- guarded by the stable_count == 0 check above
+        let anchor_height = stable_count as u64 - 1;
+        let mut tree = HeaderTree::with_root_height(anchor, anchor_height);
+        let unstable_count = cursor.u64()? as usize;
+        for _ in 0..unstable_count {
+            let header = BlockHeader::decode_exact(cursor.take(80)?)
+                .map_err(|_| StorageError::Corrupt("bad unstable header"))?;
+            if tree.insert(header).is_err() {
+                return Err(StorageError::Corrupt("orphan unstable header"));
+            }
+        }
+        let block_count = cursor.u64()? as usize;
+        let mut blocks = BTreeMap::new();
+        for _ in 0..block_count {
+            let len = cursor.u64()? as usize;
+            let block = Block::decode_exact(cursor.take(len)?)
+                .map_err(|_| StorageError::Corrupt("bad unstable block"))?;
+            let hash = block.block_hash();
+            if !tree.contains(&hash) || hash == tree.root() {
+                return Err(StorageError::Corrupt("block body without unstable header"));
+            }
+            blocks.insert(hash, block);
+        }
+        let outbound_count = cursor.u64()? as usize;
+        let mut outbound: Vec<Transaction> = Vec::new();
+        for _ in 0..outbound_count {
+            let len = cursor.u64()? as usize;
+            let tx = Transaction::decode_exact(cursor.take(len)?)
+                .map_err(|_| StorageError::Corrupt("bad outbound transaction"))?;
+            outbound.push(tx);
+        }
+        let synced = match cursor.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(StorageError::Corrupt("bad synced flag")),
+        };
+        let breakdown_count = cursor.u64()? as usize;
+        let mut ingestion_breakdown = MeterBreakdown::new();
+        for _ in 0..breakdown_count {
+            let label_len = cursor.u16()? as usize;
+            let label = static_breakdown_label(cursor.take(label_len)?)?;
+            ingestion_breakdown.add(label, cursor.u64()?);
+        }
+        let blocks_stabilized = cursor.u64()?;
+        if blocks_stabilized != anchor_height + 1 {
+            return Err(StorageError::Corrupt("blocks_stabilized disagrees with anchor height"));
+        }
+        let last_response_fingerprint = match cursor.u8()? {
+            0 => None,
+            1 => {
+                let mut tip = [0u8; 32];
+                tip.copy_from_slice(cursor.take(32)?);
+                let mut content = [0u8; 32];
+                content.copy_from_slice(cursor.take(32)?);
+                Some((BlockHash(tip), content))
+            }
+            _ => return Err(StorageError::Corrupt("bad fingerprint tag")),
+        };
+        if cursor.pos != bytes.len() {
+            return Err(StorageError::Corrupt("trailing bytes in state snapshot"));
+        }
+        Ok(BitcoinCanisterState {
+            params,
+            utxos,
+            stable_headers,
+            tree,
+            blocks,
+            outbound,
+            synced,
+            ingestion_breakdown,
+            blocks_stabilized,
+            last_response_fingerprint,
+        })
+    }
+}
+
+/// Magic prefix of the full-state snapshot envelope.
+const STATE_MAGIC: &[u8; 8] = b"ICBTCSTA";
+/// Bumped on any layout change; restores reject other versions.
+const STATE_VERSION: u16 = 1;
+
+/// Maps a serialized breakdown label back to the `'static` string
+/// [`MeterBreakdown::add`] requires. Only labels the ingestion path
+/// actually emits are representable; anything else is corruption.
+fn static_breakdown_label(label: &[u8]) -> Result<&'static str, StorageError> {
+    match label {
+        b"output_insertion" => Ok("output_insertion"),
+        b"input_removal" => Ok("input_removal"),
+        _ => Err(StorageError::Corrupt("unknown breakdown label")),
     }
 }
 
@@ -732,9 +1031,144 @@ mod tests {
         let mut state = BitcoinCanisterState::new(params());
         let mut meter = Meter::new();
         let first = state.process_response(respond_with(&blocks), NOW, &mut meter);
+        let hash_after_first = state.state_hash();
         let second = state.process_response(respond_with(&blocks), NOW, &mut meter);
         assert_eq!(first.blocks_accepted, 1);
+        assert!(!first.duplicate_dropped);
         assert_eq!(second.blocks_accepted, 0);
+        assert!(second.duplicate_dropped, "redelivered response must hit the dedup guard");
         assert_eq!(state.unstable_block_count(), 1);
+        // The drop is a true no-op on replicated state.
+        assert_eq!(state.state_hash(), hash_after_first);
+        // A *different* response at the same tip is not a duplicate.
+        let header_only = GetSuccessorsResponse {
+            blocks: Vec::new(),
+            next: vec![blocks[0].header],
+        };
+        let third = state.process_response(header_only, NOW, &mut meter);
+        assert!(!third.duplicate_dropped);
+    }
+
+    #[test]
+    fn duplicate_probe_is_metered() {
+        let mut chain = ChainStore::new(Network::Regtest);
+        let blocks = mine_chain(&mut chain, 1, 0);
+        let mut state = BitcoinCanisterState::new(params());
+        let mut meter = Meter::new();
+        state.process_response(respond_with(&blocks), NOW, &mut meter);
+        meter.take();
+        let report = state.process_response(respond_with(&blocks), NOW, &mut meter);
+        assert!(report.duplicate_dropped);
+        let spent = meter.take();
+        assert_eq!(
+            spent,
+            metering::INGEST_DEDUP_PROBE + metering::INGEST_DEDUP_PER_ITEM,
+            "a dropped duplicate still pays for its own dedup probe"
+        );
+        // Empty responses pay nothing extra: the guard never fires.
+        let report = state.process_response(GetSuccessorsResponse::default(), NOW, &mut meter);
+        assert!(!report.duplicate_dropped);
+        assert_eq!(meter.take(), 0);
+    }
+
+    /// Drives a state into a representative mid-flight shape: stable
+    /// progress, an unstable tree with a fork, queued transactions, and a
+    /// set dedup fingerprint.
+    fn populated_state() -> BitcoinCanisterState {
+        let mut chain = ChainStore::new(Network::Regtest);
+        let main = mine_chain(&mut chain, 6, 0);
+        let mut fork_chain = ChainStore::new(Network::Regtest);
+        for block in &main[..5] {
+            fork_chain.accept_block(block.clone(), NOW).unwrap();
+        }
+        let fork = mine_chain(&mut fork_chain, 1, 500);
+        let mut state = BitcoinCanisterState::new(params());
+        let mut meter = Meter::new();
+        state.process_response(respond_with(&main), NOW, &mut meter);
+        state.process_response(respond_with(&fork), NOW, &mut meter);
+        state.queue_transaction(Transaction {
+            version: 2,
+            inputs: vec![icbtc_bitcoin::TxIn::new(icbtc_bitcoin::OutPoint::new(
+                Txid([0x11; 32]),
+                0,
+            ))],
+            outputs: vec![icbtc_bitcoin::TxOut::new(
+                icbtc_bitcoin::Amount::from_sat(4_200),
+                Script::new_p2wpkh(&[0x22; 20]),
+            )],
+            lock_time: 0,
+        });
+        state
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_byte_identical() {
+        let state = populated_state();
+        let bytes = state.serialize();
+        let restored = BitcoinCanisterState::deserialize(&bytes).unwrap();
+        assert_eq!(restored.serialize(), bytes);
+        assert_eq!(restored.state_hash(), state.state_hash());
+        // Everything observable survives.
+        assert_eq!(restored.anchor_height(), state.anchor_height());
+        assert_eq!(restored.best_tip(), state.best_tip());
+        assert_eq!(restored.unstable_block_count(), state.unstable_block_count());
+        assert_eq!(restored.outbound_len(), state.outbound_len());
+        assert_eq!(restored.is_synced(), state.is_synced());
+        assert_eq!(restored.blocks_stabilized(), state.blocks_stabilized());
+        assert_eq!(
+            restored.ingestion_breakdown().entries(),
+            state.ingestion_breakdown().entries()
+        );
+        assert_eq!(restored.last_response_fingerprint, state.last_response_fingerprint);
+    }
+
+    #[test]
+    fn state_hash_is_sha256d_of_serialization() {
+        let state = populated_state();
+        assert_eq!(state.state_hash(), icbtc_bitcoin::hash::sha256d(&state.serialize()));
+    }
+
+    #[test]
+    fn snapshot_restore_continues_identically() {
+        // A restored state must process future responses exactly like the
+        // original — including the dedup guard carried across.
+        let mut chain = ChainStore::new(Network::Regtest);
+        let blocks = mine_chain(&mut chain, 8, 0);
+        let mut original = BitcoinCanisterState::new(params());
+        let mut meter = Meter::new();
+        original.process_response(respond_with(&blocks[..5]), NOW, &mut meter);
+        let mut restored = BitcoinCanisterState::deserialize(&original.serialize()).unwrap();
+        // The redelivered last response is a duplicate for both.
+        let a = original.process_response(respond_with(&blocks[..5]), NOW, &mut meter);
+        let b = restored.process_response(respond_with(&blocks[..5]), NOW, &mut meter);
+        assert!(a.duplicate_dropped && b.duplicate_dropped);
+        // Fresh blocks apply identically.
+        original.process_response(respond_with(&blocks[5..]), NOW, &mut meter);
+        restored.process_response(respond_with(&blocks[5..]), NOW, &mut meter);
+        assert_eq!(original.state_hash(), restored.state_hash());
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption() {
+        let state = populated_state();
+        let good = state.serialize();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(BitcoinCanisterState::deserialize(&bad_magic).is_err());
+
+        let mut bad_version = good.clone();
+        bad_version[9] = 0xff;
+        assert!(BitcoinCanisterState::deserialize(&bad_version).is_err());
+
+        let mut truncated = good.clone();
+        truncated.pop();
+        assert!(BitcoinCanisterState::deserialize(&truncated).is_err());
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(BitcoinCanisterState::deserialize(&trailing).is_err());
+
+        assert!(BitcoinCanisterState::deserialize(&[]).is_err());
     }
 }

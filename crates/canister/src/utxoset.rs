@@ -451,14 +451,16 @@ impl UtxoSet {
     }
 }
 
-/// Minimal bounds-checked reader for snapshot deserialization.
-struct SnapshotReader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+/// Minimal bounds-checked reader for snapshot deserialization, shared
+/// with the full-state checkpoint envelope in [`crate::state`] and the
+/// canister-level wrapper in [`crate::canister`].
+pub(crate) struct SnapshotReader<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> SnapshotReader<'a> {
-    fn take(&mut self, len: usize) -> Result<&'a [u8], StorageError> {
+    pub(crate) fn take(&mut self, len: usize) -> Result<&'a [u8], StorageError> {
         let end = self
             .pos
             .checked_add(len)
@@ -469,23 +471,30 @@ impl<'a> SnapshotReader<'a> {
         Ok(slice)
     }
 
-    fn u8(&mut self) -> Result<u8, StorageError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, StorageError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, StorageError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, StorageError> {
         let b = self.take(2)?;
         Ok(u16::from_be_bytes([b[0], b[1]]))
     }
 
-    fn u32(&mut self) -> Result<u32, StorageError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, StorageError> {
         let b = self.take(4)?;
         Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self) -> Result<u64, StorageError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, StorageError> {
         let b = self.take(8)?;
         Ok(u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    pub(crate) fn u128(&mut self) -> Result<u128, StorageError> {
+        let b = self.take(16)?;
+        let mut raw = [0u8; 16];
+        raw.copy_from_slice(b);
+        Ok(u128::from_be_bytes(raw))
     }
 }
 

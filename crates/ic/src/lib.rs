@@ -31,11 +31,16 @@
 pub mod consensus;
 pub mod cycles;
 pub mod ingress;
+pub mod lifecycle;
 pub mod meter;
 pub mod subnet;
 
 pub use consensus::{ConsensusConfig, ConsensusEngine, ReplicaId, RoundInfo};
 pub use cycles::{Cycles, CyclesLedger, FeeSchedule};
 pub use ingress::{IngressId, IngressPool, LatencyModel};
+pub use lifecycle::LifecyclePlan;
 pub use meter::{Meter, MeterBreakdown};
-pub use subnet::{CallResult, ExecutionContext, QueryPlaneConfig, RoundReport, StateMachine, Subnet};
+pub use subnet::{
+    CallResult, ExecutionContext, JournalRound, QueryPlaneConfig, RoundReport, StateMachine, Subnet,
+    SubnetCheckpoint,
+};

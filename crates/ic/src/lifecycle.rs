@@ -1,0 +1,233 @@
+//! Deterministic lifecycle-event plans for the replicated subnet.
+//!
+//! A [`LifecyclePlan`] is the IC-layer analog of btcnet's `FaultPlan`:
+//! where that plan degrades the Bitcoin fabric *below* the canister,
+//! this one exercises the replicated layer itself — periodic
+//! checkpoints, canister upgrades (serialize → drop node-local state →
+//! restore), replica crash/restart with catch-up from the latest
+//! checkpoint, and shadow-replica divergence detection with seeded
+//! state corruption.
+//!
+//! Plans are plain data: every round list is sorted and deduplicated,
+//! and [`LifecyclePlan::randomized`] draws from a caller-supplied
+//! `SimRng`, so a given (seed, plan) pair produces a byte-identical
+//! lifecycle schedule — the property behind `scripts/verify.sh`'s
+//! recovery determinism gate.
+
+use icbtc_sim::SimRng;
+
+/// A deterministic schedule of replicated-layer lifecycle events,
+/// installed on the simulation driver (`icbtc::System::set_lifecycle_plan`).
+///
+/// # Examples
+///
+/// ```
+/// use icbtc_ic::LifecyclePlan;
+///
+/// let plan = LifecyclePlan::builtin("mixed").unwrap();
+/// assert!(plan.checkpoint_every > 0);
+/// assert!(plan.ends_at() > 0);
+/// assert!(LifecyclePlan::none().is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LifecyclePlan {
+    /// Checkpoint cadence in rounds (0 = no periodic checkpoints).
+    pub checkpoint_every: u64,
+    /// Rounds after which the canister is upgraded: serialized, node-local
+    /// state dropped, restored. Sorted, deduplicated.
+    pub upgrades: Vec<u64>,
+    /// Rounds after which a replica crash/restart is simulated: catch-up
+    /// from the latest checkpoint plus deterministic replay of the
+    /// post-checkpoint ingress log. Sorted, deduplicated.
+    pub crashes: Vec<u64>,
+    /// Run a shadow replica that re-executes every round and compares
+    /// per-round state hashes against the live canister.
+    pub shadow: bool,
+    /// Rounds after which the *shadow* replica's state is deliberately
+    /// corrupted, proving the divergence detector fires. Implies
+    /// [`LifecyclePlan::shadow`]. Sorted, deduplicated.
+    pub corruptions: Vec<u64>,
+}
+
+impl LifecyclePlan {
+    /// A plan that injects nothing.
+    pub fn none() -> LifecyclePlan {
+        LifecyclePlan::default()
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        *self == LifecyclePlan::default()
+    }
+
+    /// Whether the plan needs the shadow replica running.
+    pub fn wants_shadow(&self) -> bool {
+        self.shadow || !self.corruptions.is_empty()
+    }
+
+    /// The last round any scheduled event fires in (0 when only periodic
+    /// machinery — checkpoints, the shadow — is configured).
+    pub fn ends_at(&self) -> u64 {
+        let mut end = 0;
+        for &round in self.upgrades.iter().chain(&self.crashes).chain(&self.corruptions) {
+            end = end.max(round);
+        }
+        end
+    }
+
+    /// Sorts and deduplicates every round list — the canonical form every
+    /// constructor ends in.
+    fn normalized(mut self) -> LifecyclePlan {
+        self.upgrades.sort_unstable();
+        self.upgrades.dedup();
+        self.crashes.sort_unstable();
+        self.crashes.dedup();
+        self.corruptions.sort_unstable();
+        self.corruptions.dedup();
+        self
+    }
+
+    /// Names accepted by [`LifecyclePlan::builtin`].
+    pub fn builtin_names() -> &'static [&'static str] {
+        &["checkpoints", "upgrades", "crashes", "corruption", "mixed"]
+    }
+
+    /// The canonical recovery plans shared by `tests/recovery.rs` and the
+    /// `recovery_soak` bench binary. All are written against runs of at
+    /// least 60 rounds and schedule every event after the first cadence
+    /// checkpoint, so crash catch-up always has a checkpoint to restart
+    /// from.
+    pub fn builtin(name: &str) -> Option<LifecyclePlan> {
+        let plan = match name {
+            "checkpoints" => LifecyclePlan {
+                checkpoint_every: 10,
+                ..LifecyclePlan::default()
+            },
+            "upgrades" => LifecyclePlan {
+                checkpoint_every: 10,
+                upgrades: vec![15, 31, 48],
+                ..LifecyclePlan::default()
+            },
+            "crashes" => LifecyclePlan {
+                checkpoint_every: 10,
+                crashes: vec![13, 27, 44, 55],
+                ..LifecyclePlan::default()
+            },
+            "corruption" => LifecyclePlan {
+                checkpoint_every: 10,
+                shadow: true,
+                corruptions: vec![20, 40],
+                ..LifecyclePlan::default()
+            },
+            "mixed" => LifecyclePlan {
+                checkpoint_every: 8,
+                upgrades: vec![19, 43],
+                crashes: vec![26, 51],
+                shadow: true,
+                corruptions: vec![34],
+            },
+            _ => return None,
+        };
+        Some(plan.normalized())
+    }
+
+    /// Samples a plan over rounds `1..=horizon` from `rng`: `upgrades` +
+    /// `crashes` + `corruptions` distinct event rounds, all strictly after
+    /// the first cadence checkpoint. Drawing from the run's own seeded
+    /// rng keeps (seed → schedule) byte-reproducible.
+    pub fn randomized(
+        rng: &mut SimRng,
+        horizon: u64,
+        checkpoint_every: u64,
+        upgrades: usize,
+        crashes: usize,
+        corruptions: usize,
+    ) -> LifecyclePlan {
+        let cadence = checkpoint_every.max(1);
+        let first_eligible = cadence + 1;
+        let mut free: Vec<u64> = (first_eligible..=horizon.max(first_eligible)).collect();
+        let mut draw = |n: usize, free: &mut Vec<u64>| {
+            let mut rounds = Vec::with_capacity(n);
+            for _ in 0..n {
+                if free.is_empty() {
+                    break;
+                }
+                rounds.push(free.swap_remove(rng.index(free.len())));
+            }
+            rounds
+        };
+        let plan = LifecyclePlan {
+            checkpoint_every: cadence,
+            upgrades: draw(upgrades, &mut free),
+            crashes: draw(crashes, &mut free),
+            shadow: corruptions > 0,
+            corruptions: draw(corruptions, &mut free),
+        };
+        plan.normalized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_empty_and_builtin_plans_are_not() {
+        assert!(LifecyclePlan::none().is_empty());
+        for name in LifecyclePlan::builtin_names() {
+            let plan = LifecyclePlan::builtin(name).unwrap();
+            assert!(!plan.is_empty(), "{name}");
+        }
+        assert!(LifecyclePlan::builtin("nonsense").is_none());
+    }
+
+    #[test]
+    fn builtin_events_fire_after_the_first_checkpoint() {
+        for name in LifecyclePlan::builtin_names() {
+            let plan = LifecyclePlan::builtin(name).unwrap();
+            for &round in plan.upgrades.iter().chain(&plan.crashes).chain(&plan.corruptions) {
+                assert!(
+                    round > plan.checkpoint_every,
+                    "{name}: round {round} precedes the first checkpoint"
+                );
+            }
+            assert!(plan.ends_at() <= 60, "{name} must fit a 60-round soak");
+        }
+    }
+
+    #[test]
+    fn corruption_implies_shadow() {
+        let plan = LifecyclePlan::builtin("corruption").unwrap();
+        assert!(plan.wants_shadow());
+        let silent = LifecyclePlan { corruptions: vec![5], ..LifecyclePlan::default() };
+        assert!(silent.wants_shadow(), "corruptions without shadow would go undetected");
+    }
+
+    #[test]
+    fn randomized_plans_are_reproducible_and_disjoint() {
+        let sample = |seed| {
+            let mut rng = SimRng::seed_from(seed);
+            LifecyclePlan::randomized(&mut rng, 100, 10, 3, 3, 2)
+        };
+        assert_eq!(sample(7), sample(7), "same seed, same plan");
+        assert_ne!(sample(7), sample(8), "different seed, different plan");
+        let plan = sample(7);
+        assert_eq!(plan.upgrades.len(), 3);
+        assert_eq!(plan.crashes.len(), 3);
+        assert_eq!(plan.corruptions.len(), 2);
+        assert!(plan.shadow);
+        // Event rounds are pairwise distinct and after the first cadence.
+        let mut all: Vec<u64> = plan
+            .upgrades
+            .iter()
+            .chain(&plan.crashes)
+            .chain(&plan.corruptions)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        let len = all.len();
+        all.dedup();
+        assert_eq!(all.len(), len, "event rounds collide");
+        assert!(all.iter().all(|&r| r > 10 && r <= 100));
+    }
+}

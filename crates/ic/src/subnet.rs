@@ -40,6 +40,60 @@ pub trait StateMachine {
     fn output_bytes(_output: &Self::Output) -> usize {
         64
     }
+
+    /// Serializes the machine's *replicated* portion into a checkpoint a
+    /// later [`StateMachine::restore`] can rebuild from. `None` (the
+    /// default) means the application does not support checkpointing and
+    /// the subnet's periodic checkpointer stays inert.
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Replaces this machine with the state a checkpoint captured,
+    /// dropping any node-local state (caches, profilers) — the
+    /// `post_upgrade`/crash-restart path.
+    ///
+    /// # Errors
+    ///
+    /// A short description when the bytes are corrupt or checkpointing is
+    /// unsupported; the machine must be left unchanged on error.
+    fn restore(&mut self, _bytes: &[u8]) -> Result<(), &'static str> {
+        Err("checkpointing not supported")
+    }
+
+    /// A deterministic fingerprint of the replicated state, used by the
+    /// divergence detector to compare replicas. `None` (the default)
+    /// disables comparison.
+    fn state_fingerprint(&self) -> Option<[u8; 32]> {
+        None
+    }
+}
+
+/// A point-in-time checkpoint of a subnet's replicated state, from which
+/// a crashed replica catches up.
+#[derive(Debug, Clone)]
+pub struct SubnetCheckpoint {
+    /// The round after whose execution the checkpoint was taken.
+    pub round: u64,
+    /// Finalization time of that round.
+    pub at: SimTime,
+    /// The [`StateMachine::checkpoint`] bytes.
+    pub bytes: Vec<u8>,
+    /// The [`StateMachine::state_fingerprint`] at checkpoint time (zeroes
+    /// if the machine does not expose one).
+    pub state_hash: [u8; 32],
+}
+
+/// The finalized ingress inputs of one round — the journal entry a
+/// catch-up replay re-executes on top of the latest checkpoint.
+#[derive(Debug, Clone)]
+pub struct JournalRound<I> {
+    /// The round number.
+    pub round: u64,
+    /// Finalization time of the round.
+    pub finalized_at: SimTime,
+    /// The ingress batch, in execution order.
+    pub inputs: Vec<I>,
 }
 
 /// Configuration of the batched query plane (per-round drain bound and
@@ -152,6 +206,14 @@ pub struct Subnet<S: StateMachine> {
     total_instructions: u64,
     completed_calls: u64,
     completed_queries: u64,
+    /// Checkpoint every N rounds (0 = off, the default — existing
+    /// workloads pay nothing).
+    checkpoint_every: u64,
+    latest_checkpoint: Option<SubnetCheckpoint>,
+    /// Post-checkpoint finalized-ingress journal, oldest first. Only
+    /// recorded while [`Subnet::set_input_journal`] has enabled it.
+    journal: Vec<JournalRound<S::Input>>,
+    journal_enabled: bool,
     /// Observability endpoint (metrics + trace), component `"ic"`.
     obs: Obs,
 }
@@ -176,8 +238,83 @@ impl<S: StateMachine> Subnet<S> {
             total_instructions: 0,
             completed_calls: 0,
             completed_queries: 0,
+            checkpoint_every: 0,
+            latest_checkpoint: None,
+            journal: Vec::new(),
+            journal_enabled: false,
             obs,
         }
+    }
+
+    /// Sets the periodic checkpoint cadence: every `rounds` rounds (after
+    /// the round's execution), the subnet asks the state machine for a
+    /// [`StateMachine::checkpoint`]. `0` disables the checkpointer.
+    pub fn set_checkpoint_cadence(&mut self, rounds: u64) {
+        self.checkpoint_every = rounds;
+    }
+
+    /// The checkpoint cadence in force (0 = off).
+    pub fn checkpoint_cadence(&self) -> u64 {
+        self.checkpoint_every
+    }
+
+    /// Enables or disables the finalized-ingress journal that crash
+    /// catch-up replays on top of the latest checkpoint.
+    pub fn set_input_journal(&mut self, enabled: bool) {
+        self.journal_enabled = enabled;
+        if !enabled {
+            self.journal.clear();
+        }
+    }
+
+    /// Takes a checkpoint immediately, outside the cadence. Returns
+    /// `false` when the state machine does not support checkpointing.
+    pub fn take_checkpoint(&mut self) -> bool {
+        let round = self.engine.round();
+        let at = self.engine.now();
+        self.checkpoint_now(round, at)
+    }
+
+    /// The most recent checkpoint, if any — what a crashed replica
+    /// restarts from.
+    // icbtc-lint: node-local -- checkpoint storage is per-replica durable state, inspected by the recovery harness, never read back into replicated execution
+    pub fn latest_checkpoint(&self) -> Option<&SubnetCheckpoint> {
+        self.latest_checkpoint.as_ref()
+    }
+
+    /// The finalized-ingress journal accumulated since the oldest
+    /// retained round, oldest first.
+    // icbtc-lint: node-local -- the journal mirrors what consensus already finalized; it is read by the catch-up replayer, never by live replicated execution
+    pub fn input_journal(&self) -> &[JournalRound<S::Input>] {
+        &self.journal
+    }
+
+    /// Drops journal rounds at or before `round` — called once a
+    /// checkpoint makes them unnecessary for catch-up.
+    pub fn prune_journal_through(&mut self, round: u64) {
+        self.journal.retain(|entry| entry.round > round);
+    }
+
+    fn checkpoint_now(&mut self, round: u64, at: SimTime) -> bool {
+        let Some(bytes) = self.state.checkpoint() else {
+            return false;
+        };
+        let state_hash = self.state.state_fingerprint().unwrap_or([0; 32]);
+        let m = &mut self.obs.metrics;
+        m.inc("ic_checkpoint_total");
+        m.add("ic_checkpoint_bytes_total", bytes.len() as u64);
+        m.set_gauge("ic_checkpoint_bytes", bytes.len() as i64);
+        m.set_gauge("ic_checkpoint_last_round", round as i64);
+        self.obs.trace.event(
+            "ic.checkpoint",
+            at,
+            &[
+                ("round", FieldValue::U64(round)),
+                ("bytes", FieldValue::U64(bytes.len() as u64)),
+            ],
+        );
+        self.latest_checkpoint = Some(SubnetCheckpoint { round, at, bytes, state_hash });
+        true
     }
 
     /// Replaces the query-plane configuration, resetting the lane clocks.
@@ -295,7 +432,10 @@ impl<S: StateMachine> Subnet<S> {
     pub fn execute_round(
         &mut self,
         payload: impl FnOnce(&mut S, &mut ExecutionContext<'_>),
-    ) -> RoundReport<S::Output> {
+    ) -> RoundReport<S::Output>
+    where
+        S::Input: Clone,
+    {
         self.execute_round_with(|state, ctx, _info| payload(state, ctx))
     }
 
@@ -306,7 +446,10 @@ impl<S: StateMachine> Subnet<S> {
     pub fn execute_round_with(
         &mut self,
         payload: impl FnOnce(&mut S, &mut ExecutionContext<'_>, RoundInfo),
-    ) -> RoundReport<S::Output> {
+    ) -> RoundReport<S::Output>
+    where
+        S::Input: Clone,
+    {
         let info = self.engine.next_round();
         let span = self.obs.trace.span_start(
             "ic.round",
@@ -336,6 +479,15 @@ impl<S: StateMachine> Subnet<S> {
         self.obs.prof.exit(frame);
 
         let batch = self.pool.take_ready(info.finalized_at);
+        if self.journal_enabled {
+            // Journal the finalized batch before execution so a catch-up
+            // replay sees exactly what the live run is about to apply.
+            self.journal.push(JournalRound {
+                round: info.round,
+                finalized_at: info.finalized_at,
+                inputs: batch.iter().map(|ready| ready.payload.clone()).collect(),
+            });
+        }
         let mut results = Vec::with_capacity(batch.len());
         for ready in batch {
             let mut meter = Meter::new();
@@ -418,6 +570,10 @@ impl<S: StateMachine> Subnet<S> {
             });
         }
         self.obs.metrics.set_gauge("ic_query_queue_depth", self.query_pool.len() as i64);
+
+        if self.checkpoint_every > 0 && info.round.is_multiple_of(self.checkpoint_every) {
+            self.checkpoint_now(info.round, info.finalized_at);
+        }
 
         self.obs.trace.span_end(
             span,
@@ -661,6 +817,78 @@ mod tests {
             *last >= *first + icbtc_sim::SimDuration::from_millis(100),
             "no queueing delay visible: first {first:?}, last {last:?}"
         );
+    }
+
+    /// An Adder that checkpoints its total as 8 BE bytes.
+    struct DurableAdder {
+        total: u64,
+    }
+
+    impl StateMachine for DurableAdder {
+        type Input = u64;
+        type Output = u64;
+        fn execute(&mut self, add: u64, ctx: &mut ExecutionContext<'_>) -> u64 {
+            ctx.meter.charge(100 * add);
+            self.total += add;
+            self.total
+        }
+        fn checkpoint(&self) -> Option<Vec<u8>> {
+            Some(self.total.to_be_bytes().to_vec())
+        }
+        fn restore(&mut self, bytes: &[u8]) -> Result<(), &'static str> {
+            let bytes: [u8; 8] = bytes.try_into().map_err(|_| "bad length")?;
+            self.total = u64::from_be_bytes(bytes);
+            Ok(())
+        }
+        fn state_fingerprint(&self) -> Option<[u8; 32]> {
+            let mut hash = [0u8; 32];
+            hash[..8].copy_from_slice(&self.total.to_be_bytes());
+            Some(hash)
+        }
+    }
+
+    #[test]
+    fn checkpointing_is_off_by_default_and_unsupported_machines_stay_inert() {
+        let mut subnet = subnet(11);
+        for _ in 0..5 {
+            subnet.execute_round(|_, _| {});
+        }
+        assert!(subnet.latest_checkpoint().is_none());
+        // The plain Adder has no checkpoint support: even a manual
+        // request produces nothing.
+        assert!(!subnet.take_checkpoint());
+        assert!(subnet.latest_checkpoint().is_none());
+    }
+
+    #[test]
+    fn cadence_checkpoints_capture_post_round_state() {
+        let mut subnet =
+            Subnet::new(DurableAdder { total: 0 }, ConsensusConfig::thirteen_replicas(), 12);
+        subnet.set_checkpoint_cadence(3);
+        subnet.set_input_journal(true);
+        subnet.submit(7);
+        for _ in 0..9 {
+            subnet.execute_round(|_, _| {});
+        }
+        let checkpoint = subnet.latest_checkpoint().expect("cadence must have fired").clone();
+        assert_eq!(checkpoint.round % 3, 0);
+        assert_eq!(checkpoint.bytes, 7u64.to_be_bytes().to_vec());
+        assert_eq!(&checkpoint.state_hash[..8], &7u64.to_be_bytes());
+
+        // Restore round-trips through the StateMachine hook.
+        let mut replica = DurableAdder { total: 0 };
+        replica.restore(&checkpoint.bytes).unwrap();
+        assert_eq!(replica.total, 7);
+
+        // The journal recorded every round, and the finalized input is in
+        // exactly one of them; pruning through the checkpoint keeps only
+        // younger rounds.
+        assert_eq!(subnet.input_journal().len(), 9);
+        let journaled: Vec<u64> =
+            subnet.input_journal().iter().flat_map(|r| r.inputs.iter().copied()).collect();
+        assert_eq!(journaled, vec![7]);
+        subnet.prune_journal_through(checkpoint.round);
+        assert!(subnet.input_journal().iter().all(|r| r.round > checkpoint.round));
     }
 
     #[test]

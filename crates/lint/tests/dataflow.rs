@@ -129,6 +129,32 @@ fn good_profiler_read_from_query_plane() {
 }
 
 #[test]
+fn bad_node_local_read_in_restore_path() {
+    // A checkpoint-restore helper that seeds rebuilt state from the
+    // query cache, reached from an update root — the recovery-subsystem
+    // shape ICL012 must keep catching.
+    let inputs = vec![input(
+        "canister",
+        "restore.rs",
+        include_str!("fixtures/graph/bad/restore_taint.rs"),
+    )];
+    assert_eq!(ws_ids(&inputs), vec!["ICL012"]);
+    let ws = analyze_workspace(&inputs);
+    let v = &ws.reports[0].1.violations[0];
+    assert!(v.chain.iter().any(|f| f.contains("restore_checkpoint")), "chain {:?}", v.chain);
+}
+
+#[test]
+fn good_checkpoint_inspection_from_query_plane() {
+    let inputs = vec![input(
+        "canister",
+        "restore.rs",
+        include_str!("fixtures/graph/good/restore_taint.rs"),
+    )];
+    assert_eq!(ws_ids(&inputs), Vec::<&str>::new());
+}
+
+#[test]
 fn bad_unmetered_loop_on_update_path() {
     let inputs =
         vec![input("canister", "scan.rs", include_str!("fixtures/graph/bad/unmetered_loop.rs"))];

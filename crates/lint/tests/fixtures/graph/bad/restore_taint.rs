@@ -1,0 +1,19 @@
+// ICL012 (crate `canister`): a restore path that consults node-local
+// state. A restarted replica rebuilding replicated state from a
+// checkpoint must not read its own query cache or profiler — those
+// differ per replica, so any value flowing from them forks the rebuilt
+// state. The finding anchors at the read inside the restore helper,
+// reachable from the update entry point that triggers recovery.
+// icbtc-lint: node-local -- per-replica cache occupancy, for observability only
+pub fn cache_len() -> usize {
+    0
+}
+
+fn restore_checkpoint(_bytes: &[u8]) -> usize {
+    // Seeding the restored state from cache occupancy is the defect.
+    cache_len()
+}
+
+pub fn ingest_response(bytes: &[u8]) -> usize {
+    restore_checkpoint(bytes)
+}

@@ -1,0 +1,15 @@
+// ICL012 clean pair: the same node-local read is fine on the query
+// plane — a single replica inspecting its own checkpoint metadata
+// never feeds replicated execution.
+// icbtc-lint: node-local -- per-replica cache occupancy, for observability only
+pub fn cache_len() -> usize {
+    0
+}
+
+fn checkpoint_summary(_bytes: &[u8]) -> usize {
+    cache_len()
+}
+
+pub fn query(bytes: &[u8]) -> usize {
+    checkpoint_summary(bytes)
+}

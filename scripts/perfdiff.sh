@@ -19,6 +19,10 @@
 #                     regress past its recorded pre-optimization value.
 #   fig5_utxo_growth  utxo_count ±5%, pages_allocated ±10%,
 #                     bytes_per_utxo ±10%, state_hash exact.
+#   recovery_soak     event counts (checkpoints, upgrades, catch-ups,
+#                     corruptions, detections) exact; catch-up matches
+#                     must equal catch-ups; checkpoint_last_bytes and
+#                     mttr_ns_total ±10%; state_hash exact.
 #
 # Both files must carry schema_version 1 and the same bench tag. The
 # parser is awk-only (no jq) so the gate runs anywhere the repo builds;
@@ -134,6 +138,40 @@ fig5_utxo_growth)
     check pages_allocated 100
     check bytes_per_utxo 100
     check_exact_string state_hash
+    ;;
+recovery_soak)
+    # The lifecycle schedule is seed-deterministic, so every event count
+    # is exact; only the byte/instruction figures get a band.
+    check checkpoints_taken 0
+    check upgrades 0
+    check catchups 0
+    check replayed_rounds_total 0
+    check corruptions_injected 0
+    check divergence_detected 0
+    check checkpoint_last_bytes 100
+    check mttr_ns_total 100
+    check_exact_string state_hash
+    # Recovery correctness, not just trajectory: every catch-up must have
+    # reconverged with the live replica, and every injected corruption
+    # must have been detected — in the candidate itself.
+    catchups="$(field "$CANDIDATE" catchups)"
+    matches="$(field "$CANDIDATE" catchup_matches)"
+    verdict=pass
+    if [ -z "$catchups" ] || [ -z "$matches" ] || [ "$catchups" != "$matches" ]; then
+        verdict=fail
+        FAILED=$((FAILED + 1))
+    fi
+    CHECKED=$((CHECKED + 1))
+    echo "{\"metric\":\"catchup_reconvergence\",\"catchups\":${catchups:-null},\"matches\":${matches:-null},\"verdict\":\"$verdict\"}"
+    injected="$(field "$CANDIDATE" corruptions_injected)"
+    detected="$(field "$CANDIDATE" divergence_detected)"
+    verdict=pass
+    if [ -z "$injected" ] || [ -z "$detected" ] || [ "$injected" != "$detected" ]; then
+        verdict=fail
+        FAILED=$((FAILED + 1))
+    fi
+    CHECKED=$((CHECKED + 1))
+    echo "{\"metric\":\"divergence_detection\",\"injected\":${injected:-null},\"detected\":${detected:-null},\"verdict\":\"$verdict\"}"
     ;;
 *)
     echo "ERROR: perfdiff: unknown bench tag \"$BENCH\"" >&2

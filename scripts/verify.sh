@@ -160,6 +160,37 @@ done
 echo "==> storage perf trajectory gate (fresh utxo report inside tolerance of committed baseline)"
 scripts/perfdiff.sh "$OBS_TMP/utxo1.json" BENCH_utxo_gate.json
 
+echo "==> recovery determinism gate (same flags => byte-identical lifecycle soak)"
+for run in 1 2; do
+    cargo run -q --release --offline -p icbtc-bench --bin recovery_soak -- \
+        --seed 42 --rounds 60 --plan mixed \
+        --out "$OBS_TMP/recovery$run.json" --metrics-out "$OBS_TMP/recovery_metrics$run.json" \
+        >/dev/null 2>&1
+done
+if ! diff -q "$OBS_TMP/recovery1.json" "$OBS_TMP/recovery2.json" >/dev/null; then
+    echo "ERROR: same-flags recovery reports differ:" >&2
+    diff "$OBS_TMP/recovery1.json" "$OBS_TMP/recovery2.json" >&2 || true
+    exit 1
+fi
+if ! diff -q "$OBS_TMP/recovery_metrics1.json" "$OBS_TMP/recovery_metrics2.json" >/dev/null; then
+    echo "ERROR: same-flags recovery metrics snapshots differ:" >&2
+    diff "$OBS_TMP/recovery_metrics1.json" "$OBS_TMP/recovery_metrics2.json" | head -20 >&2 || true
+    exit 1
+fi
+for required in '"schema_version": 1' '"state_hash": "'; do
+    if ! grep -q "$required" "$OBS_TMP/recovery1.json"; then
+        echo "ERROR: recovery report is missing $required" >&2
+        exit 1
+    fi
+    if ! grep -q "$required" BENCH_recovery.json; then
+        echo "ERROR: committed BENCH_recovery.json is missing $required" >&2
+        exit 1
+    fi
+done
+
+echo "==> recovery trajectory gate (fresh lifecycle soak inside tolerance of committed baseline)"
+scripts/perfdiff.sh "$OBS_TMP/recovery1.json" BENCH_recovery_gate.json
+
 echo "==> verifying the dependency tree is workspace-only"
 if cargo tree --offline --prefix none | grep -v '^icbtc' | grep -q '[^[:space:]]'; then
     echo "ERROR: non-workspace dependency detected:" >&2
@@ -167,4 +198,4 @@ if cargo tree --offline --prefix none | grep -v '^icbtc' | grep -q '[^[:space:]]
     exit 1
 fi
 
-echo "OK: hermetic build + tests + lint + observability + chaos + query-plane + storage determinism + profiler + perf trajectory passed"
+echo "OK: hermetic build + tests + lint + observability + chaos + query-plane + storage determinism + profiler + perf trajectory + recovery passed"

@@ -47,9 +47,11 @@
 #![deny(unreachable_pub)]
 
 pub mod contracts;
+pub mod recovery;
 pub mod system;
 
 pub use contracts::{verify_p2tr_key_spend, verify_p2wpkh_spend, TaprootWallet, Wallet, WalletError};
+pub use recovery::{CatchupReport, IngestRecord, RecoveryStats, UpgradeReport};
 pub use system::{DowntimeAttack, QueryOutcome, ReplicatedOutcome, System, SystemConfig};
 
 // Re-export the component crates under stable names so downstream users

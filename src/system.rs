@@ -10,15 +10,19 @@
 //! Lemma IV.3 scenario — via [`System::set_downtime_attack`].
 
 use icbtc_adapter::BitcoinAdapter;
-use icbtc_bitcoin::{Block, Network};
+use icbtc_bitcoin::{Amount, Block, Network, OutPoint, Script, Transaction, TxIn, TxOut, Txid};
 use icbtc_btcnet::network::{BtcNetwork, NetworkConfig};
 use icbtc_canister::{BitcoinCanister, CallOutcome, CanisterCall};
 use icbtc_core::{GetSuccessorsResponse, IntegrationParams};
 use icbtc_ic::consensus::ConsensusConfig;
 use icbtc_ic::subnet::Subnet;
+use icbtc_ic::{LifecyclePlan, Meter};
+use icbtc_sim::obs::FieldValue;
 use icbtc_sim::{SimDuration, SimRng, SimTime};
 use icbtc_tecdsa::ecdsa::Signature;
 use icbtc_tecdsa::protocol::{DerivationPath, ThresholdKey};
+
+use crate::recovery::{CatchupReport, IngestRecord, RecoveryStats, UpgradeReport};
 
 /// Configuration of a full integrated deployment.
 #[derive(Debug, Clone)]
@@ -132,6 +136,10 @@ pub struct System {
     rng: SimRng,
     attack: Option<DowntimeAttack>,
     rounds_executed: u64,
+    plan: LifecyclePlan,
+    ingest_log: Vec<IngestRecord>,
+    shadow: Option<BitcoinCanister>,
+    recovery: RecoveryStats,
 }
 
 impl System {
@@ -148,7 +156,19 @@ impl System {
         // threshold of the IC.
         let f = (n - 1) / 3;
         let key = ThresholdKey::generate(n, 2 * f + 1, &mut rng);
-        System { btc, subnet, adapters, key, rng, attack: None, rounds_executed: 0 }
+        System {
+            btc,
+            subnet,
+            adapters,
+            key,
+            rng,
+            attack: None,
+            rounds_executed: 0,
+            plan: LifecyclePlan::none(),
+            ingest_log: Vec::new(),
+            shadow: None,
+            recovery: RecoveryStats::default(),
+        }
     }
 
     /// The simulated Bitcoin network.
@@ -300,6 +320,10 @@ impl System {
         self.btc.run_until(deadline + settle);
 
         let request = self.subnet.state_mut().state_mut().make_request();
+        // A crash-recovery log or shadow replica needs the round's exact
+        // Bitcoin payload; capture it out of the execution closure.
+        let log_needed = self.shadow.is_some() || !self.plan.crashes.is_empty();
+        let mut observed: Option<(GetSuccessorsResponse, u32)> = None;
         let btc = &mut self.btc;
         let adapters = &mut self.adapters;
         let attack = &mut self.attack;
@@ -315,10 +339,230 @@ impl System {
                 adapters[info.block_maker.0 as usize].handle_request(btc, &request)
             };
             let now_unix = btc.unix_time(ctx.now);
+            if log_needed {
+                observed = Some((response.clone(), now_unix));
+            }
             canister.ingest_response(response, now_unix, ctx);
         });
         self.rounds_executed += 1;
+        if let Some((response, now_unix)) = observed {
+            let record = IngestRecord {
+                round: report.info.round,
+                finalized_at: report.info.finalized_at,
+                now_unix,
+                response,
+            };
+            self.replay_on_shadow(&record);
+            if !self.plan.crashes.is_empty() {
+                self.ingest_log.push(record);
+            }
+        }
+        self.run_lifecycle_events(report.info.round);
         report
+    }
+
+    /// Installs a deterministic lifecycle plan: configures the subnet's
+    /// checkpoint cadence and input journal, starts the shadow replica if
+    /// the plan wants one, and takes an immediate baseline checkpoint so
+    /// even a crash before the first cadence point has something to
+    /// recover from. Subsequent [`System::step_round`] calls fire the
+    /// plan's upgrades, crashes, and shadow corruptions after the named
+    /// rounds.
+    pub fn set_lifecycle_plan(&mut self, plan: LifecyclePlan) {
+        self.subnet.set_checkpoint_cadence(plan.checkpoint_every);
+        self.subnet.set_input_journal(!plan.crashes.is_empty() || plan.wants_shadow());
+        self.ingest_log.clear();
+        self.shadow = if plan.wants_shadow() {
+            // The shadow boots the way a fresh replica would: from the
+            // live canister's checkpoint image, not a memory clone.
+            Some(
+                BitcoinCanister::restore(&self.canister().checkpoint_bytes())
+                    .expect("self-produced checkpoint restores"),
+            )
+        } else {
+            None
+        };
+        if plan.checkpoint_every > 0 || !plan.crashes.is_empty() {
+            self.subnet.take_checkpoint();
+        }
+        self.plan = plan;
+    }
+
+    /// The lifecycle plan in force.
+    pub fn lifecycle_plan(&self) -> &LifecyclePlan {
+        &self.plan
+    }
+
+    /// Counters over every lifecycle event injected so far.
+    // icbtc-lint: node-local -- recovery statistics are harness diagnostics, never read back into replicated execution
+    pub fn recovery_stats(&self) -> &RecoveryStats {
+        &self.recovery
+    }
+
+    /// The shadow replica's current state hash, if one is running.
+    // icbtc-lint: node-local -- the shadow replica is a divergence detector, not part of replicated state
+    pub fn shadow_state_hash(&self) -> Option<[u8; 32]> {
+        self.shadow.as_ref().map(|shadow| shadow.state_hash())
+    }
+
+    /// Re-executes one finalized round on the shadow replica: the same
+    /// adapter response, then the same ingress batch (still in the
+    /// journal — pruning happens after). Metering is per-message with a
+    /// fresh meter, exactly like the live subnet, so the shadow's
+    /// instruction counters track the live canister's.
+    fn replay_on_shadow(&mut self, record: &IngestRecord) {
+        let Some(mut shadow) = self.shadow.take() else { return };
+        let mut meter = Meter::new();
+        let mut ctx = icbtc_ic::ExecutionContext {
+            meter: &mut meter,
+            now: record.finalized_at,
+            round: record.round,
+        };
+        shadow.ingest_response(record.response.clone(), record.now_unix, &mut ctx);
+        use icbtc_ic::StateMachine;
+        let inputs: Vec<CanisterCall> = self
+            .subnet
+            .input_journal()
+            .iter()
+            .filter(|entry| entry.round == record.round)
+            .flat_map(|entry| entry.inputs.iter().cloned())
+            .collect();
+        for input in inputs {
+            let mut meter = Meter::new();
+            let mut ctx = icbtc_ic::ExecutionContext {
+                meter: &mut meter,
+                now: record.finalized_at,
+                round: record.round,
+            };
+            shadow.execute(input, &mut ctx);
+        }
+        self.shadow = Some(shadow);
+    }
+
+    /// Fires the plan's events scheduled after `round`, runs the per-round
+    /// divergence check, and prunes the recovery log and journal back to
+    /// the latest checkpoint.
+    fn run_lifecycle_events(&mut self, round: u64) {
+        if self.plan.is_empty() && self.shadow.is_none() {
+            return;
+        }
+        // Seeded corruption: deface the shadow's replicated state, then
+        // let the detector below prove it notices.
+        if self.plan.corruptions.contains(&round) {
+            if let Some(shadow) = self.shadow.as_mut() {
+                shadow.state_mut().queue_transaction(corruption_transaction(round));
+                self.recovery.corruptions_injected += 1;
+                self.subnet.obs_mut().metrics.inc("ic_divergence_corruptions_injected_total");
+            }
+        }
+        // Shadow divergence check: compare per-round state hashes.
+        if let Some(shadow) = self.shadow.as_ref() {
+            let live = self.subnet.state().state_hash();
+            let shadow_hash = shadow.state_hash();
+            self.recovery.divergence_checks += 1;
+            let diverged = live != shadow_hash;
+            let at = self.subnet.now();
+            let obs = self.subnet.obs_mut();
+            obs.metrics.inc("ic_divergence_checks_total");
+            if diverged {
+                obs.metrics.inc("ic_divergence_detected_total");
+                obs.trace.event("ic.divergence", at, &[("round", FieldValue::U64(round))]);
+                self.recovery.divergence_detected += 1;
+                // A diverged replica is replaced wholesale; re-seed the
+                // shadow from the live canister's checkpoint image so the
+                // detector is armed for the next injection.
+                self.shadow = Some(
+                    BitcoinCanister::restore(&self.canister().checkpoint_bytes())
+                        .expect("self-produced checkpoint restores"),
+                );
+            }
+        }
+        if self.plan.upgrades.contains(&round) {
+            self.upgrade_canister();
+        }
+        if self.plan.crashes.contains(&round) {
+            self.simulate_crash_catchup();
+        }
+        // Once a checkpoint exists, everything at or before it is dead
+        // weight for catch-up.
+        let keep_after = match self.subnet.latest_checkpoint() {
+            Some(checkpoint) if !self.plan.crashes.is_empty() => checkpoint.round,
+            // No crashes planned: the log and journal only ever needed to
+            // cover the round just replayed on the shadow.
+            _ => round,
+        };
+        self.subnet.prune_journal_through(keep_after);
+        self.ingest_log.retain(|record| record.round > keep_after);
+    }
+
+    /// Performs a canister upgrade in place: serialize to stable memory,
+    /// drop the canister (including all node-local state — query cache,
+    /// profiler, metrics, trace), restore from the image. Replicated
+    /// state must survive byte-for-byte.
+    pub fn upgrade_canister(&mut self) -> UpgradeReport {
+        let before = self.canister().state_hash();
+        let image = self.canister().checkpoint_bytes();
+        let restored = BitcoinCanister::restore(&image)
+            .expect("self-produced checkpoint restores");
+        let after = restored.state_hash();
+        *self.subnet.state_mut() = restored;
+        self.recovery.upgrades += 1;
+        let obs = self.subnet.obs_mut();
+        obs.metrics.inc("ic_recovery_upgrades_total");
+        obs.metrics.add("ic_recovery_upgrade_bytes_total", image.len() as u64);
+        UpgradeReport { checkpoint_bytes: image.len() as u64, state_hash_preserved: before == after }
+    }
+
+    /// Simulates a replica crash/restart: restore the latest checkpoint
+    /// and replay the post-checkpoint ingest log and ingress journal,
+    /// then compare the recovered state hash against the live replica
+    /// that never crashed. Returns `None` when no checkpoint exists yet.
+    pub fn simulate_crash_catchup(&mut self) -> Option<CatchupReport> {
+        let checkpoint = self.subnet.latest_checkpoint()?.clone();
+        let (recovered, replayed_rounds, replayed_instructions) =
+            crate::recovery::replay_catchup(&checkpoint, &self.ingest_log, self.subnet.input_journal())
+                .expect("self-produced checkpoint restores");
+        let mttr = self.subnet.latency_model().execution_time(replayed_instructions);
+        let report = CatchupReport {
+            checkpoint_round: checkpoint.round,
+            checkpoint_bytes: checkpoint.bytes.len() as u64,
+            replayed_rounds,
+            replayed_instructions,
+            mttr,
+            recovered_state_hash: recovered.state_hash(),
+            live_state_hash: self.canister().state_hash(),
+        };
+        let stats = &mut self.recovery;
+        stats.catchups += 1;
+        if report.matches() {
+            stats.catchup_matches += 1;
+        }
+        stats.replayed_rounds_total += replayed_rounds;
+        stats.replayed_rounds_max = stats.replayed_rounds_max.max(replayed_rounds);
+        stats.replayed_instructions_total += replayed_instructions;
+        stats.mttr_ns_total = stats.mttr_ns_total.saturating_add(mttr.as_nanos());
+        stats.mttr_ns_max = stats.mttr_ns_max.max(mttr.as_nanos());
+        let at = self.subnet.now();
+        let obs = self.subnet.obs_mut();
+        obs.metrics.inc("ic_recovery_catchups_total");
+        obs.metrics.add("ic_recovery_replayed_rounds_total", replayed_rounds);
+        obs.metrics.add("ic_recovery_replay_instructions_total", replayed_instructions);
+        obs.metrics.observe("ic_recovery_mttr_ns", mttr.as_nanos());
+        if report.matches() {
+            obs.metrics.inc("ic_recovery_catchup_matches_total");
+        } else {
+            obs.metrics.inc("ic_recovery_catchup_mismatches_total");
+        }
+        obs.trace.event(
+            "ic.recovery",
+            at,
+            &[
+                ("checkpoint_round", FieldValue::U64(checkpoint.round)),
+                ("replayed_rounds", FieldValue::U64(replayed_rounds)),
+                ("matched", FieldValue::U64(report.matches() as u64)),
+            ],
+        );
+        Some(report)
     }
 
     /// Steps `n` rounds, discarding reports.
@@ -464,6 +708,18 @@ impl System {
             (1..=threshold as u32).map(|i| session.partial_signature(i)).collect();
         let pubkey_x = session.public_key_x();
         (session.combine(&partials).expect("honest quorum signs"), pubkey_x)
+    }
+}
+
+/// A deterministic piece of state junk for seeded shadow corruption: a
+/// queued outbound transaction the live replica never saw, keyed by the
+/// injection round so distinct injections produce distinct corruption.
+fn corruption_transaction(round: u64) -> Transaction {
+    Transaction {
+        version: 2,
+        inputs: vec![TxIn::new(OutPoint::new(Txid([0xC0; 32]), round as u32))],
+        outputs: vec![TxOut::new(Amount::from_sat(1), Script::new_op_return(b"corrupt"))],
+        lock_time: round as u32,
     }
 }
 
